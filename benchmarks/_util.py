@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates a paper table/figure (see DESIGN.md §4) and
+does two things with it: prints it (visible with ``pytest -s``) and
+writes it under ``benchmarks/out/`` so EXPERIMENTS.md can cite stable
+artefacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Optional
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def emit(name: str, text: str, header: Optional[str] = None) -> None:
+    """Print a report block and persist it to ``benchmarks/out/<name>.txt``."""
+    OUT_DIR.mkdir(exist_ok=True)
+    block = f"{header}\n{text}" if header else text
+    (OUT_DIR / f"{name}.txt").write_text(block + "\n")
+    print(f"\n=== {name} ===\n{block}")

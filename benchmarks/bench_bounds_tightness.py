@@ -1,0 +1,55 @@
+"""Supplementary — tightness of the running bound ``B_n`` (Definition 5).
+
+The DP's correctness argument leans on ``B_i`` as a per-request lower
+bound.  This experiment charts how tight ``B_n`` is against ``C(n)``
+across workload density: in dense regimes nearly all cost is marginal
+(bound tight); in sparse regimes the mandatory always-one-copy rent
+dominates and the gap widens.  Also reports the reconstruction cost
+identity as a hard check at benchmark scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro import solve_offline
+from repro.analysis import format_table
+from repro.offline import bound_report
+from repro.workloads import poisson_zipf_instance
+
+from _util import emit
+
+
+def test_bound_tightness(benchmark):
+    rows = []
+    for rate in (10.0, 2.0, 0.5, 0.1):
+        reports = [
+            bound_report(poisson_zipf_instance(150, 6, rate=rate, rng=s))
+            for s in range(5)
+        ]
+        rows.append(
+            {
+                "rate": rate,
+                "mean B_n": float(np.mean([r.lower_bound for r in reports])),
+                "mean C(n)": float(np.mean([r.optimal_cost for r in reports])),
+                "mean C/B": float(np.mean([r.ratio for r in reports])),
+            }
+        )
+    emit(
+        "bounds_tightness",
+        format_table(rows, precision=4),
+        header="running bound tightness vs request density (m=6, n=150)",
+    )
+
+    # Sparse regimes leave a wider gap than dense ones.
+    assert rows[0]["mean C/B"] <= rows[-1]["mean C/B"]
+    # B_n <= C(n) always.
+    for row in rows:
+        assert row["mean B_n"] <= row["mean C(n)"] + 1e-9
+
+    inst = poisson_zipf_instance(150, 6, rate=1.0, rng=0)
+
+    def solve_and_reconstruct():
+        res = solve_offline(inst)
+        return res.schedule()  # asserts cost identity internally
+
+    benchmark(solve_and_reconstruct)

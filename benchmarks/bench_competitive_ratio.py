@@ -1,0 +1,80 @@
+"""Experiment C2 — the 3-competitiveness claim (Contribution 2).
+
+Two panels:
+
+* **random workloads** — ratio distribution of SC vs OPT across Poisson×
+  Zipf, bursty MMPP, and Markov-trajectory instances (the ratio should sit
+  well under 3 and never exceed it);
+* **adversarial panel** — the cyclic gap sweep locating SC's empirically
+  worst regime (per-server revisit period just past the speculative
+  window; see :mod:`repro.analysis.competitive`).
+"""
+
+import pytest
+
+from repro import CostModel
+from repro.analysis import adversarial_gap_sweep, format_table, ratio_statistics
+from repro.network import Cluster
+from repro.online import SpeculativeCaching
+from repro.workloads import MarkovMobility, mmpp_instance, poisson_zipf_instance
+
+from _util import emit
+
+
+def workload_panels():
+    panels = {}
+    panels["poisson-zipf"] = [
+        poisson_zipf_instance(120, 6, rate=1.2, zipf_s=1.0, rng=s)
+        for s in range(10)
+    ]
+    panels["bursty-mmpp"] = [
+        mmpp_instance(120, 6, rate_low=0.2, rate_high=8.0, rng=s)
+        for s in range(10)
+    ]
+    cluster = Cluster.grid(2, 3, cost=CostModel())
+    mob = MarkovMobility(cluster, locality=0.85, request_rate=1.0)
+    panels["markov-trajectory"] = [
+        mob.instance(num_users=2, duration=60.0, rng=s) for s in range(10)
+    ]
+    return panels
+
+
+def test_ratio_across_workloads(benchmark):
+    panels = workload_panels()
+    rows = []
+    for name, insts in panels.items():
+        stats = ratio_statistics(insts)
+        rows.append(
+            {
+                "workload": name,
+                "mean ratio": stats.mean,
+                "p95 ratio": stats.p95,
+                "worst ratio": stats.worst,
+                "bound": 3.0,
+            }
+        )
+        assert stats.worst <= 3.0 + 1e-6
+    emit(
+        "competitive_ratio_workloads",
+        format_table(rows, precision=4),
+        header="C2: empirical SC/OPT ratio by workload family (bound: 3)",
+    )
+
+    inst = panels["poisson-zipf"][0]
+    benchmark(lambda: SpeculativeCaching().run(inst))
+
+
+def test_adversarial_gap_sweep(benchmark):
+    rows = benchmark.pedantic(
+        lambda: adversarial_gap_sweep(m=4, rounds=25),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "competitive_ratio_adversary",
+        format_table(rows, precision=4),
+        header="C2: cyclic adversary gap sweep (m=4, 25 rounds per point)",
+    )
+    worst = max(r["ratio"] for r in rows)
+    assert worst <= 3.0 + 1e-9
+    assert worst > 1.5  # the adversary does hurt SC

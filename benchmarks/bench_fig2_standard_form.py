@@ -1,0 +1,45 @@
+"""Experiment Fig 2 — standard-form optimal schedule decomposition.
+
+The paper's Fig. 2 caption: caching cost ``1.4μ + 0.2μ + 1.6μ = 3.2``
+and transfer cost ``4λ = 4.0`` at ``μ = λ = 1``.  We regenerate an
+optimal schedule with exactly that decomposition, verify standard form
+(every transfer ends on a request) and the tree property (Observation 2).
+"""
+
+import pytest
+
+from repro import solve_exact, solve_offline, validate_schedule
+from repro.paperdata import FIG2_EXPECTED, fig2_instance
+from repro.schedule import is_standard_form, render_schedule, schedule_is_tree
+
+from _util import emit
+
+
+def test_fig2_decomposition(benchmark):
+    inst = fig2_instance()
+    res = benchmark(solve_offline, inst)
+    sched = res.schedule()
+
+    caching = sched.caching_cost(inst.cost)
+    transfer = sched.transfer_cost(inst.cost)
+    emit(
+        "fig2_standard_form",
+        "\n".join(
+            [
+                render_schedule(sched, inst, title="standard-form optimum"),
+                f"caching  = {caching:.4g}   (paper: 3.2)",
+                f"transfer = {transfer:.4g}   (paper: 4.0)",
+                f"total    = {res.optimal_cost:.4g}   (paper: 7.2)",
+                f"standard form: {is_standard_form(sched, inst)}",
+                f"rooted tree  : {schedule_is_tree(sched, inst)}",
+            ]
+        ),
+        header="Fig 2 standard-form example (m=3, mu=lam=1)",
+    )
+
+    validate_schedule(sched, inst, require_standard_form=True)
+    assert caching == pytest.approx(FIG2_EXPECTED["caching_cost"])
+    assert transfer == pytest.approx(FIG2_EXPECTED["transfer_cost"])
+    assert res.optimal_cost == pytest.approx(FIG2_EXPECTED["optimal_cost"])
+    assert solve_exact(inst).optimal_cost == pytest.approx(7.2)
+    assert schedule_is_tree(sched, inst)

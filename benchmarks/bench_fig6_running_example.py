@@ -1,0 +1,49 @@
+"""Experiment Fig 5+6 — the paper's running example, regenerated.
+
+Recomputes the full ``b/B/C/D`` table of Fig. 6 (all values must match
+the paper exactly), renders the optimal schedule's space-time diagram,
+and benchmarks the fast DP on the instance.
+"""
+
+import numpy as np
+import pytest
+
+from repro import solve_offline
+from repro.analysis import format_table
+from repro.paperdata import FIG6_EXPECTED, fig6_instance
+from repro.schedule import render_schedule
+
+from _util import emit
+
+
+def test_fig6_table_regenerated(benchmark):
+    inst = fig6_instance()
+    res = benchmark(solve_offline, inst)
+
+    rows = []
+    for i in range(inst.n + 1):
+        rows.append(
+            {
+                "i": i,
+                "t_i": float(inst.t[i]),
+                "s_i": f"s^{int(inst.srv[i]) + 1}",
+                "b_i": float(inst.b[i]),
+                "B_i": float(inst.B[i]),
+                "C(i)": float(res.C[i]),
+                "D(i)": float(res.D[i]),
+            }
+        )
+    table = format_table(rows, precision=4)
+    diagram = render_schedule(
+        res.schedule(), inst, title="optimal schedule (paper Fig. 6)"
+    )
+    emit(
+        "fig6_running_example",
+        f"{table}\n\n{diagram}\n\npaper C(7) = 8.9, ours = {res.optimal_cost:.4g}",
+        header="Fig 6 running example (m=4, mu=lam=1)",
+    )
+
+    assert np.allclose(res.C, FIG6_EXPECTED["C"])
+    for i, want in FIG6_EXPECTED["D_finite"].items():
+        assert res.D[i] == pytest.approx(want)
+    assert res.optimal_cost == pytest.approx(FIG6_EXPECTED["optimal_cost"])

@@ -1,0 +1,48 @@
+"""Experiment Fig 7 — a Speculative Caching epoch with 5 transfers.
+
+Replays the Fig. 7-shaped epoch through the SC state machine and checks
+every behaviour the figure illustrates: window hits, transfers from the
+previous requester, speculative tails of at most ``Δt = λ/μ``, lone-copy
+extensions, and the epoch reset after the 5th transfer.
+"""
+
+import pytest
+
+from repro import solve_offline, validate_schedule
+from repro.online import SpeculativeCaching
+from repro.paperdata import fig7_instance
+from repro.schedule import render_schedule
+
+from _util import emit
+
+
+def run_epoch():
+    inst = fig7_instance()
+    return inst, SpeculativeCaching(epoch_size=5).run(inst)
+
+
+def test_fig7_epoch(benchmark):
+    inst, _ = run_epoch()
+    run = benchmark(lambda: SpeculativeCaching(epoch_size=5).run(inst))
+
+    opt = solve_offline(inst).optimal_cost
+    lines = [
+        render_schedule(run.schedule, inst, title="SC schedule (one epoch)"),
+        f"transfers  = {run.counters['transfers']}   (epoch size 5)",
+        f"local hits = {run.counters['local_hits']}",
+        f"extensions = {run.counters['extensions']}  (lone-copy rule)",
+        f"epochs     = {run.counters['epochs']}",
+        f"Π(SC) = {run.cost:.4g}   Π(OPT) = {opt:.4g}   "
+        f"ratio = {run.cost / opt:.4g}  (bound: 3)",
+    ]
+    emit("fig7_sc_epoch", "\n".join(lines), header="Fig 7 SC epoch (mu=lam=1)")
+
+    validate_schedule(run.schedule, inst)
+    assert run.counters["transfers"] == 5
+    assert run.counters["epochs"] == 1
+    assert run.counters["local_hits"] == 1
+    assert run.counters["extensions"] >= 2
+    window = inst.cost.speculative_window
+    for life in run.lifetimes:
+        assert life.tail() <= window + 1e-9
+    assert run.cost <= 3.0 * opt + 1e-9

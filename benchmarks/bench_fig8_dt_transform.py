@@ -1,0 +1,70 @@
+"""Experiments Figs 8+9+10 — DT transformation, reductions, Theorem 3.
+
+Regenerates the analysis pipeline of Section V on the Fig. 7 epoch and
+on random workloads: ``Π(DT) = Π(SC)`` (Definition 10), transfer weights
+``≤ 2λ``, Lemma 5/6 structure checks, the V-/H-reduced costs, and the
+Theorem-3 chain ``Π(DT') ≤ 3n'λ`` / ``Π(OPT') ≥ n'λ``.
+"""
+
+import pytest
+
+from repro import double_transfer
+from repro.analysis import format_table
+from repro.online import SpeculativeCaching, verify_theorem3
+from repro.paperdata import fig7_instance
+from repro.workloads import poisson_zipf_instance
+
+from _util import emit
+
+
+def test_dt_transform_and_reductions(benchmark):
+    inst = fig7_instance()
+    run = SpeculativeCaching().run(inst)
+    dt = benchmark(double_transfer, run, inst)
+
+    rows = []
+    rep = verify_theorem3(inst)
+    rows.append(_report_row("fig7-epoch", rep))
+    for seed in range(6):
+        w = poisson_zipf_instance(60, 5, rate=1.2, zipf_s=1.0, rng=seed)
+        rows.append(_report_row(f"poisson-zipf[{seed}]", verify_theorem3(w)))
+
+    table = format_table(
+        rows,
+        headers=[
+            "instance",
+            "Π(SC)",
+            "Π(OPT)",
+            "ratio",
+            "Π(DT')",
+            "3n'λ",
+            "Π(OPT')",
+            "n'λ",
+            "chain holds",
+        ],
+        precision=5,
+    )
+    emit(
+        "fig8_dt_transform",
+        f"Π(DT) = {dt.total_cost:.6g} == Π(SC) = {run.cost:.6g}\n\n{table}",
+        header="Figs 8-10: DT transform, reductions, Theorem 3 chain",
+    )
+
+    assert dt.total_cost == pytest.approx(run.cost)
+    lam = inst.cost.lam
+    assert all(tr.weight <= 2 * lam + 1e-9 for tr in dt.schedule.transfers)
+    assert all(r["chain holds"] for r in rows)
+
+
+def _report_row(name, rep):
+    return {
+        "instance": name,
+        "Π(SC)": rep.sc_cost,
+        "Π(OPT)": rep.opt_cost,
+        "ratio": rep.ratio,
+        "Π(DT')": rep.dt_reduced,
+        "3n'λ": rep.lemma7_bound,
+        "Π(OPT')": rep.opt_reduced,
+        "n'λ": rep.lemma8_bound,
+        "chain holds": rep.holds(),
+    }

@@ -1,0 +1,72 @@
+"""Extension E4 — the cost-latency frontier.
+
+The paper's introduction motivates caching with access latency and then
+optimises money alone.  This experiment prices both axes via the latency
+emulator: each policy's (cost, p95 latency, hit ratio) on one bursty
+workload, plus the Pareto front.  Expected shape: NeverDelete buys
+latency with money, AlwaysTransfer is cheap and slow, the off-line
+optimum anchors the cheap end, and SC sits between — with the *optimal*
+schedule already achieving a respectable hit ratio for free (trajectory
+locality does the work).
+"""
+
+import pytest
+
+from repro import solve_offline
+from repro.analysis import format_table
+from repro.emulator import LatencyModel, cost_latency_frontier, emulate, pareto_front
+from repro.online import (
+    AlwaysTransfer,
+    NeverDelete,
+    RandomizedTTL,
+    SpeculativeCaching,
+)
+from repro.workloads import mmpp_instance
+
+from _util import emit
+
+
+def test_cost_latency_frontier(benchmark):
+    inst = mmpp_instance(
+        300, 6, rate_low=0.3, rate_high=6.0, zipf_s=0.9, popularity="zipf", rng=11
+    )
+    latency = LatencyModel(hit=2.0, fetch_base=25.0)
+    policies = [
+        ("SC", lambda: SpeculativeCaching()),
+        ("SC 2x window", lambda: SpeculativeCaching(window_factor=2.0)),
+        ("always-transfer", lambda: AlwaysTransfer()),
+        ("never-delete", lambda: NeverDelete()),
+        ("randomized-ttl", lambda: RandomizedTTL(seed=0)),
+    ]
+    points = cost_latency_frontier(inst, policies, latency=latency)
+    front = {p.policy for p in pareto_front(points)}
+    rows = [
+        {
+            "policy": p.policy,
+            "cost": p.cost,
+            "p95 latency": p.p95_latency,
+            "hit ratio": p.hit_ratio,
+            "pareto": p.policy in front,
+        }
+        for p in sorted(points, key=lambda p: p.cost)
+    ]
+    emit(
+        "latency_frontier",
+        format_table(rows, precision=4),
+        header="E4: cost-latency frontier (MMPP n=300, hit 2ms / fetch 25ms)",
+    )
+
+    by = {p.policy: p for p in points}
+    # The optimum is the cheapest point.
+    assert all(by["off-line optimal"].cost <= p.cost + 1e-9 for p in points)
+    # Money buys latency: never-delete has the best hit ratio and a
+    # worse bill than SC.
+    assert by["never-delete"].hit_ratio >= by["SC"].hit_ratio
+    assert by["never-delete"].cost >= by["SC"].cost
+    # A wider window trades money for hits within the SC family.
+    assert by["SC 2x window"].hit_ratio >= by["SC"].hit_ratio - 1e-9
+    # The off-line optimum is always on the Pareto front.
+    assert "off-line optimal" in front
+
+    sched = solve_offline(inst).schedule()
+    benchmark(lambda: emulate(sched, inst, latency=latency))

@@ -1,0 +1,91 @@
+"""Ablation A3 — SC against the online baselines.
+
+Cost ratios (policy / OPT) for SC, AlwaysTransfer (single migrating
+copy), NeverDelete (replicate and hoard), and ski-rental RandomizedTTL,
+across three workload regimes.  The expected shape:
+
+* local/bursty regimes: SC ≈ NeverDelete << AlwaysTransfer,
+* sparse regimes: SC ≈ AlwaysTransfer << NeverDelete,
+* SC alone is good everywhere (that is the point of Theorem 3), with
+  RandomizedTTL typically between SC and the losers.
+"""
+
+import numpy as np
+import pytest
+
+from repro import solve_offline
+from repro.analysis import format_table
+from repro.online import (
+    AlwaysTransfer,
+    NeverDelete,
+    RandomizedTTL,
+    SpeculativeCaching,
+    WorkFunctionCaching,
+)
+from repro.workloads import poisson_zipf_instance
+
+from _util import emit
+
+
+def regimes():
+    # rate >> mu/lam: windows almost always hit (dense); rate << 1: sparse.
+    return {
+        "dense (rate 5)": [
+            poisson_zipf_instance(120, 5, rate=5.0, zipf_s=0.8, rng=s)
+            for s in range(6)
+        ],
+        "medium (rate 1)": [
+            poisson_zipf_instance(120, 5, rate=1.0, zipf_s=0.8, rng=s)
+            for s in range(6)
+        ],
+        "sparse (rate 0.2)": [
+            poisson_zipf_instance(120, 5, rate=0.2, zipf_s=0.8, rng=s)
+            for s in range(6)
+        ],
+    }
+
+
+def policies():
+    return {
+        "SC": lambda: SpeculativeCaching(),
+        "always-transfer": lambda: AlwaysTransfer(),
+        "never-delete": lambda: NeverDelete(),
+        "randomized-ttl": lambda: RandomizedTTL(seed=0),
+        "work-function": lambda: WorkFunctionCaching(),
+    }
+
+
+def test_online_baselines(benchmark):
+    rows = []
+    mean_ratio = {}
+    for regime, insts in regimes().items():
+        opts = [solve_offline(i).optimal_cost for i in insts]
+        row = {"regime": regime}
+        for name, factory in policies().items():
+            ratios = [
+                factory().run(inst).cost / opt for inst, opt in zip(insts, opts)
+            ]
+            row[name] = float(np.mean(ratios))
+            mean_ratio[(regime, name)] = row[name]
+        rows.append(row)
+    emit(
+        "online_baselines",
+        format_table(rows, precision=4),
+        header="A3: mean cost ratio vs OPT by policy and regime",
+    )
+
+    # SC dominates the wrong-regime losers on their bad sides.
+    assert (
+        mean_ratio[("dense (rate 5)", "SC")]
+        < mean_ratio[("dense (rate 5)", "always-transfer")]
+    )
+    assert (
+        mean_ratio[("sparse (rate 0.2)", "SC")]
+        < mean_ratio[("sparse (rate 0.2)", "never-delete")]
+    )
+    # SC respects its bound in every regime.
+    for regime in regimes():
+        assert mean_ratio[(regime, "SC")] <= 3.0 + 1e-6
+
+    inst = poisson_zipf_instance(120, 5, rate=1.0, rng=0)
+    benchmark(lambda: SpeculativeCaching().run(inst))

@@ -1,0 +1,96 @@
+"""Extension E2 — prediction-augmented caching (the trajectory premise).
+
+The paper argues off-line algorithms are realistic because trajectories
+are predictable.  This experiment quantifies the whole spectrum between
+SC (no information) and the off-line optimum (full information):
+
+* SC — 0 bits of future;
+* ``PredictiveCaching(MarkovPredictor)`` — honest, learned recurrence;
+* ``PredictiveCaching(OracleNextRequest(horizon=k))`` — k-lookahead;
+* ``PredictiveCaching(OracleNextRequest())`` — perfect next-use oracle;
+* OPT — the full off-line DP.
+
+Expected shape: ratios fall monotonically along that spectrum, with most
+of the gap closed by a few requests of lookahead — the quantitative
+version of "93% predictable behaviour makes off-line caching real".
+"""
+
+import numpy as np
+import pytest
+
+from repro import CostModel, solve_offline
+from repro.analysis import format_table
+from repro.network import Cluster
+from repro.online import (
+    MarkovPredictor,
+    OracleNextRequest,
+    PredictiveCaching,
+    RecedingHorizonPlanner,
+    SpeculativeCaching,
+)
+from repro.workloads import MarkovMobility, poisson_zipf_instance
+
+from _util import emit
+
+
+def panels():
+    cluster = Cluster.grid(2, 3, cost=CostModel())
+    mob = MarkovMobility(cluster, locality=0.9, request_rate=1.5)
+    return {
+        "poisson-zipf": [
+            poisson_zipf_instance(120, 5, rate=1.0, rng=s) for s in range(8)
+        ],
+        "markov-trajectory": [
+            mob.instance(2, 50.0, rng=s) for s in range(8)
+        ],
+    }
+
+
+def ladder():
+    return [
+        ("SC (no future)", lambda: SpeculativeCaching()),
+        ("markov-predicted", lambda: PredictiveCaching(MarkovPredictor())),
+        ("lookahead k=1", lambda: PredictiveCaching(OracleNextRequest(horizon=1))),
+        ("lookahead k=5", lambda: PredictiveCaching(OracleNextRequest(horizon=5))),
+        ("oracle next-use", lambda: PredictiveCaching(OracleNextRequest())),
+        ("MPC k=1", lambda: RecedingHorizonPlanner(horizon=1)),
+        ("MPC k=5", lambda: RecedingHorizonPlanner(horizon=5)),
+    ]
+
+
+def test_information_ladder(benchmark):
+    rows = []
+    means = {}
+    for panel_name, insts in panels().items():
+        opts = [solve_offline(i).optimal_cost for i in insts]
+        row = {"workload": panel_name}
+        for algo_name, factory in ladder():
+            ratios = [
+                factory().run(inst).cost / opt for inst, opt in zip(insts, opts)
+            ]
+            row[algo_name] = float(np.mean(ratios))
+            means[(panel_name, algo_name)] = row[algo_name]
+        row["OPT"] = 1.0
+        rows.append(row)
+    emit(
+        "predictive_ladder",
+        format_table(rows, precision=4),
+        header="E2: mean cost ratio vs OPT along the information ladder",
+    )
+
+    for panel_name in panels():
+        sc = means[(panel_name, "SC (no future)")]
+        k5 = means[(panel_name, "lookahead k=5")]
+        oracle = means[(panel_name, "oracle next-use")]
+        mpc5 = means[(panel_name, "MPC k=5")]
+        # Perfect next-use prediction recovers most of SC's gap...
+        assert oracle < sc
+        assert oracle - 1.0 < 0.5 * (sc - 1.0)
+        # ...a few requests of lookahead are nearly as good...
+        assert k5 <= oracle + 0.1
+        # ...and planning (proactive placement) beats evicting on the
+        # same information.
+        assert mpc5 <= k5 + 1e-9
+
+    inst = panels()["poisson-zipf"][0]
+    benchmark(lambda: PredictiveCaching(OracleNextRequest(horizon=5)).run(inst))

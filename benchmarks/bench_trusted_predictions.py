@@ -1,0 +1,72 @@
+"""Extension E5 — caching with untrusted predictions.
+
+Sweeps the trust parameter β against predictor corruption (verdict-flip
+probability) and regenerates the signature robustness-consistency cross
+of the algorithms-with-predictions literature, instantiated on the
+paper's problem:
+
+* clean advice: smaller β → lower ratio (consistency);
+* adversarial advice: smaller β → higher ratio, while β = 1 is immune
+  (it *is* SC, whose Theorem-3 bound is advice-independent);
+* the crossover sits at moderate corruption.
+"""
+
+import numpy as np
+import pytest
+
+from repro import solve_offline
+from repro.analysis import format_table
+from repro.online import NoisyOracle, SpeculativeCaching, TrustedPredictionCaching
+from repro.workloads import poisson_zipf_instance
+
+from _util import emit
+
+BETAS = (1.0, 0.5, 0.25)
+FLIPS = (0.0, 0.2, 0.5, 1.0)
+
+
+def test_robustness_consistency_cross(benchmark):
+    insts = [poisson_zipf_instance(100, 5, rate=1.0, rng=s) for s in range(8)]
+    opts = [solve_offline(i).optimal_cost for i in insts]
+
+    table = {}
+    rows = []
+    for flip in FLIPS:
+        row = {"flip prob": flip}
+        for beta in BETAS:
+            ratios = [
+                TrustedPredictionCaching(
+                    NoisyOracle(flip_prob=flip, seed=3), beta=beta
+                )
+                .run(inst)
+                .cost
+                / opt
+                for inst, opt in zip(insts, opts)
+            ]
+            row[f"beta={beta:g}"] = float(np.mean(ratios))
+            table[(flip, beta)] = row[f"beta={beta:g}"]
+        rows.append(row)
+    sc = float(
+        np.mean(
+            [SpeculativeCaching().run(i).cost / o for i, o in zip(insts, opts)]
+        )
+    )
+    emit(
+        "trusted_predictions",
+        format_table(rows, precision=4)
+        + f"\n(plain SC reference: {sc:.4f}; beta=1 equals SC by construction)",
+        header="E5: robustness-consistency cross (mean ratio vs OPT)",
+    )
+
+    # Consistency: with clean advice, more trust is better.
+    assert table[(0.0, 0.25)] < table[(0.0, 0.5)] < table[(0.0, 1.0)] + 1e-9
+    # Robustness: with adversarial advice, more trust is worse.
+    assert table[(1.0, 0.25)] > table[(1.0, 0.5)] > table[(1.0, 1.0)] - 1e-9
+    # beta = 1 is advice-independent (equals SC).
+    for flip in FLIPS:
+        assert table[(flip, 1.0)] == pytest.approx(sc, rel=1e-9)
+
+    inst = insts[0]
+    benchmark(
+        lambda: TrustedPredictionCaching(NoisyOracle(seed=3), beta=0.5).run(inst)
+    )

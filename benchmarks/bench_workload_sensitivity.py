@@ -1,0 +1,162 @@
+"""Ablation A4 — workload sensitivity of optimal and online costs.
+
+Three sweeps over the workload generators' knobs, each reporting the
+optimal cost per request, the SC/OPT ratio, and the bound tightness
+``C(n)/B_n``:
+
+* Zipf skew ``s`` (server popularity concentration),
+* Markov-mobility locality (trajectory predictability — ties the
+  experiment to the paper's Song-et-al. premise via ``Π_max``),
+* burstiness (MMPP high/low rate split).
+"""
+
+import numpy as np
+import pytest
+
+from repro import CostModel, solve_offline
+from repro.analysis import format_table
+from repro.network import Cluster
+from repro.online import SpeculativeCaching
+from repro.workloads import (
+    MarkovMobility,
+    diurnal_instance,
+    lz_entropy_rate,
+    max_predictability,
+    mmpp_instance,
+    poisson_zipf_instance,
+)
+
+from _util import emit
+
+
+def _measure(insts):
+    per_req, ratios, tightness = [], [], []
+    for inst in insts:
+        res = solve_offline(inst)
+        run = SpeculativeCaching().run(inst)
+        per_req.append(res.optimal_cost / inst.n)
+        ratios.append(run.cost / res.optimal_cost)
+        lb = inst.running_bound()
+        tightness.append(res.optimal_cost / lb if lb else np.inf)
+    return (
+        float(np.mean(per_req)),
+        float(np.mean(ratios)),
+        float(np.mean(tightness)),
+    )
+
+
+def test_zipf_skew_sweep(benchmark):
+    rows = []
+    for s in (0.0, 0.5, 1.0, 1.5, 2.5):
+        insts = [
+            poisson_zipf_instance(120, 8, rate=1.0, zipf_s=s, rng=k)
+            for k in range(5)
+        ]
+        opt_pr, ratio, tight = _measure(insts)
+        rows.append(
+            {
+                "zipf s": s,
+                "opt cost/request": opt_pr,
+                "SC/OPT": ratio,
+                "C(n)/B_n": tight,
+            }
+        )
+    emit(
+        "workload_zipf_sweep",
+        format_table(rows, precision=4),
+        header="A4: Zipf skew sweep (m=8, rate 1.0)",
+    )
+    # Stronger skew concentrates requests -> cheaper optimal service.
+    assert rows[-1]["opt cost/request"] < rows[0]["opt cost/request"]
+
+    inst = poisson_zipf_instance(120, 8, rng=0)
+    benchmark(solve_offline, inst)
+
+
+def test_mobility_locality_sweep(benchmark):
+    cluster = Cluster.grid(2, 3, cost=CostModel())
+    rows = []
+    for locality in (0.2, 0.6, 0.9, 0.97):
+        mob = MarkovMobility(cluster, locality=locality, request_rate=1.5)
+        insts = [mob.instance(2, 50.0, rng=k) for k in range(5)]
+        opt_pr, ratio, tight = _measure(insts)
+        pis = []
+        for inst in insts:
+            S = lz_entropy_rate(inst.srv[1:].tolist())
+            pis.append(max_predictability(S, cluster.num_servers))
+        rows.append(
+            {
+                "locality": locality,
+                "Π_max": float(np.mean(pis)),
+                "opt cost/request": opt_pr,
+                "SC/OPT": ratio,
+            }
+        )
+    emit(
+        "workload_mobility_sweep",
+        format_table(rows, precision=4),
+        header="A4: trajectory locality sweep (grid 2x3, 2 users)",
+    )
+    # More locality -> more predictable -> cheaper optimal service.
+    assert rows[-1]["Π_max"] > rows[0]["Π_max"]
+    assert rows[-1]["opt cost/request"] < rows[0]["opt cost/request"]
+
+    mob = MarkovMobility(cluster, locality=0.9, request_rate=1.5)
+    inst = mob.instance(2, 50.0, rng=0)
+    benchmark(solve_offline, inst)
+
+
+def test_burstiness_sweep(benchmark):
+    rows = []
+    for hi in (1.0, 4.0, 16.0):
+        insts = [
+            mmpp_instance(120, 6, rate_low=0.2, rate_high=hi, rng=k)
+            for k in range(5)
+        ]
+        opt_pr, ratio, tight = _measure(insts)
+        rows.append(
+            {
+                "burst rate": hi,
+                "opt cost/request": opt_pr,
+                "SC/OPT": ratio,
+                "C(n)/B_n": tight,
+            }
+        )
+    emit(
+        "workload_burstiness_sweep",
+        format_table(rows, precision=4),
+        header="A4: burstiness sweep (MMPP, rate_low 0.2)",
+    )
+    assert all(r["SC/OPT"] <= 3.0 + 1e-6 for r in rows)
+
+    inst = mmpp_instance(120, 6, rng=0)
+    benchmark(lambda: SpeculativeCaching().run(inst))
+
+
+def test_diurnal_amplitude_sweep(benchmark):
+    rows = []
+    for amplitude in (0.0, 0.5, 1.0):
+        insts = [
+            diurnal_instance(
+                96.0, 6, base_rate=1.5, amplitude=amplitude, rng=k
+            )
+            for k in range(5)
+        ]
+        opt_pr, ratio, tight = _measure(insts)
+        rows.append(
+            {
+                "amplitude": amplitude,
+                "opt cost/request": opt_pr,
+                "SC/OPT": ratio,
+                "C(n)/B_n": tight,
+            }
+        )
+    emit(
+        "workload_diurnal_sweep",
+        format_table(rows, precision=4),
+        header="A4: diurnal amplitude sweep (period 24, base rate 1.5)",
+    )
+    assert all(r["SC/OPT"] <= 3.0 + 1e-6 for r in rows)
+
+    inst = diurnal_instance(96.0, 6, base_rate=1.5, rng=0)
+    benchmark(solve_offline, inst)

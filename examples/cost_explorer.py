@@ -1,0 +1,76 @@
+"""Cost-model explorer: how λ/μ shapes the optimal schedule.
+
+The single knob that matters in the homogeneous model is the ratio
+``λ/μ`` — the speculative window.  This example fixes one request
+sequence and sweeps the transfer cost:
+
+* cheap transfers (small λ/μ): the optimum migrates the copy around and
+  rarely replicates;
+* expensive transfers (large λ/μ): the optimum replicates and holds
+  copies, approaching the never-delete extreme.
+
+For three representative settings it renders the schedule so the
+structural shift is visible, then prints the full sweep as a table.
+
+Run:  python examples/cost_explorer.py
+"""
+
+import numpy as np
+
+from repro import CostModel, ProblemInstance, render_schedule, solve_offline
+from repro.analysis import format_table
+from repro.workloads import poisson_zipf_instance
+
+
+def rebuild_with_cost(instance: ProblemInstance, cost: CostModel) -> ProblemInstance:
+    return ProblemInstance.from_arrays(
+        instance.t[1:],
+        instance.srv[1:],
+        num_servers=instance.num_servers,
+        cost=cost,
+        origin=instance.origin,
+    )
+
+
+def main() -> None:
+    base = poisson_zipf_instance(24, 3, rate=1.0, zipf_s=0.7, rng=5)
+    print(f"fixed request sequence: {base}\n")
+
+    rows = []
+    for lam in (0.1, 0.3, 1.0, 3.0, 10.0):
+        inst = rebuild_with_cost(base, CostModel(mu=1.0, lam=lam))
+        res = solve_offline(inst)
+        sched = res.schedule()
+        copy_time = sum(iv.duration for iv in sched.canonical().intervals)
+        rows.append(
+            {
+                "lambda/mu": lam,
+                "optimal cost": res.optimal_cost,
+                "transfers": len(sched.transfers),
+                "copy-time": copy_time,
+                "avg copies": copy_time / inst.horizon,
+            }
+        )
+        if lam in (0.1, 1.0, 10.0):
+            print(
+                render_schedule(
+                    sched,
+                    inst,
+                    width=64,
+                    legend=False,
+                    title=f"--- optimal schedule at lambda/mu = {lam} ---",
+                )
+            )
+            print()
+
+    print(format_table(rows, precision=4, title="transfer-cost sweep"))
+    transfers = [r["transfers"] for r in rows]
+    print(
+        f"\nReading: transfers fall monotonically ({transfers}) as they get "
+        f"pricier, while held\ncopy-time rises — the optimum slides from "
+        f"migrate-everywhere to replicate-and-hold."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Mobile-cloud scenario: trajectory-driven caching for roaming users.
+
+The paper's motivating setting (Section I): users roam between edge
+servers, their movements are highly predictable (Song et al. report 93%
+for human mobility), and a service provider can therefore solve the
+*off-line* problem against a predicted request sequence.
+
+This example builds a 3x3 edge grid, generates Markov-mobility users at
+two locality levels, quantifies predictability with the Lempel-Ziv /
+Fano machinery, and shows how the off-line optimum exploits trajectory
+locality while online SC tracks it within its factor-3 guarantee.
+
+Run:  python examples/mobile_trajectory.py
+"""
+
+from repro import CostModel, SpeculativeCaching, solve_offline
+from repro.analysis import format_table
+from repro.network import Cluster
+from repro.workloads import MarkovMobility, lz_entropy_rate, max_predictability
+
+
+def study(locality: float, cluster: Cluster, seed: int) -> dict:
+    mobility = MarkovMobility(
+        cluster, locality=locality, request_rate=1.5, neighbors=3
+    )
+    instance = mobility.instance(
+        num_users=3, duration=60.0, cost=cluster.cost, rng=seed
+    )
+
+    entropy = lz_entropy_rate(instance.srv[1:].tolist())
+    pi_max = max_predictability(entropy, cluster.num_servers)
+
+    offline = solve_offline(instance)
+    online = SpeculativeCaching().run(instance)
+    return {
+        "locality": locality,
+        "requests": instance.n,
+        "Π_max (Fano)": pi_max,
+        "opt cost/req": offline.optimal_cost / instance.n,
+        "SC/OPT": online.cost / offline.optimal_cost,
+        "transfers (opt)": len(offline.schedule().transfers),
+        "transfers (SC)": online.num_transfers,
+    }
+
+
+def main() -> None:
+    cluster = Cluster.grid(3, 3, spacing=1.0, cost=CostModel(mu=1.0, lam=2.0))
+    print(f"edge fleet: {cluster}\n")
+
+    rows = [
+        study(locality, cluster, seed=11)
+        for locality in (0.3, 0.6, 0.85, 0.95)
+    ]
+    print(
+        format_table(
+            rows,
+            precision=4,
+            title="trajectory locality -> predictability -> service cost",
+        )
+    )
+    print(
+        "\nReading: high-locality trajectories are near the paper's 93% "
+        "predictability premise,\nand the off-line optimum converts that "
+        "predictability into fewer transfers and lower cost;\nonline SC "
+        "stays within its factor-3 guarantee throughout."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Online data service: policies racing on the same request stream.
+
+Simulates a bursty mobile data service (MMPP arrivals over a Zipf server
+population) and replays it through every online policy in the library —
+Speculative Caching (with and without epochs), the TTL family, the
+ski-rental randomized window, and the naive baselines — then scores each
+against the off-line optimum computed in hindsight.
+
+Run:  python examples/online_service.py
+"""
+
+from repro import solve_offline
+from repro.analysis import format_table
+from repro.online import (
+    AlwaysTransfer,
+    NeverDelete,
+    RandomizedTTL,
+    SpeculativeCaching,
+)
+from repro.workloads import mmpp_instance
+
+
+def main() -> None:
+    instance = mmpp_instance(
+        300,
+        6,
+        rate_low=0.25,
+        rate_high=6.0,
+        switch_prob=0.04,
+        zipf_s=0.9,
+        popularity="zipf",
+        rng=2024,
+    )
+    print(f"bursty service stream: {instance}\n")
+
+    hindsight = solve_offline(instance)
+    print(
+        f"off-line optimum (hindsight): {hindsight.optimal_cost:.4g} "
+        f"(lower bound B_n = {instance.running_bound():.4g})\n"
+    )
+
+    policies = [
+        SpeculativeCaching(),
+        SpeculativeCaching(epoch_size=25),
+        SpeculativeCaching(window_factor=0.5),
+        SpeculativeCaching(window_factor=2.0),
+        RandomizedTTL(seed=7),
+        AlwaysTransfer(),
+        NeverDelete(),
+    ]
+
+    rows = []
+    for policy in policies:
+        run = policy.run(instance)
+        rows.append(
+            {
+                "policy": run.algorithm
+                + (" +epochs(25)" if getattr(policy, "epoch_size", None) else ""),
+                "cost": run.cost,
+                "vs OPT": run.cost / hindsight.optimal_cost,
+                "transfers": run.num_transfers,
+                "local hits": run.counters.get("local_hits", 0),
+                "expirations": run.counters.get("expirations", 0),
+            }
+        )
+    rows.sort(key=lambda r: r["cost"])
+    print(format_table(rows, precision=4, title="online policies, best first"))
+
+    sc_row = next(r for r in rows if r["policy"].startswith("speculative"))
+    print(
+        f"\nReading: SC lands at {sc_row['vs OPT']:.2f}x the hindsight "
+        f"optimum — well inside its\nfactor-3 guarantee — while each naive "
+        f"baseline loses badly in the regime it wasn't\nbuilt for."
+    )
+
+
+if __name__ == "__main__":
+    main()

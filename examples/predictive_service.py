@@ -1,0 +1,100 @@
+"""The information ladder: from blind online caching to the full optimum.
+
+The paper's core tension is online vs. off-line: SC knows nothing about
+the future and pays up to 3x; the DP knows everything and pays 1x.  Real
+mobile services sit in between — they *predict*.  This example walks the
+whole ladder on one trajectory workload:
+
+    SC  ->  learned Markov predictor  ->  k-lookahead  ->  oracle  ->  OPT
+
+and also demos the streaming DP as a live "regret gauge": what the
+optimum would have paid for the prefix served so far.
+
+Run:  python examples/predictive_service.py
+"""
+
+from repro import (
+    CostModel,
+    SpeculativeCaching,
+    StreamingSolver,
+    solve_offline,
+)
+from repro.analysis import format_table
+from repro.network import Cluster
+from repro.online import MarkovPredictor, OracleNextRequest, PredictiveCaching
+from repro.workloads import MarkovMobility
+
+
+def main() -> None:
+    cluster = Cluster.grid(2, 3, cost=CostModel(mu=1.0, lam=1.5))
+    mobility = MarkovMobility(cluster, locality=0.9, request_rate=1.5)
+    instance = mobility.instance(
+        num_users=3, duration=80.0, cost=cluster.cost, rng=21
+    )
+    print(f"trajectory workload: {instance}\n")
+
+    opt = solve_offline(instance).optimal_cost
+
+    ladder = [
+        ("SC (0 bits of future)", SpeculativeCaching()),
+        ("+ learned Markov predictor", PredictiveCaching(MarkovPredictor())),
+        ("+ 1-request lookahead", PredictiveCaching(OracleNextRequest(horizon=1))),
+        ("+ 5-request lookahead", PredictiveCaching(OracleNextRequest(horizon=5))),
+        ("+ perfect next-use oracle", PredictiveCaching(OracleNextRequest())),
+    ]
+    rows = []
+    for name, algo in ladder:
+        run = algo.run(instance)
+        rows.append(
+            {
+                "information level": name,
+                "cost": run.cost,
+                "vs OPT": run.cost / opt,
+                "transfers": run.num_transfers,
+            }
+        )
+    rows.append(
+        {
+            "information level": "off-line optimum (DP)",
+            "cost": opt,
+            "vs OPT": 1.0,
+            "transfers": len(solve_offline(instance).schedule().transfers),
+        }
+    )
+    print(format_table(rows, precision=4, title="the information ladder"))
+
+    # ---- live regret gauge via the streaming DP ---------------------------
+    print("\nlive regret gauge (SC cost so far / optimal cost so far):")
+    run = SpeculativeCaching().run(instance)
+    solver = StreamingSolver(
+        instance.num_servers, cost=instance.cost, origin=instance.origin
+    )
+    marks = {instance.n // 4, instance.n // 2, (3 * instance.n) // 4, instance.n}
+    for i in range(1, instance.n + 1):
+        solver.append(float(instance.t[i]), int(instance.srv[i]))
+        if i in marks:
+            t_i = float(instance.t[i])
+            sc_so_far = instance.cost.mu * sum(
+                min(iv.end, t_i) - iv.start
+                for iv in run.schedule.canonical().intervals
+                if iv.start < t_i
+            ) + instance.cost.lam * sum(
+                1 for tr in run.schedule.transfers if tr.time <= t_i
+            )
+            print(
+                f"  after {i:>4} requests: "
+                f"{sc_so_far / solver.optimal_cost:.3f}"
+            )
+    print(
+        "\nReading: information helps only when there is enough of it — "
+        "shallow predictions\n(the learned predictor, 1-request lookahead) "
+        "can even lose to plain SC here, because\ndropping a copy whose "
+        "reuse lies just past the horizon forces extra transfers.  A\n"
+        "handful of requests of lookahead then nearly closes the entire "
+        "gap to the off-line\noptimum, and the streaming DP prices the "
+        "remaining regret in real time."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""Pricing a real deployment: dollars, windows, and the latency frontier.
+
+Connects the abstract model to a concrete provisioning decision:
+
+1. calibrate μ and λ from representative cloud list prices and an item
+   size — and see what the speculative window Δt = λ/μ *means in hours*;
+2. generate a day of diurnal traffic over an edge fleet;
+3. solve it and race the online policies;
+4. place every policy on the cost-latency plane and report the Pareto
+   front — the slide a capacity planner would actually look at.
+
+Run:  python examples/pricing_frontier.py
+"""
+
+from repro import solve_offline
+from repro.analysis import (
+    PRICE_POINTS,
+    calibrate,
+    describe_window,
+    format_table,
+)
+from repro.emulator import LatencyModel, cost_latency_frontier, pareto_front
+from repro.online import (
+    AlwaysTransfer,
+    NeverDelete,
+    RandomizedTTL,
+    SpeculativeCaching,
+)
+from repro.workloads import diurnal_instance
+
+
+def main() -> None:
+    # ---- 1. dollars -> model parameters ------------------------------------
+    item_gb = 25.0  # a chunky ML model artefact
+    print(f"calibrating for a {item_gb:.0f} GB shared item:\n")
+    rows = []
+    for name, plan in PRICE_POINTS.items():
+        model = calibrate(plan, item_gb, time_unit_hours=1.0)
+        rows.append(
+            {
+                "pricing tier": name,
+                "mu [$/h/copy]": model.mu,
+                "lam [$/transfer]": model.lam,
+                "speculative window": describe_window(model),
+            }
+        )
+    print(format_table(rows, precision=3))
+    print(
+        "\nReading: object-store economics keep idle copies for months;"
+        " only edge-SSD\npricing produces the hours-scale windows where "
+        "online eviction decisions bite.\n"
+    )
+
+    # ---- 2-4. four months of weekly-seasonal traffic on the edge tier ------
+    # Time unit: one day.  The edge window is ~2 days, so requests a few
+    # days apart are exactly the contested regime.
+    cost = calibrate(PRICE_POINTS["cdn-edge"], item_gb, time_unit_hours=24.0)
+    inst = diurnal_instance(
+        120.0,
+        6,
+        base_rate=0.8,
+        amplitude=0.9,
+        period=7.0,  # weekly seasonality
+        cost=cost,
+        rng=7,
+    )
+    opt = solve_offline(inst)
+    print(
+        f"four months of weekly-seasonal traffic: {inst}\n"
+        f"optimal bill: ${opt.optimal_cost:.2f} "
+        f"(lower bound ${inst.running_bound():.2f})\n"
+    )
+
+    latency = LatencyModel(hit=2.0, fetch_base=28.0)
+    points = cost_latency_frontier(
+        inst,
+        [
+            ("SC", lambda: SpeculativeCaching()),
+            ("SC half window", lambda: SpeculativeCaching(window_factor=0.5)),
+            ("randomized-ttl", lambda: RandomizedTTL(seed=1)),
+            ("always-transfer", lambda: AlwaysTransfer()),
+            ("never-delete", lambda: NeverDelete()),
+        ],
+        latency=latency,
+    )
+    front = {p.policy for p in pareto_front(points)}
+    rows = [
+        {
+            "policy": p.policy,
+            "bill [$]": p.cost,
+            "p95 latency [ms]": p.p95_latency,
+            "hit ratio": p.hit_ratio,
+            "pareto": p.policy in front,
+        }
+        for p in sorted(points, key=lambda p: p.cost)
+    ]
+    print(format_table(rows, precision=4, title="cost-latency frontier"))
+    print(
+        "\nReading: at these prices the frontier has exactly two ends — "
+        "the hindsight optimum\n(cheapest bill, decent hit ratio for "
+        "free) and never-delete (3x the bill buys a ~94%\nhit ratio). "
+        "Every online policy including SC lands strictly inside: online, "
+        "you pay\neither in transfers or in rent, and the planner's job "
+        "is picking which."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Shim for legacy editable installs (offline environments without the
+``wheel`` package cannot do PEP 660 builds).  All metadata lives in
+``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

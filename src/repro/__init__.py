@@ -1,0 +1,108 @@
+"""repro — cost-driven data caching for mobile cloud services.
+
+A full reproduction of *"Data Caching in Next Generation Mobile Cloud
+Services, Online vs. Off-line"* (Wang, He, Fan, Xu, Culberson, Horton —
+ICPP 2017): the optimal ``O(mn)`` off-line dynamic program, the
+3-competitive online Speculative Caching algorithm, validation oracles,
+workload substrates, and the analysis/benchmark harness that regenerates
+every table and figure of the paper.
+
+Quickstart
+----------
+>>> from repro import CostModel, ProblemInstance, solve_offline
+>>> inst = ProblemInstance(
+...     [(0.5, 1), (0.8, 2), (1.1, 3), (1.4, 0)],
+...     num_servers=4,
+...     cost=CostModel(mu=1.0, lam=1.0),
+... )
+>>> solve_offline(inst).optimal_cost
+4.4
+"""
+
+from .core import (
+    CacheInterval,
+    CostModel,
+    InvalidInstanceError,
+    InvalidScheduleError,
+    ProblemInstance,
+    Request,
+    Transfer,
+)
+from .offline import (
+    OfflineResult,
+    optimal_cost,
+    reconstruct_schedule,
+    solve_exact,
+    solve_offline,
+    solve_offline_bisect,
+    solve_offline_naive,
+)
+from .emulator import EmulationReport, LatencyModel, emulate
+from .offline import StreamingSolver
+from .online import (
+    AlwaysTransfer,
+    MarkovPredictor,
+    NeverDelete,
+    OracleNextRequest,
+    PredictiveCaching,
+    RandomizedTTL,
+    RecedingHorizonPlanner,
+    SpeculativeCaching,
+    double_transfer,
+    verify_theorem3,
+)
+from .service import (
+    MultiItemInstance,
+    MultiItemOnlineService,
+    multi_item_workload,
+    solve_offline_multi,
+)
+from .schedule import (
+    Schedule,
+    render_schedule,
+    validate_schedule,
+)
+from .sim import OnlineRunResult, run_online
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlwaysTransfer",
+    "CacheInterval",
+    "CostModel",
+    "InvalidInstanceError",
+    "EmulationReport",
+    "InvalidScheduleError",
+    "LatencyModel",
+    "MarkovPredictor",
+    "MultiItemInstance",
+    "MultiItemOnlineService",
+    "NeverDelete",
+    "OfflineResult",
+    "OnlineRunResult",
+    "OracleNextRequest",
+    "PredictiveCaching",
+    "ProblemInstance",
+    "RandomizedTTL",
+    "RecedingHorizonPlanner",
+    "Request",
+    "Schedule",
+    "SpeculativeCaching",
+    "StreamingSolver",
+    "Transfer",
+    "multi_item_workload",
+    "solve_offline_multi",
+    "double_transfer",
+    "emulate",
+    "optimal_cost",
+    "reconstruct_schedule",
+    "render_schedule",
+    "run_online",
+    "solve_exact",
+    "solve_offline",
+    "solve_offline_bisect",
+    "solve_offline_naive",
+    "validate_schedule",
+    "verify_theorem3",
+    "__version__",
+]

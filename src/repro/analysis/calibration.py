@@ -1,0 +1,105 @@
+"""Calibrating the abstract cost model from cloud pricing.
+
+The paper's premise is that next-generation caching is *monetary*.  This
+module closes the loop from real pricing structure to the model's two
+parameters:
+
+* ``μ`` (cost per unit time of one cached copy) comes from a storage
+  price in $/GB·month and the item size;
+* ``λ`` (cost per transfer) comes from a data-egress price in $/GB plus
+  an optional per-request charge.
+
+The interesting derived quantity is the speculative window
+``Δt = λ/μ`` — *how long a copy is worth keeping idle* — which for
+typical object-store pricing comes out at **days to weeks**, a
+vivid sanity check that cost-driven caching is nothing like RAM caching.
+
+The bundled :data:`PRICE_POINTS` are representative, rounded list-price
+figures for three common provider tiers (documented as illustrative, not
+quotes); pass your own :class:`PricingPlan` for anything load-bearing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.types import CostModel
+
+__all__ = ["PricingPlan", "PRICE_POINTS", "calibrate", "describe_window"]
+
+_HOURS_PER_MONTH = 730.0
+
+
+@dataclass(frozen=True)
+class PricingPlan:
+    """Cloud pricing inputs.
+
+    Parameters
+    ----------
+    storage_per_gb_month:
+        $ per GB-month of cached storage.
+    egress_per_gb:
+        $ per GB moved between servers/regions.
+    request_fee:
+        Flat $ per transfer operation (often ~0).
+    """
+
+    storage_per_gb_month: float
+    egress_per_gb: float
+    request_fee: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.storage_per_gb_month <= 0 or self.egress_per_gb < 0:
+            raise ValueError("prices must be positive (egress may be 0)")
+        if self.egress_per_gb == 0 and self.request_fee == 0:
+            raise ValueError("free transfers make the model degenerate")
+        if self.request_fee < 0:
+            raise ValueError("request_fee must be non-negative")
+
+
+#: Illustrative list-price points (rounded; not quotes).
+PRICE_POINTS: Dict[str, PricingPlan] = {
+    "object-store-standard": PricingPlan(0.023, 0.09, 0.0004 / 1000),
+    "object-store-infrequent": PricingPlan(0.0125, 0.09, 0.001 / 1000),
+    "cdn-edge": PricingPlan(0.30, 0.02, 0.0),
+}
+
+
+def calibrate(
+    plan: PricingPlan, item_size_gb: float, time_unit_hours: float = 1.0
+) -> CostModel:
+    """Derive a :class:`CostModel` for one item under ``plan``.
+
+    Parameters
+    ----------
+    item_size_gb:
+        Size of the shared data item.
+    time_unit_hours:
+        How many wall-clock hours one model time-unit represents (the
+        request timestamps' unit).
+
+    Returns
+    -------
+    CostModel
+        ``mu`` in $/time-unit per copy, ``lam`` in $ per transfer.
+    """
+    if item_size_gb <= 0:
+        raise ValueError(f"item size must be positive, got {item_size_gb}")
+    if time_unit_hours <= 0:
+        raise ValueError(f"time unit must be positive, got {time_unit_hours}")
+    mu_per_hour = plan.storage_per_gb_month * item_size_gb / _HOURS_PER_MONTH
+    lam = plan.egress_per_gb * item_size_gb + plan.request_fee
+    return CostModel(mu=mu_per_hour * time_unit_hours, lam=lam)
+
+
+def describe_window(model: CostModel, time_unit_hours: float = 1.0) -> str:
+    """Human-readable speculative window (``Δt = λ/μ``)."""
+    hours = model.speculative_window * time_unit_hours
+    if hours < 1.0 / 60:
+        return f"{hours * 3600:.1f} seconds"
+    if hours < 1.0:
+        return f"{hours * 60:.1f} minutes"
+    if hours < 48.0:
+        return f"{hours:.1f} hours"
+    return f"{hours / 24:.1f} days"

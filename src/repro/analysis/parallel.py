@@ -1,0 +1,119 @@
+"""Process-parallel execution of sweeps and ratio studies.
+
+Benchmark sweeps are embarrassingly parallel — independent instances,
+independent solvers — and the heavy ones (exact oracles, wide beams,
+many seeds) benefit from fanning out across cores.  This module wraps
+``concurrent.futures.ProcessPoolExecutor`` with the project's
+conventions:
+
+* work items must be *module-level callables plus picklable arguments*
+  (lambdas are rejected early with a clear message rather than a dead
+  pool);
+* results return in submission order, so parallel and serial runs are
+  bit-identical and the test-suite asserts that;
+* ``processes=1`` bypasses the pool entirely (no fork cost in tests or
+  on single-core boxes).
+"""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .sweeps import Sweep
+
+__all__ = ["parallel_map", "sweep_parallel", "ratio_study"]
+
+
+def _check_picklable_callable(fn: Callable) -> None:
+    name = getattr(fn, "__name__", "")
+    qualname = getattr(fn, "__qualname__", "")
+    if name == "<lambda>" or "<locals>" in qualname:
+        raise ValueError(
+            f"{fn!r} cannot cross process boundaries; use a module-level "
+            f"function (functools.partial over one is fine)"
+        )
+
+
+def parallel_map(
+    fn: Callable[..., Any],
+    args_list: Sequence[Tuple],
+    processes: Optional[int] = None,
+) -> List[Any]:
+    """``[fn(*args) for args in args_list]`` across a process pool.
+
+    Parameters
+    ----------
+    fn:
+        Module-level callable (must survive pickling).
+    args_list:
+        One argument tuple per task.
+    processes:
+        Pool size; ``1`` (or an empty task list) runs serially in-process.
+    """
+    if processes is not None and processes < 1:
+        raise ValueError(f"processes must be >= 1, got {processes}")
+    if processes == 1 or not args_list:
+        return [fn(*args) for args in args_list]
+    _check_picklable_callable(fn)
+    with ProcessPoolExecutor(max_workers=processes) as pool:
+        futures = [pool.submit(fn, *args) for args in args_list]
+        return [f.result() for f in futures]
+
+
+def sweep_parallel(
+    grid: Mapping[str, Iterable[Any]],
+    measure: Callable[..., Mapping[str, Any]],
+    processes: Optional[int] = None,
+) -> Sweep:
+    """Parallel twin of :func:`repro.analysis.sweeps.sweep`.
+
+    Grid points are distributed over the pool; row order equals the
+    serial sweep's product order regardless of completion order.
+    """
+    keys = list(grid.keys())
+    points = [
+        dict(zip(keys, combo))
+        for combo in itertools.product(*(list(grid[k]) for k in keys))
+    ]
+    results = parallel_map(
+        _measure_kwargs, [(measure, p) for p in points], processes=processes
+    )
+    out = Sweep()
+    for point, result in zip(points, results):
+        row = dict(point)
+        row.update(result)
+        out.rows.append(row)
+    return out
+
+
+def _measure_kwargs(measure: Callable[..., Mapping[str, Any]], point: Dict) -> Dict:
+    return dict(measure(**point))
+
+
+def _one_ratio(workload_fn: Callable, seed: int, algo_factory: Callable) -> float:
+    from ..offline.dp import solve_offline
+
+    inst = workload_fn(seed)
+    opt = solve_offline(inst).optimal_cost
+    cost = algo_factory().run(inst).cost
+    return cost / opt if opt > 0 else float("inf")
+
+
+def ratio_study(
+    workload_fn: Callable[[int], Any],
+    seeds: Sequence[int],
+    algo_factory: Callable[[], Any],
+    processes: Optional[int] = None,
+) -> List[float]:
+    """Per-seed ``Π(ALG)/Π(OPT)`` ratios, optionally across a pool.
+
+    ``workload_fn(seed)`` builds the instance; ``algo_factory()`` builds
+    a fresh policy.  Both must be module-level for ``processes > 1``.
+    """
+    return parallel_map(
+        _one_ratio,
+        [(workload_fn, int(s), algo_factory) for s in seeds],
+        processes=processes,
+    )

@@ -1,0 +1,69 @@
+"""Parameter-sweep harness shared by the benchmark suite.
+
+A sweep runs a measurement function over a parameter grid, collecting one
+row dict per point; timing is measured with ``perf_counter`` so benches
+can report scaling series without pytest-benchmark's repetition overhead
+where a single representative timing per point suffices (pytest-benchmark
+still times the headline kernels).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["sweep", "timed", "Sweep"]
+
+
+def timed(fn: Callable[[], Any]) -> Dict[str, Any]:
+    """Run ``fn`` once, returning ``{"seconds": wall_time, "value": result}``."""
+    t0 = time.perf_counter()
+    value = fn()
+    return {"seconds": time.perf_counter() - t0, "value": value}
+
+
+@dataclass
+class Sweep:
+    """Collected sweep rows with table/series export."""
+
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    def add(self, **row: Any) -> None:
+        """Append one row."""
+        self.rows.append(row)
+
+    def column(self, name: str) -> List[Any]:
+        """Values of one column across rows."""
+        return [r[name] for r in self.rows]
+
+    def table(self, headers: Sequence[str] = None, **kwargs) -> str:
+        """Render as ASCII via :func:`repro.analysis.tables.format_table`."""
+        from .tables import format_table
+
+        return format_table(self.rows, headers=headers, **kwargs)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def sweep(
+    grid: Mapping[str, Iterable[Any]],
+    measure: Callable[..., Mapping[str, Any]],
+) -> Sweep:
+    """Run ``measure(**point)`` over the Cartesian product of ``grid``.
+
+    Each call's returned mapping is merged with the grid point to form a
+    row.  Iteration order is the product order of the grid's insertion
+    order, so results are deterministic.
+    """
+    out = Sweep()
+    keys = list(grid.keys())
+    for combo in itertools.product(*(list(grid[k]) for k in keys)):
+        point = dict(zip(keys, combo))
+        result = measure(**point)
+        row = dict(point)
+        row.update(result)
+        out.rows.append(row)
+    return out

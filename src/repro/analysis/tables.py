@@ -1,0 +1,82 @@
+"""Plain-text table / series formatting for benchmark output.
+
+Benchmarks print the rows they regenerate in the same shape the paper
+reports them (EXPERIMENTS.md cross-references these).  The formatter is
+dependency-free: fixed-width ASCII with right-aligned numerics, plus a
+Markdown variant for dropping straight into the docs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["format_table", "format_markdown", "format_series"]
+
+
+def _render_cell(value: Any, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def _normalise(
+    rows: Sequence[Dict[str, Any]],
+    headers: Optional[Sequence[str]],
+    precision: int,
+) -> Tuple[List[str], List[List[str]]]:
+    if not rows:
+        raise ValueError("need at least one row")
+    cols = list(headers) if headers is not None else list(rows[0].keys())
+    table = [
+        [_render_cell(r.get(c, ""), precision) for c in cols] for r in rows
+    ]
+    return cols, table
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]],
+    headers: Optional[Sequence[str]] = None,
+    precision: int = 5,
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width ASCII table from a list of row dicts."""
+    cols, table = _normalise(rows, headers, precision)
+    widths = [
+        max(len(c), *(len(row[i]) for row in table)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.rjust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in table:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown(
+    rows: Sequence[Dict[str, Any]],
+    headers: Optional[Sequence[str]] = None,
+    precision: int = 5,
+) -> str:
+    """GitHub-flavoured Markdown table from a list of row dicts."""
+    cols, table = _normalise(rows, headers, precision)
+    lines = ["| " + " | ".join(cols) + " |"]
+    lines.append("|" + "|".join("---" for _ in cols) + "|")
+    for row in table:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def format_series(
+    xs: Sequence[Any],
+    ys: Sequence[Any],
+    x_label: str = "x",
+    y_label: str = "y",
+    precision: int = 5,
+) -> str:
+    """Two-column series (a 'figure' in text form)."""
+    rows = [{x_label: x, y_label: y} for x, y in zip(xs, ys)]
+    return format_table(rows, headers=[x_label, y_label], precision=precision)

@@ -1,0 +1,142 @@
+"""Closed-form costs for analytically tractable workloads.
+
+Where the optimal (or a policy's) cost has a hand-derivable formula, the
+formula belongs in the library: it documents the theory and gives the
+test-suite oracle values that are independent of every solver.
+
+* :func:`single_server_optimal` — all requests on one server: the
+  optimum is forced (rent the whole horizon, plus one transfer if the
+  server is not the origin).
+* :func:`never_delete_cost` — the NeverDelete policy's bill in closed
+  form: each touched server rents from its first request to the horizon,
+  plus one transfer per newly touched non-origin server.
+* :func:`migration_only_cost` — re-exported from the space-time module.
+* :func:`round_robin_envelope` — upper/lower envelope for the cyclic
+  workload (``m`` servers, fixed gap ``g``): the optimum is bracketed by
+  the running bound from below and the best of three pure strategies
+  (park-and-transfer / cache-everywhere / migrate) from above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.instance import ProblemInstance
+from ..core.types import CostModel
+from ..schedule.spacetime import migration_only_cost
+
+__all__ = [
+    "single_server_optimal",
+    "never_delete_cost",
+    "migration_only_cost",
+    "RoundRobinEnvelope",
+    "round_robin_envelope",
+]
+
+
+def single_server_optimal(instance: ProblemInstance) -> float:
+    """Optimal cost when every request hits one server.
+
+    Coverage forces ``μ·(t_n − t_0)`` of rent; if the requests' server is
+    not the origin exactly one transfer is unavoidable (and sufficient).
+    Raises if the instance touches more than one server.
+    """
+    servers = set(int(s) for s in instance.srv[1:])
+    if len(servers) > 1:
+        raise ValueError(f"instance touches several servers: {sorted(servers)}")
+    if not servers:
+        return 0.0
+    s = servers.pop()
+    rent = instance.cost.mu * instance.horizon
+    return rent + (instance.cost.lam if s != instance.origin else 0.0)
+
+
+def never_delete_cost(instance: ProblemInstance) -> float:
+    """Closed-form bill of the NeverDelete policy.
+
+    The origin copy rents the whole horizon; every other touched server
+    rents from its first request to ``t_n`` and pays one incoming
+    transfer.  (Runs are horizon-truncated, matching the online engine.)
+    """
+    mu, lam = instance.cost.mu, instance.cost.lam
+    t_end = float(instance.t[-1])
+    total = mu * instance.horizon  # origin copy
+    seen = {instance.origin}
+    for i in range(1, instance.n + 1):
+        s = int(instance.srv[i])
+        if s not in seen:
+            seen.add(s)
+            total += lam + mu * (t_end - float(instance.t[i]))
+    return total
+
+
+@dataclass(frozen=True)
+class RoundRobinEnvelope:
+    """Cost envelope for the cyclic workload.
+
+    Attributes
+    ----------
+    lower:
+        The running bound ``B_n`` (``n · min(λ, μ·m·g)``) plus the
+        mandatory coverage rent not counted by marginal services.
+    park:
+        Park the copy on one server; transfer to every request off it.
+    cache_all:
+        Bring every server a copy on its first request and keep all.
+    migrate:
+        Single copy following the requests.
+    """
+
+    lower: float
+    park: float
+    cache_all: float
+    migrate: float
+
+    @property
+    def upper(self) -> float:
+        """Best pure strategy."""
+        return min(self.park, self.cache_all, self.migrate)
+
+
+def round_robin_envelope(
+    m: int, gap: float, rounds: int, cost: CostModel
+) -> RoundRobinEnvelope:
+    """Envelope for ``rounds`` cycles of ``m`` servers at fixed ``gap``.
+
+    Requests hit servers ``1, 2, .., m-1, 0, 1, ..`` at times
+    ``g, 2g, ..`` with the item starting on server 0 at ``t = 0``
+    (matching :func:`repro.analysis.competitive.cyclic_adversary`).
+    """
+    if m < 2 or rounds < 1 or gap <= 0:
+        raise ValueError("need m >= 2, rounds >= 1, gap > 0")
+    n = m * rounds
+    mu, lam = cost.mu, cost.lam
+    horizon = n * gap
+
+    # Lower: the running bound B_n.  Servers 1..m-1 see their first
+    # request with an infinite server interval (b = λ); server 0's first
+    # request r_m links back to the boundary request r_0 (σ = m·g); every
+    # later request has σ = m·g.
+    first = min(m - 1, n)
+    b_later = min(lam, mu * m * gap)
+    lower = first * lam + max(0, n - first) * b_later
+
+    # Park on server 0: rent the horizon; every request not on server 0
+    # pays a transfer.  Server 0 is hit `rounds` times (pattern 1..m-1,0).
+    park = mu * horizon + lam * (n - rounds)
+
+    # Cache-everywhere: server j's copy arrives at its first request and
+    # rents to the horizon; m-1 incoming transfers (origin already holds).
+    cache_all = mu * horizon  # origin copy
+    for j in range(1, m):
+        first_hit = j * gap
+        cache_all += lam + mu * (horizon - first_hit)
+
+    migrate = mu * horizon + lam * n  # every request switches servers
+
+    return RoundRobinEnvelope(
+        lower=float(lower),
+        park=float(park),
+        cache_all=float(cache_all),
+        migrate=float(migrate),
+    )

@@ -1,0 +1,21 @@
+"""Classic capacity-oriented caching (Table I's left-hand column)."""
+
+from .paging import (
+    FIFO,
+    LFU,
+    LRU,
+    BeladyMIN,
+    PagingPolicy,
+    PagingResult,
+    simulate_paging,
+)
+
+__all__ = [
+    "FIFO",
+    "LFU",
+    "LRU",
+    "BeladyMIN",
+    "PagingPolicy",
+    "PagingResult",
+    "simulate_paging",
+]

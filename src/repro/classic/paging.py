@@ -1,0 +1,238 @@
+"""Classic capacity-bound caching (paging) — the Table I counterpart.
+
+The paper's Table I contrasts *classic network caching* (fixed capacity
+``k``, hit-ratio objective, Belady's MIN as the off-line optimum,
+``k``-competitive online algorithms) with *cloud data caching* (no
+capacity, monetary objective, the paper's algorithms).  To regenerate the
+table quantitatively we need the classic side; this module implements the
+canonical replacement policies from scratch:
+
+* :class:`BeladyMIN` — evict the page whose next use is farthest in the
+  future (off-line optimal for fault count, Belady 1966 [5]);
+* :class:`LRU` — least recently used (``k``-competitive, Sleator &
+  Tarjan [16]);
+* :class:`LFU` — least frequently used;
+* :class:`FIFO` — first in, first out.
+
+All operate on integer page streams through :func:`simulate_paging`.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import OrderedDict, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "PagingPolicy",
+    "BeladyMIN",
+    "LRU",
+    "LFU",
+    "FIFO",
+    "PagingResult",
+    "simulate_paging",
+]
+
+
+@dataclass
+class PagingResult:
+    """Outcome of a paging simulation.
+
+    Attributes
+    ----------
+    hits, misses:
+        Reference counts by outcome; cold-start faults count as misses.
+    evictions:
+        Number of pages evicted to make room.
+    policy:
+        Name of the replacement policy.
+    capacity:
+        Cache capacity ``k``.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    policy: str
+    capacity: int
+
+    @property
+    def accesses(self) -> int:
+        """Total references."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Classic caching's objective: fraction of references served."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def fault_rate(self) -> float:
+        """Complement of the hit ratio."""
+        return 1.0 - self.hit_ratio
+
+
+class PagingPolicy(abc.ABC):
+    """A replacement policy over a fixed-capacity page cache."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.cache: set = set()
+
+    @abc.abstractmethod
+    def victim(self, index: int) -> int:
+        """Choose the page to evict when the cache is full at ``index``."""
+
+    def on_access(self, page: int, index: int) -> None:
+        """Bookkeeping hook called on every reference (hit or miss)."""
+
+    def on_insert(self, page: int, index: int) -> None:
+        """Bookkeeping hook called when ``page`` enters the cache."""
+
+    def on_evict(self, page: int) -> None:
+        """Bookkeeping hook called when ``page`` leaves the cache."""
+
+    def prepare(self, pages: Sequence[int]) -> None:
+        """Off-line policies may pre-scan the stream here."""
+
+
+class LRU(PagingPolicy):
+    """Evict the least recently used page."""
+
+    name = "LRU"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._order: "OrderedDict[int, None]" = OrderedDict()
+
+    def on_access(self, page: int, index: int) -> None:
+        if page in self._order:
+            self._order.move_to_end(page)
+
+    def on_insert(self, page: int, index: int) -> None:
+        self._order[page] = None
+
+    def on_evict(self, page: int) -> None:
+        self._order.pop(page, None)
+
+    def victim(self, index: int) -> int:
+        return next(iter(self._order))
+
+
+class FIFO(PagingPolicy):
+    """Evict the page resident longest."""
+
+    name = "FIFO"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._order: "OrderedDict[int, None]" = OrderedDict()
+
+    def on_insert(self, page: int, index: int) -> None:
+        self._order[page] = None
+
+    def on_evict(self, page: int) -> None:
+        self._order.pop(page, None)
+
+    def victim(self, index: int) -> int:
+        return next(iter(self._order))
+
+
+class LFU(PagingPolicy):
+    """Evict the least frequently used page (FIFO tie-break)."""
+
+    name = "LFU"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._freq: Dict[int, int] = defaultdict(int)
+        self._arrival: Dict[int, int] = {}
+
+    def on_access(self, page: int, index: int) -> None:
+        self._freq[page] += 1
+
+    def on_insert(self, page: int, index: int) -> None:
+        self._arrival[page] = index
+
+    def on_evict(self, page: int) -> None:
+        self._freq.pop(page, None)
+        self._arrival.pop(page, None)
+
+    def victim(self, index: int) -> int:
+        return min(self.cache, key=lambda p: (self._freq[p], self._arrival[p]))
+
+
+class BeladyMIN(PagingPolicy):
+    """Belady's off-line optimum: evict the page used farthest ahead."""
+
+    name = "Belady-MIN"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._next_use: Dict[int, List[int]] = {}
+        self._cursor: Dict[int, int] = {}
+
+    def prepare(self, pages: Sequence[int]) -> None:
+        self._next_use = defaultdict(list)
+        for i, p in enumerate(pages):
+            self._next_use[int(p)].append(i)
+        self._cursor = {p: 0 for p in self._next_use}
+
+    def _next_after(self, page: int, index: int) -> int:
+        uses = self._next_use[page]
+        c = self._cursor[page]
+        while c < len(uses) and uses[c] <= index:
+            c += 1
+        self._cursor[page] = c
+        return uses[c] if c < len(uses) else np.iinfo(np.int64).max
+
+    def victim(self, index: int) -> int:
+        return max(self.cache, key=lambda p: self._next_after(p, index))
+
+
+def simulate_paging(
+    pages: Sequence[int], capacity: int, policy: Optional[PagingPolicy] = None
+) -> PagingResult:
+    """Replay a page stream through a fixed-capacity cache.
+
+    Parameters
+    ----------
+    pages:
+        Integer page ids in reference order.
+    capacity:
+        Cache capacity ``k`` (must be positive).
+    policy:
+        Replacement policy instance; defaults to :class:`LRU`.
+    """
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    policy = policy if policy is not None else LRU()
+    policy.cache = set()
+    policy.prepare(pages)
+    hits = misses = evictions = 0
+    for index, page in enumerate(pages):
+        page = int(page)
+        if page in policy.cache:
+            hits += 1
+            policy.on_access(page, index)
+            continue
+        misses += 1
+        policy.on_access(page, index)
+        if len(policy.cache) >= capacity:
+            victim = policy.victim(index)
+            policy.cache.discard(victim)
+            policy.on_evict(victim)
+            evictions += 1
+        policy.cache.add(page)
+        policy.on_insert(page, index)
+    return PagingResult(
+        hits=hits,
+        misses=misses,
+        evictions=evictions,
+        policy=policy.name,
+        capacity=capacity,
+    )

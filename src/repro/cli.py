@@ -1,0 +1,305 @@
+"""Command-line interface: ``repro-cache`` / ``python -m repro``.
+
+Subcommands
+-----------
+``solve``
+    Solve a trace off-line (optimal DP) and print the schedule.
+``online``
+    Replay a trace through an online policy and print cost + counters.
+``compare``
+    Off-line optimum vs online policies on one trace, as a table.
+``generate``
+    Emit a synthetic workload as a CSV trace.
+``paper``
+    Re-print the paper's worked examples (Figs. 2/6/7) with our numbers.
+
+Traces use the CSV format of :mod:`repro.workloads.traces`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.types import CostModel
+from .offline.dp import solve_offline
+from .online.baselines import AlwaysTransfer, NeverDelete, RandomizedTTL
+from .online.predictive import MarkovPredictor, PredictiveCaching
+from .online.speculative import SpeculativeCaching
+from .schedule.diagram import render_schedule
+from .workloads.synthetic import poisson_zipf_instance
+from .workloads.traces import TraceRecord, mine_instance, write_trace
+
+__all__ = ["main", "build_parser"]
+
+_POLICIES = {
+    "sc": lambda: SpeculativeCaching(),
+    "always-transfer": lambda: AlwaysTransfer(),
+    "never-delete": lambda: NeverDelete(),
+    "randomized-ttl": lambda: RandomizedTTL(),
+    "predictive": lambda: PredictiveCaching(MarkovPredictor()),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-cache`` argument parser (exposed for tests)."""
+    p = argparse.ArgumentParser(
+        prog="repro-cache",
+        description="Cost-driven data caching: optimal off-line DP and "
+        "3-competitive online speculative caching (ICPP 2017 reproduction).",
+    )
+    p.add_argument("--mu", type=float, default=1.0, help="caching cost per time unit")
+    p.add_argument("--lam", type=float, default=1.0, help="transfer cost")
+    p.add_argument("--origin", type=int, default=0, help="initial data server")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sp = sub.add_parser("solve", help="optimal off-line schedule for a trace")
+    sp.add_argument("trace", help="CSV trace path")
+    sp.add_argument("--item", default=None, help="item id to mine from the trace")
+    sp.add_argument("--servers", type=int, default=None, help="fleet size m")
+    sp.add_argument("--diagram", action="store_true", help="render ASCII diagram")
+
+    op = sub.add_parser("online", help="replay a trace through an online policy")
+    op.add_argument("trace", help="CSV trace path")
+    op.add_argument("--item", default=None)
+    op.add_argument("--servers", type=int, default=None)
+    op.add_argument(
+        "--policy", choices=sorted(_POLICIES), default="sc", help="online policy"
+    )
+    op.add_argument("--epoch", type=int, default=None, help="SC epoch size")
+    op.add_argument("--diagram", action="store_true")
+
+    cp = sub.add_parser("compare", help="off-line optimum vs online policies")
+    cp.add_argument("trace", help="CSV trace path")
+    cp.add_argument("--item", default=None)
+    cp.add_argument("--servers", type=int, default=None)
+
+    gp = sub.add_parser("generate", help="emit a synthetic Poisson/Zipf trace")
+    gp.add_argument("out", help="output CSV path")
+    gp.add_argument("-n", type=int, default=200, help="number of requests")
+    gp.add_argument("-m", type=int, default=8, help="number of servers")
+    gp.add_argument("--rate", type=float, default=1.0, help="arrival rate")
+    gp.add_argument("--zipf", type=float, default=1.0, help="Zipf skew s")
+    gp.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("paper", help="re-print the paper's worked examples")
+
+    ep = sub.add_parser(
+        "experiment", help="regenerate a DESIGN.md experiment table"
+    )
+    ep.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="experiment id (omit to list available experiments)",
+    )
+
+    vp = sub.add_parser("svg", help="render a trace's optimal schedule as SVG")
+    vp.add_argument("trace", help="CSV trace path")
+    vp.add_argument("out", help="output .svg path")
+    vp.add_argument("--item", default=None)
+    vp.add_argument("--servers", type=int, default=None)
+    vp.add_argument("--width", type=int, default=800)
+
+    sp2 = sub.add_parser(
+        "sensitivity", help="lambda-sensitivity table and breakpoints"
+    )
+    sp2.add_argument("trace", help="CSV trace path")
+    sp2.add_argument("--item", default=None)
+    sp2.add_argument("--servers", type=int, default=None)
+    sp2.add_argument("--lo", type=float, default=0.1, help="lambda range start")
+    sp2.add_argument("--hi", type=float, default=10.0, help="lambda range end")
+    sp2.add_argument("--points", type=int, default=8, help="grid size")
+    return p
+
+
+def _load(args: argparse.Namespace):
+    cost = CostModel(mu=args.mu, lam=args.lam)
+    return mine_instance(
+        args.trace,
+        item=args.item,
+        num_servers=args.servers,
+        cost=cost,
+        origin=args.origin,
+    )
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    inst = _load(args)
+    res = solve_offline(inst)
+    sched = res.schedule()
+    print(f"instance: {inst}")
+    print(f"optimal cost C(n) = {res.optimal_cost:.6g} "
+          f"(lower bound B_n = {res.lower_bound:.6g})")
+    print(sched.describe(inst.cost))
+    if args.diagram:
+        print(render_schedule(sched, inst))
+    return 0
+
+
+def _cmd_online(args: argparse.Namespace) -> int:
+    inst = _load(args)
+    if args.policy == "sc" and args.epoch is not None:
+        algo = SpeculativeCaching(epoch_size=args.epoch)
+    else:
+        algo = _POLICIES[args.policy]()
+    run = algo.run(inst)
+    opt = solve_offline(inst).optimal_cost
+    print(f"instance: {inst}")
+    print(f"policy {run.algorithm}: cost = {run.cost:.6g} "
+          f"(optimal {opt:.6g}, ratio {run.cost / opt:.4f})")
+    for key, value in sorted(run.counters.items()):
+        print(f"  {key}: {value}")
+    if args.diagram:
+        print(render_schedule(run.schedule, inst))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .analysis.tables import format_table
+
+    inst = _load(args)
+    opt = solve_offline(inst).optimal_cost
+    rows = [{"policy": "off-line optimal", "cost": opt, "ratio": 1.0}]
+    for key in sorted(_POLICIES):
+        run = _POLICIES[key]().run(inst)  # each factory yields a fresh policy
+        rows.append(
+            {"policy": run.algorithm, "cost": run.cost, "ratio": run.cost / opt}
+        )
+    print(f"instance: {inst}")
+    print(format_table(rows, headers=["policy", "cost", "ratio"], precision=5))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    inst = poisson_zipf_instance(
+        n=args.n,
+        m=args.m,
+        rate=args.rate,
+        zipf_s=args.zipf,
+        cost=CostModel(mu=args.mu, lam=args.lam),
+        origin=args.origin,
+        rng=args.seed,
+    )
+    records = [
+        TraceRecord(time=float(inst.t[i]), server=int(inst.srv[i]))
+        for i in range(1, inst.n + 1)
+    ]
+    write_trace(records, args.out)
+    print(f"wrote {len(records)} requests over {args.m} servers to {args.out}")
+    return 0
+
+
+def _cmd_paper(args: argparse.Namespace) -> int:
+    from .paperdata import fig2_instance, fig6_instance, fig7_instance
+
+    inst = fig6_instance()
+    res = solve_offline(inst)
+    print("Fig 6 running example (m=4, mu=lam=1):")
+    print(f"  C = {[round(float(c), 4) for c in res.C]}")
+    print(f"  D = {[round(float(d), 4) for d in res.D]}")
+    print(f"  optimal C(7) = {res.optimal_cost:.4g}  (paper: 8.9)")
+    print(render_schedule(res.schedule(), inst))
+
+    inst2 = fig2_instance()
+    res2 = solve_offline(inst2)
+    sched2 = res2.schedule()
+    print("\nFig 2 standard-form example (m=3, mu=lam=1):")
+    print(
+        f"  caching {sched2.caching_cost(inst2.cost):.4g} "
+        f"+ transfer {sched2.transfer_cost(inst2.cost):.4g} "
+        f"= {res2.optimal_cost:.4g}  (paper: 3.2 + 4.0 = 7.2)"
+    )
+
+    inst7 = fig7_instance()
+    run = SpeculativeCaching(epoch_size=5).run(inst7)
+    print("\nFig 7 SC epoch (5 transfers, mu=lam=1):")
+    print(f"  cost = {run.cost:.4g}, counters = {run.counters}")
+    print(render_schedule(run.schedule, inst7))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .analysis.experiments import list_experiments, run_experiment
+
+    if args.name is None:
+        print("available experiments:")
+        for name in list_experiments():
+            print(f"  {name}")
+        return 0
+    try:
+        print(run_experiment(args.name))
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_svg(args: argparse.Namespace) -> int:
+    from .schedule.svg import write_svg
+
+    inst = _load(args)
+    res = solve_offline(inst)
+    write_svg(
+        res.schedule(),
+        inst,
+        args.out,
+        width=args.width,
+        title=f"optimal schedule, C(n) = {res.optimal_cost:.6g}",
+    )
+    print(f"wrote {args.out} (optimal cost {res.optimal_cost:.6g})")
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .analysis.tables import format_table
+    from .offline.parametric import lambda_breakpoints, lambda_sensitivity
+
+    inst = _load(args)
+    grid = np.geomspace(args.lo, args.hi, args.points)
+    points = lambda_sensitivity(inst, grid)
+    rows = [
+        {
+            "lambda": p.lam,
+            "optimal cost": p.optimal_cost,
+            "transfers": p.transfers,
+            "copy-time": p.copy_time,
+        }
+        for p in points
+    ]
+    print(format_table(rows, precision=5, title=f"instance: {inst}"))
+    bps = lambda_breakpoints(inst, args.lo, args.hi)
+    if bps:
+        print("structure breakpoints at lambda ≈ " + ", ".join(f"{b:.4g}" for b in bps))
+    else:
+        print("no structure change in this lambda range")
+    return 0
+
+
+_DISPATCH = {
+    "solve": _cmd_solve,
+    "online": _cmd_online,
+    "compare": _cmd_compare,
+    "generate": _cmd_generate,
+    "paper": _cmd_paper,
+    "experiment": _cmd_experiment,
+    "svg": _cmd_svg,
+    "sensitivity": _cmd_sensitivity,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _DISPATCH[args.command](args)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

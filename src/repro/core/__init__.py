@@ -1,0 +1,46 @@
+"""Core value types and pre-scanned problem instances.
+
+This subpackage hosts the paper's Section III problem notation: requests,
+the homogeneous cost model, schedule atoms, and :class:`ProblemInstance`
+with its O(mn) pre-scan (``p(i)``, ``σ_i``, ``b_i``, ``B_i``, cover-index
+lookup).
+"""
+
+from .instance import PivotLookup, ProblemInstance
+from .transforms import (
+    concat,
+    permute_servers,
+    scale_costs,
+    split_at,
+    time_scale,
+    time_shift,
+    with_cost,
+)
+from .types import (
+    CacheInterval,
+    CostModel,
+    InvalidInstanceError,
+    InvalidScheduleError,
+    Request,
+    Transfer,
+    sort_requests,
+)
+
+__all__ = [
+    "CacheInterval",
+    "CostModel",
+    "InvalidInstanceError",
+    "InvalidScheduleError",
+    "PivotLookup",
+    "ProblemInstance",
+    "Request",
+    "Transfer",
+    "concat",
+    "permute_servers",
+    "scale_costs",
+    "sort_requests",
+    "split_at",
+    "time_scale",
+    "time_shift",
+    "with_cost",
+]

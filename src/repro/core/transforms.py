@@ -1,0 +1,202 @@
+"""Instance transformations with known cost-theoretic effects.
+
+These are the symmetries and surgeries of the homogeneous model, exposed
+as first-class operations because the test-suite and the analysis layer
+lean on them:
+
+* :func:`time_shift` — costs depend only on gaps; ``C(n)`` is invariant.
+* :func:`time_scale` — scaling time by ``c`` scales every caching charge
+  by ``c``; with ``μ`` rescaled to ``μ/c`` the optimum is invariant
+  (exposed as ``rescale_mu=True``).
+* :func:`scale_costs` — scaling ``μ`` and ``λ`` jointly by ``c`` scales
+  ``C(n)`` by exactly ``c``.
+* :func:`permute_servers` — relabelling servers (origin mapped along) is
+  a pure symmetry of the homogeneous model; ``C(n)`` is invariant.
+* :func:`split_at` / :func:`concat` — cut a sequence at a request index
+  or glue two sequences; used by epoch-style analyses.  Optimal cost is
+  *subadditive* under concatenation up to one bridging transfer.
+* :func:`with_cost` — swap the cost model, keeping requests.
+
+Every claimed invariance is enforced by property tests in
+``tests/core/test_transforms.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .instance import ProblemInstance
+from .types import CostModel, InvalidInstanceError
+
+__all__ = [
+    "time_shift",
+    "time_scale",
+    "scale_costs",
+    "permute_servers",
+    "split_at",
+    "concat",
+    "with_cost",
+]
+
+
+def _rebuild(
+    inst: ProblemInstance,
+    times: np.ndarray,
+    servers: np.ndarray,
+    cost: CostModel,
+    origin: int,
+    start_time: float,
+) -> ProblemInstance:
+    return ProblemInstance.from_arrays(
+        times,
+        servers,
+        num_servers=inst.num_servers,
+        cost=cost,
+        origin=origin,
+        start_time=start_time,
+    )
+
+
+def time_shift(inst: ProblemInstance, delta: float) -> ProblemInstance:
+    """Shift every instant (including ``t_0``) by ``delta``.
+
+    ``C(n)`` is invariant: the model only sees gaps.
+    """
+    return _rebuild(
+        inst,
+        inst.t[1:] + delta,
+        inst.srv[1:],
+        inst.cost,
+        inst.origin,
+        float(inst.t[0]) + delta,
+    )
+
+
+def time_scale(
+    inst: ProblemInstance, factor: float, rescale_mu: bool = False
+) -> ProblemInstance:
+    """Scale every gap by ``factor`` (> 0).
+
+    With ``rescale_mu=True`` the caching rate is divided by ``factor`` so
+    every caching charge — and hence ``C(n)`` — is invariant.  Without it
+    caching charges scale by ``factor`` while transfers stay put.
+    """
+    if factor <= 0:
+        raise InvalidInstanceError(f"scale factor must be positive, got {factor}")
+    t0 = float(inst.t[0])
+    cost = inst.cost
+    if rescale_mu:
+        cost = CostModel(mu=cost.mu / factor, lam=cost.lam, beta=cost.beta)
+    return _rebuild(
+        inst,
+        t0 + (inst.t[1:] - t0) * factor,
+        inst.srv[1:],
+        cost,
+        inst.origin,
+        t0,
+    )
+
+
+def scale_costs(inst: ProblemInstance, factor: float) -> ProblemInstance:
+    """Scale ``μ`` and ``λ`` jointly by ``factor``; ``C(n)`` scales with it."""
+    if factor <= 0:
+        raise InvalidInstanceError(f"cost factor must be positive, got {factor}")
+    cost = CostModel(
+        mu=inst.cost.mu * factor,
+        lam=inst.cost.lam * factor,
+        beta=inst.cost.beta if np.isinf(inst.cost.beta) else inst.cost.beta * factor,
+    )
+    return _rebuild(
+        inst, inst.t[1:], inst.srv[1:], cost, inst.origin, float(inst.t[0])
+    )
+
+
+def permute_servers(
+    inst: ProblemInstance, perm: Sequence[int]
+) -> ProblemInstance:
+    """Relabel servers by the permutation ``perm`` (``new = perm[old]``).
+
+    A pure symmetry of the homogeneous model; ``C(n)`` is invariant and
+    optimal schedules map onto each other atom by atom.
+    """
+    perm = np.asarray(perm, dtype=np.int64)
+    m = inst.num_servers
+    if perm.shape != (m,) or sorted(perm.tolist()) != list(range(m)):
+        raise InvalidInstanceError(
+            f"perm must be a permutation of 0..{m - 1}, got {perm.tolist()}"
+        )
+    return _rebuild(
+        inst,
+        inst.t[1:],
+        perm[inst.srv[1:]],
+        inst.cost,
+        int(perm[inst.origin]),
+        float(inst.t[0]),
+    )
+
+
+def split_at(
+    inst: ProblemInstance, k: int
+) -> Tuple[ProblemInstance, ProblemInstance]:
+    """Split into requests ``1..k`` and ``k+1..n``.
+
+    The head keeps the original boundary request; the tail is re-anchored
+    with its origin at the head's final request server and its ``t_0`` at
+    that request's instant — i.e. the state a schedule would naturally
+    hand over (the paper's epoch boundary does exactly this).
+    """
+    if not 0 <= k <= inst.n:
+        raise InvalidInstanceError(f"split index {k} outside [0, {inst.n}]")
+    head = _rebuild(
+        inst,
+        inst.t[1 : k + 1],
+        inst.srv[1 : k + 1],
+        inst.cost,
+        inst.origin,
+        float(inst.t[0]),
+    )
+    tail_origin = int(inst.srv[k])
+    tail = _rebuild(
+        inst,
+        inst.t[k + 1 :],
+        inst.srv[k + 1 :],
+        inst.cost,
+        tail_origin,
+        float(inst.t[k]),
+    )
+    return head, tail
+
+
+def concat(a: ProblemInstance, b: ProblemInstance) -> ProblemInstance:
+    """Glue ``b``'s requests after ``a``'s (shifting ``b`` if needed).
+
+    Requires equal fleets and cost models.  ``b``'s boundary request is
+    dropped (its origin becomes an ordinary constraint no longer
+    enforced), so ``C(a ⧺ b) ≤ C(a) + C(b) + λ`` — subadditivity up to
+    one bridging transfer — which the property tests check.
+    """
+    if a.num_servers != b.num_servers:
+        raise InvalidInstanceError("fleet sizes differ")
+    if a.cost != b.cost:
+        raise InvalidInstanceError("cost models differ")
+    gap = float(np.diff(a.t).mean()) if a.n else 1.0
+    shift = 0.0
+    if b.n and b.t[1] <= a.t[-1]:
+        shift = float(a.t[-1]) - float(b.t[1]) + gap
+    return _rebuild(
+        a,
+        np.concatenate([a.t[1:], b.t[1:] + shift]),
+        np.concatenate([a.srv[1:], b.srv[1:]]),
+        a.cost,
+        a.origin,
+        float(a.t[0]),
+    )
+
+
+def with_cost(inst: ProblemInstance, cost: CostModel) -> ProblemInstance:
+    """Same requests, different cost model."""
+    return _rebuild(
+        inst, inst.t[1:], inst.srv[1:], cost, inst.origin, float(inst.t[0])
+    )

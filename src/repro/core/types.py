@@ -1,0 +1,217 @@
+"""Core value types for the cost-driven data-caching problem.
+
+The paper (Wang et al., ICPP 2017) models a single shared data item in a
+fully connected network of ``m`` servers.  A request ``r_i = (s_i, t_i)``
+asks for the item on server ``s_i`` at time ``t_i``; requests are strictly
+time ordered.  Serving the sequence means choosing *cache intervals* (pay
+``mu`` per unit time per live copy) and *transfers* (pay ``lam`` per
+transfer) such that the item is present wherever and whenever requested,
+and at least one copy exists at every instant.
+
+This module defines the immutable value objects shared by every other
+subsystem: :class:`Request`, :class:`CostModel`, and the schedule atoms
+:class:`CacheInterval` and :class:`Transfer`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+__all__ = [
+    "Request",
+    "CostModel",
+    "CacheInterval",
+    "Transfer",
+    "InvalidInstanceError",
+    "InvalidScheduleError",
+]
+
+
+class InvalidInstanceError(ValueError):
+    """Raised when a request sequence violates the problem's preconditions.
+
+    Preconditions (Section III of the paper): strictly increasing request
+    times, server ids in ``[0, m)``, and non-negative times relative to the
+    start time ``t_0``.
+    """
+
+
+class InvalidScheduleError(ValueError):
+    """Raised when a schedule fails feasibility validation.
+
+    Feasibility (Section III, conditions 1 and 2): at least one live copy at
+    every instant of the service horizon, every request served by a local
+    copy or an incoming transfer, and every cache interval / transfer
+    grounded in a chain of custody that starts at the origin server.
+    """
+
+
+@dataclass(frozen=True, order=True)
+class Request:
+    """A single data-item request ``r_i = (s_i, t_i)``.
+
+    Parameters
+    ----------
+    time:
+        Request instant ``t_i``.  Ordering of :class:`Request` objects is by
+        time first, matching the paper's strictly time-ordered sequence.
+    server:
+        Zero-based server id ``s_i`` (the paper writes one-based ``s^j``;
+        all public APIs of this library are zero-based).
+    """
+
+    time: float
+    server: int
+
+    def __post_init__(self) -> None:
+        if self.server < 0:
+            raise InvalidInstanceError(
+                f"server id must be non-negative, got {self.server}"
+            )
+        if not math.isfinite(self.time):
+            raise InvalidInstanceError(f"request time must be finite, got {self.time}")
+
+    def as_tuple(self) -> Tuple[float, int]:
+        """Return ``(time, server)`` for interop with array-based code."""
+        return (self.time, self.server)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Homogeneous cost model of the paper.
+
+    Parameters
+    ----------
+    mu:
+        Caching cost per unit time per live copy (``μ`` in the paper).
+    lam:
+        Cost of one transfer between any pair of distinct servers (``λ``).
+    beta:
+        Optional upload cost from external storage to a server (``β`` in
+        Table II).  The paper's recurrences never exercise uploads; ``beta``
+        defaults to ``inf`` (uploads disabled) and is honoured only by the
+        exact solver's optional extension.
+
+    Notes
+    -----
+    The *speculative window* ``Δt = λ/μ`` (Section V) is the break-even
+    horizon: caching an idle copy for ``Δt`` costs exactly one transfer.
+    """
+
+    mu: float = 1.0
+    lam: float = 1.0
+    beta: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.mu <= 0 or not math.isfinite(self.mu):
+            raise ValueError(f"mu must be a finite positive float, got {self.mu}")
+        if self.lam <= 0 or not math.isfinite(self.lam):
+            raise ValueError(f"lam must be a finite positive float, got {self.lam}")
+        if self.beta <= 0:
+            raise ValueError(f"beta must be positive (possibly inf), got {self.beta}")
+
+    @property
+    def speculative_window(self) -> float:
+        """Break-even idle horizon ``Δt = λ/μ`` used by the SC algorithm."""
+        return self.lam / self.mu
+
+    def caching_cost(self, duration: float) -> float:
+        """Cost of keeping one copy alive for ``duration`` time units."""
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        return self.mu * duration
+
+    def marginal_bound(self, sigma: float) -> float:
+        """Marginal cost bound ``b_i = min(λ, μσ_i)`` (Definition 4)."""
+        return min(self.lam, self.mu * sigma)
+
+
+@dataclass(frozen=True, order=True)
+class CacheInterval:
+    """A copy held on ``server`` during ``[start, end]`` (``H(s, x, y)``).
+
+    Ordering is ``(server, start, end)`` so that sorted interval lists group
+    per server and run left to right, which the validator and the diagram
+    renderer rely on.
+    """
+
+    server: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise InvalidScheduleError(
+                f"cache interval ends before it starts: [{self.start}, {self.end}]"
+            )
+        if self.server < 0:
+            raise InvalidScheduleError(f"negative server id {self.server}")
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval in time units."""
+        return self.end - self.start
+
+    def covers(self, t: float) -> bool:
+        """True iff the copy is live at instant ``t`` (closed interval)."""
+        return self.start <= t <= self.end
+
+    def overlaps(self, other: "CacheInterval") -> bool:
+        """True iff both intervals are on the same server and share time."""
+        return (
+            self.server == other.server
+            and self.start <= other.end
+            and other.start <= self.end
+        )
+
+
+@dataclass(frozen=True, order=True)
+class Transfer:
+    """An instantaneous transfer ``Tr(src, dst, time)``.
+
+    The paper assumes negligible transfer latency (Section III), so a
+    transfer made at a request time can serve that request.  ``weight``
+    carries the edge weight for the Double-Transfer accounting of Section V
+    (``λ + ω``); plain schedules leave it at ``None`` meaning "charge λ".
+    """
+
+    time: float
+    src: int
+    dst: int
+    weight: float = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise InvalidScheduleError(
+                f"negative server id in transfer {self.src}->{self.dst}"
+            )
+        if self.src == self.dst:
+            raise InvalidScheduleError(
+                f"self-transfer on server {self.src} at t={self.time}"
+            )
+
+    def cost(self, model: CostModel) -> float:
+        """Charged cost: the DT weight if set, otherwise ``λ``."""
+        return model.lam if self.weight is None else self.weight
+
+
+def sort_requests(requests: Iterable[Request]) -> Sequence[Request]:
+    """Return requests sorted by time, rejecting ties.
+
+    The paper requires ``t_i < t_{i+1}`` strictly; simultaneous requests are
+    rejected rather than silently reordered.
+    """
+    ordered = sorted(requests)
+    for a, b in zip(ordered, ordered[1:]):
+        if b.time <= a.time:
+            raise InvalidInstanceError(
+                f"request times must be strictly increasing: {a} then {b}"
+            )
+    return ordered
+
+
+def iter_pairs(seq: Sequence[Request]) -> Iterator[Tuple[Request, Request]]:
+    """Yield consecutive request pairs ``(r_i, r_{i+1})``."""
+    return zip(seq, seq[1:])

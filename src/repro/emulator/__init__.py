@@ -1,0 +1,15 @@
+"""Latency emulator: pricing the axis the paper's model abstracts away."""
+
+from .emulator import EmulationReport, RequestOutcome, emulate
+from .frontier import FrontierPoint, cost_latency_frontier, pareto_front
+from .latency import LatencyModel
+
+__all__ = [
+    "EmulationReport",
+    "FrontierPoint",
+    "LatencyModel",
+    "RequestOutcome",
+    "cost_latency_frontier",
+    "emulate",
+    "pareto_front",
+]

@@ -1,0 +1,95 @@
+"""Cost-latency frontier: comparing policies on both axes.
+
+The paper's objective is money; its motivation is latency.  The frontier
+runs a set of policies (plus the off-line optimum) over one instance and
+reports both, identifying which policies are Pareto-efficient — the
+quantitative version of "cost-driven caching does not have to sacrifice
+latency".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core.instance import ProblemInstance
+from ..network.cluster import Cluster
+from ..offline.dp import solve_offline
+from ..online.base import OnlineAlgorithm
+from .emulator import EmulationReport, emulate
+from .latency import LatencyModel
+
+__all__ = ["FrontierPoint", "cost_latency_frontier", "pareto_front"]
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One policy's position on the cost-latency plane.
+
+    Attributes
+    ----------
+    policy:
+        Display name.
+    cost:
+        Monetary cost.
+    p95_latency:
+        95th-percentile service latency.
+    hit_ratio:
+        Local-hit fraction.
+    """
+
+    policy: str
+    cost: float
+    p95_latency: float
+    hit_ratio: float
+
+    def dominates(self, other: "FrontierPoint") -> bool:
+        """True iff this point is no worse on both axes and better on one."""
+        no_worse = (
+            self.cost <= other.cost + 1e-12
+            and self.p95_latency <= other.p95_latency + 1e-12
+        )
+        better = (
+            self.cost < other.cost - 1e-12
+            or self.p95_latency < other.p95_latency - 1e-12
+        )
+        return no_worse and better
+
+
+def cost_latency_frontier(
+    instance: ProblemInstance,
+    policies: Sequence[Tuple[str, Callable[[], OnlineAlgorithm]]],
+    latency: Optional[LatencyModel] = None,
+    cluster: Optional[Cluster] = None,
+    include_optimal: bool = True,
+) -> List[FrontierPoint]:
+    """Evaluate every policy (and optionally OPT) on both axes."""
+    points: List[FrontierPoint] = []
+    if include_optimal:
+        sched = solve_offline(instance).schedule()
+        rep = emulate(sched, instance, latency=latency, cluster=cluster)
+        points.append(_point("off-line optimal", rep))
+    for name, factory in policies:
+        run = factory().run(instance)
+        rep = emulate(run.schedule, instance, latency=latency, cluster=cluster)
+        points.append(_point(name, rep))
+    return points
+
+
+def _point(name: str, rep: EmulationReport) -> FrontierPoint:
+    return FrontierPoint(
+        policy=name,
+        cost=rep.cost,
+        p95_latency=rep.percentile(95),
+        hit_ratio=rep.hit_ratio,
+    )
+
+
+def pareto_front(points: Sequence[FrontierPoint]) -> List[FrontierPoint]:
+    """The non-dominated subset, sorted by cost."""
+    front = [
+        p
+        for p in points
+        if not any(q.dominates(p) for q in points if q is not p)
+    ]
+    return sorted(front, key=lambda p: (p.cost, p.p95_latency))

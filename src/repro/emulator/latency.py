@@ -1,0 +1,72 @@
+"""Latency models for served requests.
+
+Section I motivates data caching with "minimizing access latency"; the
+paper's cost model then abstracts latency away entirely (transfers are
+instantaneous).  The emulator puts it back: a request served from the
+local cache costs a hit latency; a request served by a transfer pays a
+remote-fetch latency, optionally distance-dependent when the cluster has
+a planar layout (propagation across the metro network).
+
+The model is deliberately queue-free — requests are sparse relative to
+service times in the paper's regime — and that simplification is part of
+the documented contract.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..network.cluster import Cluster
+
+__all__ = ["LatencyModel"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Per-request latency parameters (milliseconds by convention).
+
+    Parameters
+    ----------
+    hit:
+        Latency of serving from the local cache.
+    fetch_base:
+        Fixed latency of a remote fetch (control plane + first byte).
+    fetch_per_distance:
+        Additional latency per unit of planar distance between source
+        and destination (0 disables the distance term; requires a
+        cluster layout otherwise).
+    miss_penalty:
+        Extra latency when the item had to come from outside any cache
+        (only used for infeasible/uncovered requests in diagnostics; a
+        feasible schedule never pays it).
+    """
+
+    hit: float = 2.0
+    fetch_base: float = 20.0
+    fetch_per_distance: float = 0.0
+    miss_penalty: float = 200.0
+
+    def __post_init__(self) -> None:
+        for name in ("hit", "fetch_base", "fetch_per_distance", "miss_penalty"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def fetch(
+        self,
+        src: int,
+        dst: int,
+        cluster: Optional[Cluster] = None,
+    ) -> float:
+        """Latency of a remote fetch ``src -> dst``."""
+        latency = self.fetch_base
+        if self.fetch_per_distance > 0:
+            if cluster is None or not cluster.has_layout:
+                raise ValueError(
+                    "distance-dependent latency needs a cluster with a layout"
+                )
+            a = cluster.servers[src].position
+            b = cluster.servers[dst].position
+            latency += self.fetch_per_distance * math.dist(a, b)
+        return latency

@@ -1,0 +1,11 @@
+"""Cluster substrate: servers, layouts and (heterogeneous) cost models."""
+
+from .cluster import Cluster, Server
+from .costmodel import HeterogeneousCostModel, homogeneous_as_heterogeneous
+
+__all__ = [
+    "Cluster",
+    "HeterogeneousCostModel",
+    "Server",
+    "homogeneous_as_heterogeneous",
+]

@@ -1,0 +1,166 @@
+"""Fully connected cluster substrate.
+
+Models the paper's server fleet ``S = {s^1..s^m}``: a fully connected
+network of cache-capable servers, optionally laid out over a planar region
+so that mobility workloads can map user positions to their serving edge
+server (the "next generation mobile cloud" setting of Section I).
+
+The cluster is deliberately simple — the algorithms only need ``m`` and a
+cost model — but carrying explicit server objects with positions lets the
+workload generators, the trace miner and the examples speak the same
+vocabulary as the paper's motivating scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.types import CostModel
+from .costmodel import HeterogeneousCostModel, homogeneous_as_heterogeneous
+
+__all__ = ["Server", "Cluster"]
+
+
+@dataclass(frozen=True)
+class Server:
+    """One cache-capable edge server.
+
+    Parameters
+    ----------
+    sid:
+        Zero-based server id.
+    position:
+        Optional planar coordinates of the server's site, used by mobility
+        workloads to assign users to their nearest server.
+    name:
+        Human-readable label (defaults to ``s<id>``).
+    """
+
+    sid: int
+    position: Optional[Tuple[float, float]] = None
+    name: str = ""
+
+    def label(self) -> str:
+        """Display name."""
+        return self.name or f"s{self.sid}"
+
+
+class Cluster:
+    """A fully connected fleet of servers plus its cost model.
+
+    Parameters
+    ----------
+    num_servers:
+        Fleet size ``m``.
+    cost:
+        Homogeneous cost model (the paper's regime).
+    positions:
+        Optional ``(m, 2)`` site coordinates.  When omitted and a layout is
+        requested, :meth:`grid` or :meth:`random_layout` can build one.
+    origin:
+        Server initially holding the data item.
+    """
+
+    def __init__(
+        self,
+        num_servers: int,
+        cost: Optional[CostModel] = None,
+        positions: Optional[Sequence[Tuple[float, float]]] = None,
+        origin: int = 0,
+    ):
+        if num_servers <= 0:
+            raise ValueError(f"cluster needs at least one server, got {num_servers}")
+        if not 0 <= origin < num_servers:
+            raise ValueError(f"origin {origin} outside [0, {num_servers})")
+        self.cost = cost if cost is not None else CostModel()
+        self.origin = origin
+        if positions is not None:
+            positions = [tuple(map(float, p)) for p in positions]
+            if len(positions) != num_servers:
+                raise ValueError(
+                    f"got {len(positions)} positions for {num_servers} servers"
+                )
+        self.servers: List[Server] = [
+            Server(i, positions[i] if positions is not None else None)
+            for i in range(num_servers)
+        ]
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def grid(
+        cls,
+        rows: int,
+        cols: int,
+        spacing: float = 1.0,
+        cost: Optional[CostModel] = None,
+        origin: int = 0,
+    ) -> "Cluster":
+        """A ``rows × cols`` grid of edge sites with uniform spacing."""
+        positions = [
+            (c * spacing, r * spacing) for r in range(rows) for c in range(cols)
+        ]
+        return cls(rows * cols, cost=cost, positions=positions, origin=origin)
+
+    @classmethod
+    def random_layout(
+        cls,
+        num_servers: int,
+        extent: float = 10.0,
+        cost: Optional[CostModel] = None,
+        origin: int = 0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "Cluster":
+        """Servers placed uniformly at random in ``[0, extent]²``."""
+        rng = rng if rng is not None else np.random.default_rng()
+        pts = rng.uniform(0.0, extent, size=(num_servers, 2))
+        return cls(
+            num_servers,
+            cost=cost,
+            positions=[tuple(p) for p in pts],
+            origin=origin,
+        )
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def num_servers(self) -> int:
+        """Fleet size ``m``."""
+        return len(self.servers)
+
+    @property
+    def has_layout(self) -> bool:
+        """True iff all servers carry planar positions."""
+        return all(s.position is not None for s in self.servers)
+
+    def positions(self) -> np.ndarray:
+        """``(m, 2)`` array of site coordinates (requires a layout)."""
+        if not self.has_layout:
+            raise ValueError("cluster has no planar layout")
+        return np.array([s.position for s in self.servers], dtype=np.float64)
+
+    def nearest_server(self, xy: Sequence[float]) -> int:
+        """Id of the server closest to point ``xy`` (requires a layout)."""
+        pts = self.positions()
+        d2 = ((pts - np.asarray(xy, dtype=np.float64)) ** 2).sum(axis=1)
+        return int(np.argmin(d2))
+
+    def nearest_servers(self, xys: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`nearest_server` for an ``(k, 2)`` point array."""
+        pts = self.positions()
+        d2 = ((xys[:, None, :] - pts[None, :, :]) ** 2).sum(axis=2)
+        return np.argmin(d2, axis=1).astype(np.int64)
+
+    def heterogeneous_model(self) -> HeterogeneousCostModel:
+        """The cluster's cost model lifted to matrix form."""
+        return homogeneous_as_heterogeneous(self.cost, self.num_servers)
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster(m={self.num_servers}, mu={self.cost.mu}, "
+            f"lam={self.cost.lam}, origin={self.origin}, "
+            f"layout={self.has_layout})"
+        )

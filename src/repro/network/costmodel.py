@@ -1,0 +1,102 @@
+"""Cost models for the provisioned cloud cluster.
+
+The paper analyses the **homogeneous** model (identical ``μ`` everywhere,
+identical ``λ`` between every pair) and argues it is realistic because a
+provisioned data-service substrate is a subset of homogeneous resources
+(Section III).  :class:`HeterogeneousCostModel` is the natural
+generalisation used by the Ext E1 experiment: per-server caching rates and
+a per-pair transfer-cost matrix.  Only the exact subset-state solver
+honours it — the fast recurrences are *correct only under homogeneity*
+(their marginal-bound bookkeeping assumes a single ``λ``), which the
+extension benchmark demonstrates empirically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.types import CostModel
+
+__all__ = ["HeterogeneousCostModel", "homogeneous_as_heterogeneous"]
+
+
+@dataclass
+class HeterogeneousCostModel:
+    """Per-server / per-pair cost model.
+
+    Parameters
+    ----------
+    mu:
+        Array of shape ``(m,)``: caching cost per unit time on each server.
+    lam:
+        Array of shape ``(m, m)``: transfer cost between each ordered pair;
+        the diagonal must be zero.
+    beta:
+        Upload cost from external storage (``inf`` disables uploads).
+    """
+
+    mu: np.ndarray
+    lam: np.ndarray
+    beta: float = math.inf
+
+    def __post_init__(self) -> None:
+        self.mu = np.asarray(self.mu, dtype=np.float64)
+        self.lam = np.asarray(self.lam, dtype=np.float64)
+        if self.mu.ndim != 1:
+            raise ValueError(f"mu must be 1-D, got shape {self.mu.shape}")
+        m = self.mu.shape[0]
+        if self.lam.shape != (m, m):
+            raise ValueError(
+                f"lam must have shape ({m}, {m}), got {self.lam.shape}"
+            )
+        if np.any(self.mu <= 0):
+            raise ValueError("all caching rates must be positive")
+        if np.any(np.diag(self.lam) != 0):
+            raise ValueError("lam diagonal must be zero (no self-transfers)")
+        off = self.lam[~np.eye(m, dtype=bool)]
+        if np.any(off <= 0):
+            raise ValueError("all pairwise transfer costs must be positive")
+
+    @property
+    def num_servers(self) -> int:
+        """Fleet size ``m``."""
+        return int(self.mu.shape[0])
+
+    def check(self, m: int) -> None:
+        """Raise unless this model covers exactly ``m`` servers."""
+        if self.num_servers != m:
+            raise ValueError(
+                f"cost model covers {self.num_servers} servers, instance has {m}"
+            )
+
+    def is_homogeneous(self, rtol: float = 1e-12) -> bool:
+        """True iff all rates coincide (the paper's analysed regime)."""
+        m = self.num_servers
+        off = self.lam[~np.eye(m, dtype=bool)]
+        return bool(
+            np.allclose(self.mu, self.mu[0], rtol=rtol)
+            and (off.size == 0 or np.allclose(off, off[0], rtol=rtol))
+        )
+
+    def as_homogeneous(self) -> CostModel:
+        """Collapse to a :class:`CostModel`; requires homogeneity."""
+        if not self.is_homogeneous():
+            raise ValueError("cost model is not homogeneous")
+        m = self.num_servers
+        off = self.lam[~np.eye(m, dtype=bool)]
+        lam = float(off[0]) if off.size else 1.0
+        return CostModel(mu=float(self.mu[0]), lam=lam, beta=self.beta)
+
+
+def homogeneous_as_heterogeneous(
+    model: CostModel, m: int
+) -> HeterogeneousCostModel:
+    """Lift a homogeneous model to matrix form over ``m`` servers."""
+    lam = np.full((m, m), model.lam, dtype=np.float64)
+    np.fill_diagonal(lam, 0.0)
+    return HeterogeneousCostModel(
+        mu=np.full(m, model.mu, dtype=np.float64), lam=lam, beta=model.beta
+    )

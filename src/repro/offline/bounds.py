@@ -1,0 +1,66 @@
+"""Cost bounds from Section IV: marginal and running bounds.
+
+These are thin, vectorised views over the instance pre-scan, packaged for
+the analysis and benchmark layers (the instance itself already stores
+``b_i`` and ``B_i``).  They also host the bound-quality diagnostics used
+in EXPERIMENTS.md: how tight ``B_n`` is relative to ``C(n)`` across
+workloads, which quantifies how much of the optimal cost is "forced" by
+marginal services versus spanning-cache structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+
+__all__ = ["marginal_bounds", "running_bound", "BoundReport", "bound_report"]
+
+
+def marginal_bounds(instance: ProblemInstance) -> np.ndarray:
+    """``b_i = min(λ, μσ_i)`` for ``i = 0..n`` (Definition 4; ``b_0 = 0``)."""
+    return instance.b
+
+
+def running_bound(instance: ProblemInstance) -> float:
+    """``B_n`` — the paper's lower bound on ``C(n)`` (Definition 5)."""
+    return instance.running_bound()
+
+
+@dataclass(frozen=True)
+class BoundReport:
+    """Tightness diagnostics of the running bound against the optimum.
+
+    Attributes
+    ----------
+    lower_bound:
+        ``B_n``.
+    optimal_cost:
+        ``C(n)`` from the fast DP.
+    gap:
+        ``C(n) - B_n`` (non-negative by Definitions 5/6).
+    ratio:
+        ``C(n) / B_n`` (``1.0`` when the bound is tight; ``inf`` if
+        ``B_n = 0``, which only happens for empty sequences).
+    """
+
+    lower_bound: float
+    optimal_cost: float
+    gap: float
+    ratio: float
+
+
+def bound_report(instance: ProblemInstance) -> BoundReport:
+    """Compute bound-tightness diagnostics for ``instance``."""
+    from .dp import solve_offline
+
+    opt = solve_offline(instance).optimal_cost
+    lb = instance.running_bound()
+    return BoundReport(
+        lower_bound=lb,
+        optimal_cost=opt,
+        gap=opt - lb,
+        ratio=(opt / lb) if lb > 0 else float("inf"),
+    )

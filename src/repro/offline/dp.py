@@ -1,0 +1,120 @@
+"""The fast optimal off-line algorithm — ``O(mn)`` time and space.
+
+Implements the paper's Section IV recurrences:
+
+.. math::
+
+    C(i) &= \\min\\{ D(i),\\ C(i-1) + \\mu\\,\\delta t_{i-1,i} + \\lambda \\} \\\\
+    D(i) &= \\min\\Big\\{ C(p(i)) + \\mu\\sigma_i + B_{i-1} - B_{p(i)},\\
+            \\min_{\\kappa \\in \\pi(i)} D(\\kappa) + \\mu\\sigma_i
+            + B_{i-1} - B_\\kappa \\Big\\}
+
+with ``C(0) = 0`` and ``D(i) = +inf`` for the first request on each server
+(its dummy predecessor sits at ``-inf``).  The cover index set ``π(i)``
+(Definition 8) holds at most one candidate per server — the request whose
+server interval spans ``t_{p(i)}`` — and is enumerated in ``O(m)`` via the
+instance's pivot lookup (pointer matrix, paper Fig. 5) so the whole sweep
+is ``O(mn)``.
+
+Ties between the cache branch ``D(i)`` and the transfer branch are broken
+toward the cache branch; this guarantees reconstruction never emits a
+self-transfer (when ``s_i = s_{i-1}`` the cache branch is strictly cheaper
+by ``λ``, so the transfer branch can only win when the servers differ).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from .result import FROM_C, FROM_D, OfflineResult
+
+__all__ = ["solve_offline", "optimal_cost"]
+
+
+def solve_offline(
+    instance: ProblemInstance, vectorized: Union[bool, str] = "auto"
+) -> OfflineResult:
+    """Solve ``instance`` optimally with the ``O(mn)`` dynamic program.
+
+    Parameters
+    ----------
+    instance:
+        Pre-scanned problem instance.
+    vectorized:
+        ``True`` gathers each request's pivot candidates with numpy (faster
+        for large ``m``), ``False`` uses the scalar loop (faster for small
+        ``m``), ``"auto"`` picks by ``m``.
+
+    Returns
+    -------
+    OfflineResult
+        Cost vectors ``C``/``D`` plus backtracking metadata;
+        ``result.schedule()`` materialises the optimal schedule.
+    """
+    if vectorized == "auto":
+        vectorized = instance.num_servers >= 48
+    n = instance.n
+    t, srv = instance.t, instance.srv
+    p, sigma, B = instance.p, instance.sigma, instance.B
+    mu, lam = instance.cost.mu, instance.cost.lam
+
+    C = np.zeros(n + 1, dtype=np.float64)
+    D = np.full(n + 1, np.inf, dtype=np.float64)
+    served_by_cache = np.zeros(n + 1, dtype=bool)
+    choice_d_tag = np.full(n + 1, -1, dtype=np.int64)
+    choice_d_k = np.full(n + 1, -1, dtype=np.int64)
+
+    pivots = instance._pivots
+    m = instance.num_servers
+    use_matrix = vectorized and pivots.mode == "matrix"
+    F = pivots._first_at_or_after if use_matrix else None
+
+    for i in range(1, n + 1):
+        q = int(p[i])
+        if q >= 0:
+            # Boundary case of Recurrence (5): extend from C(p(i)).
+            best = C[q] - B[q]
+            tag, arg = FROM_C, q
+            # Pivot cases: κ ∈ π(i), one candidate per server.
+            if use_matrix:
+                ks = F[q]
+                ks = ks[(ks >= 0) & (ks < i)]
+                if ks.size:
+                    vals = D[ks] - B[ks]
+                    j = int(np.argmin(vals))
+                    if vals[j] < best:
+                        best, tag, arg = float(vals[j]), FROM_D, int(ks[j])
+            else:
+                for server_j in range(m):
+                    k = pivots.first_at_or_after(server_j, q)
+                    if 0 <= k < i:
+                        v = D[k] - B[k]
+                        if v < best:
+                            best, tag, arg = v, FROM_D, k
+            D[i] = best + mu * sigma[i] + B[i - 1]
+            choice_d_tag[i] = tag
+            choice_d_k[i] = arg
+        via_transfer = C[i - 1] + mu * (t[i] - t[i - 1]) + lam
+        if D[i] <= via_transfer:
+            C[i] = D[i]
+            served_by_cache[i] = True
+        else:
+            C[i] = via_transfer
+
+    return OfflineResult(
+        instance=instance,
+        C=C,
+        D=D,
+        served_by_cache=served_by_cache,
+        choice_d_tag=choice_d_tag,
+        choice_d_k=choice_d_k,
+        solver="fast-dp",
+    )
+
+
+def optimal_cost(instance: ProblemInstance) -> float:
+    """Convenience wrapper: the optimal total service cost ``C(n)``."""
+    return solve_offline(instance).optimal_cost

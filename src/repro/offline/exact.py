@@ -1,0 +1,230 @@
+"""Exact subset-state dynamic program — the independent optimality oracle.
+
+The paper *proves* the ``O(mn)`` recurrences optimal (Theorem 1).  This
+module re-derives optimal costs by an algorithm that shares nothing with
+those recurrences: an exponential DP over the set of servers holding live
+copies.  Between consecutive requests the schedule chooses which copies to
+keep (each kept copy pays ``μ·gap``); at a request instant the item must be
+on the requesting server — already kept, or transferred in for ``λ``.
+
+Transfers are restricted to request instants ending on the requesting
+server, which is without loss of optimality by the paper's Observation 1
+(standard form, via Veeravalli 2003, Theorem 1).
+
+Complexity is ``O(n · 3^m)`` — exponential in ``m`` — so this solver is a
+*validation oracle* for small fleets, not a production path.  The test
+suite runs it against the fast DP on thousands of random instances.
+
+The oracle intentionally generalises the paper's model, enabling the
+heterogeneous-cost extension experiment (DESIGN.md, Ext E1):
+
+* per-server caching rates ``μ_j``,
+* per-pair transfer costs ``λ_{jk}``,
+* optional finite upload cost ``β`` from external storage (Table II's
+  ``β``, unused by the paper's recurrences).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..network.costmodel import HeterogeneousCostModel
+from ..schedule.schedule import Schedule
+
+__all__ = ["solve_exact", "ExactResult"]
+
+#: Hard cap on fleet size; 3^16 ≈ 43M states per step is already painful.
+_MAX_SERVERS = 16
+
+
+@dataclass
+class ExactResult:
+    """Outcome of the exact subset-state DP.
+
+    Attributes
+    ----------
+    optimal_cost:
+        Minimum total service cost.
+    states:
+        Optimal copy-holder bitmask after each request (length ``n+1``).
+    kept_sets:
+        For each step ``i >= 1``, the bitmask of copies kept through the
+        gap ``(t_{i-1}, t_i)`` on the optimal trajectory (index 0 unused).
+        The receding-horizon planner executes ``kept_sets[1]``.
+    schedule:
+        Materialised optimal schedule (canonical form).
+    """
+
+    optimal_cost: float
+    states: List[int]
+    kept_sets: List[int]
+    schedule: Schedule
+
+
+def _nonempty_submasks(mask: int):
+    """Yield all non-empty submasks of ``mask`` (standard bit trick)."""
+    sub = mask
+    while sub:
+        yield sub
+        sub = (sub - 1) & mask
+
+
+def solve_exact(
+    instance: ProblemInstance,
+    het: Optional[HeterogeneousCostModel] = None,
+    build_schedule: bool = True,
+    initial_holders: Optional[List[int]] = None,
+) -> ExactResult:
+    """Exactly solve ``instance`` by exhausting copy-holder subsets.
+
+    Parameters
+    ----------
+    instance:
+        The problem instance (``num_servers <= 16``).
+    het:
+        Optional heterogeneous cost model; when given, overrides the
+        instance's homogeneous ``μ``/``λ`` with per-server / per-pair
+        values (the Ext E1 generalisation).
+    build_schedule:
+        Also backtrack an explicit optimal schedule.
+    initial_holders:
+        Servers holding copies at ``t_0``.  Defaults to the instance's
+        origin only; the receding-horizon planner passes its live copy
+        set so windows re-plan from the executed state.
+
+    Returns
+    -------
+    ExactResult
+    """
+    m = instance.num_servers
+    if m > _MAX_SERVERS:
+        raise ValueError(
+            f"exact solver is exponential in m; got m={m} > {_MAX_SERVERS}"
+        )
+    n = instance.n
+    t, srv = instance.t, instance.srv
+
+    if het is None:
+        mu_vec = np.full(m, instance.cost.mu)
+        lam_mat = np.full((m, m), instance.cost.lam)
+        np.fill_diagonal(lam_mat, 0.0)
+        beta = instance.cost.beta
+    else:
+        het.check(m)
+        mu_vec, lam_mat, beta = het.mu, het.lam, het.beta
+
+    # Precompute caching cost of holding exactly the servers in `mask`
+    # for one time unit.
+    hold_rate = np.zeros(1 << m)
+    for mask in range(1, 1 << m):
+        low = mask & -mask
+        hold_rate[mask] = hold_rate[mask ^ low] + mu_vec[low.bit_length() - 1]
+
+    # Cheapest transfer into server s from any member of `mask`.
+    def transfer_in(mask: int, s: int) -> float:
+        best = math.inf
+        mm = mask
+        while mm:
+            low = mm & -mm
+            j = low.bit_length() - 1
+            if j != s:
+                best = min(best, float(lam_mat[j, s]))
+            mm ^= low
+        return best
+
+    if initial_holders is None:
+        start_mask = 1 << instance.origin
+    else:
+        start_mask = 0
+        for h in initial_holders:
+            if not 0 <= h < m:
+                raise ValueError(f"initial holder {h} outside [0, {m})")
+            start_mask |= 1 << h
+        if start_mask == 0:
+            raise ValueError("initial_holders must be non-empty")
+
+    size = 1 << m
+    INF = math.inf
+    V = [INF] * size
+    V[start_mask] = 0.0
+    parents: List[List[Tuple[int, int]]] = []  # per step: (prev_state, kept)
+
+    for i in range(1, n + 1):
+        gap = float(t[i] - t[i - 1])
+        s = int(srv[i])
+        s_bit = 1 << s
+        NV = [INF] * size
+        NP: List[Tuple[int, int]] = [(-1, 0)] * size
+        for S in range(1, size):
+            v = V[S]
+            if v == INF:
+                continue
+            for K in _nonempty_submasks(S):
+                base = v + gap * hold_rate[K]
+                if K & s_bit:
+                    if base < NV[K]:
+                        NV[K] = base
+                        NP[K] = (S, K)
+                else:
+                    new = K | s_bit
+                    c = base + transfer_in(K, s)
+                    if c < NV[new]:
+                        NV[new] = c
+                        NP[new] = (S, K)
+                    if math.isfinite(beta):
+                        c = base + beta
+                        if c < NV[new]:
+                            NV[new] = c
+                            NP[new] = (S, K)
+        V = NV
+        parents.append(NP)
+
+    best_state = min(range(1, size), key=lambda S: V[S])
+    best_cost = V[best_state]
+
+    states = [0] * (n + 1)
+    kept_sets = [0] * (n + 1)
+    cur = best_state
+    for i in range(n, 0, -1):
+        states[i] = cur
+        prev, kept = parents[i - 1][cur]
+        kept_sets[i] = kept
+        cur = prev
+    states[0] = start_mask
+
+    sched = Schedule()
+    if build_schedule:
+        for i in range(1, n + 1):
+            kept = kept_sets[i]
+            for j in range(m):
+                if kept >> j & 1:
+                    sched.hold(j, float(t[i - 1]), float(t[i]))
+            s = int(srv[i])
+            if not (kept >> s & 1):
+                # Served by a transfer (or upload): pick the realising source.
+                src_cost = transfer_in(kept, s)
+                if math.isfinite(beta) and beta < src_cost:
+                    # Upload: modelled as a zero-length hold only; the cost
+                    # bookkeeping lives in `best_cost`, and Schedule has no
+                    # upload atom — record the landing instant.
+                    sched.hold(s, float(t[i]), float(t[i]))
+                else:
+                    src = min(
+                        (j for j in range(m) if (kept >> j & 1) and j != s),
+                        key=lambda j: float(lam_mat[j, s]),
+                    )
+                    sched.transfer(src, s, float(t[i]))
+                    sched.hold(s, float(t[i]), float(t[i]))
+        sched = sched.canonical()
+
+    return ExactResult(
+        optimal_cost=float(best_cost),
+        states=states,
+        kept_sets=kept_sets,
+        schedule=sched,
+    )

@@ -1,0 +1,100 @@
+"""Backtracking an explicit optimal schedule from the DP choice metadata.
+
+The DP computes costs; this module materialises the schedule ``Ψ*(n)``
+(paper Fig. 6 shows the same reconstruction "phase by phase").  Walking
+back from ``r_n``:
+
+* a **transfer-served** request (Recurrence 2's second branch) contributes
+  ``H(s_{i-1}, t_{i-1}, t_i)`` plus ``Tr(s_{i-1}, s_i, t_i)`` and recurses
+  on ``C(i-1)``;
+* a **cache-served** request (branch ``D(i)``) contributes the final cache
+  ``H(s_i, t_{p(i)}, t_i)``, then serves every intermediate request
+  ``r_j`` (``k < j < i``, where ``k`` is the DP predecessor) at its
+  marginal bound ``b_j``: a short own-server cache ``H(s_j, t_{p(j)}, t_j)``
+  when ``μσ_j ≤ λ``, otherwise a transfer out of the spanning cache
+  ``Tr(s_i, s_j, t_j)``; finally it recurses on ``C(p(i))`` or ``D(κ)``
+  per the recorded choice.
+
+Overlapping fragments are merged by the schedule container; by Theorem 1
+the merged cost equals ``C(n)`` exactly, which
+:func:`reconstruct_schedule` asserts (`verify=True`) so any divergence
+between theory and materialisation fails loudly.
+"""
+
+from __future__ import annotations
+
+from ..core.types import InvalidScheduleError
+from ..schedule.schedule import Schedule
+from .result import FROM_C, OfflineResult
+
+__all__ = ["reconstruct_schedule"]
+
+
+def reconstruct_schedule(result: OfflineResult, verify: bool = True) -> Schedule:
+    """Materialise the optimal schedule recorded in ``result``.
+
+    Parameters
+    ----------
+    result:
+        A solved :class:`~repro.offline.result.OfflineResult`.
+    verify:
+        Assert that the merged schedule's cost equals ``C(n)`` (cheap, and
+        the strongest possible internal consistency check — it exercises
+        Lemmas 1–4 end to end).
+
+    Returns
+    -------
+    Schedule
+        The canonical optimal schedule.
+    """
+    inst = result.instance
+    t, srv, p, sigma = inst.t, inst.srv, inst.p, inst.sigma
+    mu, lam = inst.cost.mu, inst.cost.lam
+    sched = Schedule()
+
+    def serve_marginal(j: int, host: int) -> None:
+        """Serve intermediate request ``r_j`` at its bound ``b_j``."""
+        if p[j] >= 0 and mu * sigma[j] <= lam:
+            sched.hold(int(srv[j]), float(t[p[j]]), float(t[j]))
+        else:
+            sched.transfer(host, int(srv[j]), float(t[j]))
+
+    # Explicit work stack of ("C"|"D", index) frames; recursion depth can
+    # reach n, which would overflow Python's stack on long sequences.
+    stack = [("C", inst.n)]
+    while stack:
+        kind, i = stack.pop()
+        if i <= 0:
+            continue
+        if kind == "C" and not result.served_by_cache[i]:
+            # Transfer branch: cache on s_{i-1} through the gap, then move.
+            sched.hold(int(srv[i - 1]), float(t[i - 1]), float(t[i]))
+            sched.transfer(int(srv[i - 1]), int(srv[i]), float(t[i]))
+            stack.append(("C", i - 1))
+            continue
+        # Cache branch (C chose D, or we were asked for D directly).
+        q = int(p[i])
+        if q < 0:
+            raise InvalidScheduleError(
+                f"DP chose the cache branch for r_{i} which has no previous "
+                f"request on its server — solver metadata is corrupt"
+            )
+        sched.hold(int(srv[i]), float(t[q]), float(t[i]))
+        k = int(result.choice_d_k[i])
+        for j in range(k + 1, i):
+            serve_marginal(j, host=int(srv[i]))
+        if result.choice_d_tag[i] == FROM_C:
+            stack.append(("C", k))
+        else:
+            stack.append(("D", k))
+
+    sched = sched.canonical()
+    if verify:
+        realized = sched.total_cost(inst.cost)
+        want = result.optimal_cost
+        if abs(realized - want) > 1e-6 * max(1.0, abs(want)):
+            raise InvalidScheduleError(
+                f"reconstructed schedule costs {realized!r} but DP computed "
+                f"C(n)={want!r} ({result.solver}); Theorem 1 violated"
+            )
+    return sched

@@ -1,0 +1,97 @@
+"""Result object shared by all off-line DP solvers.
+
+Every solver (fast ``O(mn)``, naive ``O(n²)``, and the binary-search
+variant) fills the same :class:`OfflineResult`: the cost vectors ``C`` and
+``D`` of the paper's Recurrences (2) and (5) plus the argmin metadata
+needed to backtrack an explicit optimal schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..schedule.schedule import Schedule
+
+__all__ = ["OfflineResult", "FROM_C", "FROM_D"]
+
+#: ``choice_d_tag`` value: D(i) attained via the boundary case C(p(i)).
+FROM_C = 0
+#: ``choice_d_tag`` value: D(i) attained via a pivot D(κ), κ ∈ π(i).
+FROM_D = 1
+
+
+@dataclass
+class OfflineResult:
+    """Solved off-line instance: cost vectors plus backtracking choices.
+
+    Attributes
+    ----------
+    instance:
+        The solved instance.
+    C:
+        ``C[i]`` — optimal cost of serving ``r_0..r_i`` (Definition 6).
+    D:
+        ``D[i]`` — semi-optimal cost with ``r_i`` served by the cache on
+        ``s_i`` (Definition 7); ``+inf`` where infeasible.
+    served_by_cache:
+        ``True`` at ``i`` iff ``C[i]`` chose the ``D(i)`` branch of
+        Recurrence (2), i.e. ``r_i`` is served by the local cache.
+    choice_d_tag:
+        For each ``i`` with finite ``D[i]``: :data:`FROM_C` if the boundary
+        case won, :data:`FROM_D` if a pivot ``κ`` won.
+    choice_d_k:
+        The predecessor index: ``p(i)`` when ``choice_d_tag == FROM_C``,
+        the winning pivot ``κ`` when ``FROM_D``; ``-1`` where undefined.
+    solver:
+        Name of the algorithm that produced the result.
+    """
+
+    instance: ProblemInstance
+    C: np.ndarray
+    D: np.ndarray
+    served_by_cache: np.ndarray
+    choice_d_tag: np.ndarray
+    choice_d_k: np.ndarray
+    solver: str = "unknown"
+    _schedule: "Schedule" = field(default=None, repr=False)  # type: ignore[assignment]
+
+    @property
+    def optimal_cost(self) -> float:
+        """``C(n)``: cost of the optimal schedule ``Ψ*(n)``."""
+        return float(self.C[-1])
+
+    @property
+    def lower_bound(self) -> float:
+        """The running bound ``B_n ≤ C(n)`` (Definition 5)."""
+        return self.instance.running_bound()
+
+    def schedule(self) -> "Schedule":
+        """Reconstruct (and cache) the optimal schedule by backtracking."""
+        if self._schedule is None:
+            from .reconstruct import reconstruct_schedule
+
+            self._schedule = reconstruct_schedule(self)
+        return self._schedule
+
+    def agrees_with(self, other: "OfflineResult", rtol: float = 1e-9) -> bool:
+        """True iff both results carry identical cost vectors."""
+        return bool(
+            np.allclose(self.C, other.C, rtol=rtol)
+            and np.allclose(
+                np.where(np.isfinite(self.D), self.D, -1.0),
+                np.where(np.isfinite(other.D), other.D, -1.0),
+                rtol=rtol,
+            )
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"OfflineResult(solver={self.solver!r}, n={self.instance.n}, "
+            f"m={self.instance.num_servers}, C(n)={self.optimal_cost:.6g})"
+        )

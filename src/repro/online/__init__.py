@@ -1,0 +1,61 @@
+"""Online algorithms (paper Section V): SC, its analysis tooling, baselines.
+
+* :class:`SpeculativeCaching` — the 3-competitive SC algorithm
+  (Contribution 2), generalised to the ``TTL(γ·λ/μ)`` family.
+* :func:`double_transfer` — the cost-preserving DT transformation
+  (Definition 10).
+* :mod:`~repro.online.reductions` — V-/H-reductions, Lemma 5/6 checkers
+  and the Theorem-3 verification chain.
+* Baselines: :class:`AlwaysTransfer`, :class:`NeverDelete`,
+  :class:`RandomizedTTL`.
+"""
+
+from .base import OnlineAlgorithm
+from .baselines import AlwaysTransfer, NeverDelete, RandomizedTTL
+from .double_transfer import DoubleTransferResult, double_transfer
+from .horizon import RecedingHorizonPlanner
+from .predictive import (
+    MarkovPredictor,
+    NextUsePredictor,
+    OracleNextRequest,
+    PredictiveCaching,
+)
+from .reductions import (
+    ReductionReport,
+    check_short_windows_cached,
+    check_single_cover_on_big_gaps,
+    gap_cover_matrix,
+    reduced_cost,
+    refined_sigma,
+    short_request_set,
+    verify_theorem3,
+)
+from .speculative import SpeculativeCaching
+from .trusted import NoisyOracle, TrustedPredictionCaching
+from .workfunction import WorkFunctionCaching
+
+__all__ = [
+    "AlwaysTransfer",
+    "DoubleTransferResult",
+    "MarkovPredictor",
+    "NeverDelete",
+    "NoisyOracle",
+    "NextUsePredictor",
+    "OnlineAlgorithm",
+    "OracleNextRequest",
+    "PredictiveCaching",
+    "RandomizedTTL",
+    "RecedingHorizonPlanner",
+    "ReductionReport",
+    "SpeculativeCaching",
+    "TrustedPredictionCaching",
+    "WorkFunctionCaching",
+    "check_short_windows_cached",
+    "check_single_cover_on_big_gaps",
+    "double_transfer",
+    "gap_cover_matrix",
+    "reduced_cost",
+    "refined_sigma",
+    "short_request_set",
+    "verify_theorem3",
+]

@@ -1,0 +1,127 @@
+"""Online baselines bracketing Speculative Caching.
+
+These policies calibrate SC's empirical competitive ratio (benchmark A3):
+
+* :class:`AlwaysTransfer` — a single copy that follows the requests
+  (migration only, never replicate).  Cheap transfers-wise on local runs,
+  pays a transfer for every server switch.
+* :class:`NeverDelete` — replicate on demand and keep every copy forever.
+  Optimal when every server keeps re-requesting, ruinous rent otherwise.
+* :class:`RandomizedTTL` — SC with the window resampled per refresh from
+  the classic randomized ski-rental density ``f(x) ∝ e^{μx/λ}`` on
+  ``[0, λ/μ]``, whose expected rent-vs-buy loss factor is
+  ``e/(e-1) ≈ 1.58`` instead of deterministic TTL's 2 against an
+  oblivious adversary.  Included to probe whether randomisation helps in
+  this richer (multi-server) setting.
+
+All reuse the SC event machinery where sensible so cost accounting is
+identical across policies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from .base import OnlineAlgorithm
+from .speculative import SpeculativeCaching
+
+__all__ = ["AlwaysTransfer", "NeverDelete", "RandomizedTTL"]
+
+
+class AlwaysTransfer(OnlineAlgorithm):
+    """Single-copy migration: the item always sits on the last requester.
+
+    Serving a request on another server transfers the copy there and
+    deletes the source (a *migration*); requests on the current holder are
+    free apart from rent.  This is exactly the migration-only baseline of
+    :func:`repro.schedule.spacetime.migration_only_cost`, realised online
+    — the two are asserted equal in the tests.
+    """
+
+    name = "always-transfer"
+
+    def _setup(self) -> None:
+        self.holder = self.origin
+        self.rec.copy_created(self.origin, self.t0, created_by="initial")
+
+    def advance(self, t: float) -> None:
+        """No internal timers."""
+
+    def serve(self, i: int, t: float, server: int) -> None:
+        if server == self.holder:
+            self.rec.counters["local_hits"] += 1
+            self.rec.copy_refreshed(server, t)
+            return
+        self.rec.transfer(self.holder, server, t)
+        self.rec.copy_deleted(self.holder, t, ended_by="migrate")
+        self.rec.copy_created(server, t, created_by="transfer")
+        self.holder = server
+
+
+class NeverDelete(OnlineAlgorithm):
+    """Replicate on demand, never evict.
+
+    The caching bill grows with (number of touched servers) × time; the
+    policy wins only when inter-request gaps per server stay short
+    relative to ``λ/μ`` forever.
+    """
+
+    name = "never-delete"
+
+    def _setup(self) -> None:
+        self.rec.copy_created(self.origin, self.t0, created_by="initial")
+        self.last_request_server = self.origin
+
+    def advance(self, t: float) -> None:
+        """No internal timers."""
+
+    def serve(self, i: int, t: float, server: int) -> None:
+        if self.rec.holds_copy(server):
+            self.rec.counters["local_hits"] += 1
+            self.rec.copy_refreshed(server, t)
+        else:
+            src = (
+                self.last_request_server
+                if self.rec.holds_copy(self.last_request_server)
+                else self.rec.open_servers()[0]
+            )
+            self.rec.transfer(src, server, t)
+            self.rec.copy_created(server, t, created_by="transfer")
+        self.last_request_server = server
+
+
+class RandomizedTTL(SpeculativeCaching):
+    """SC with ski-rental-randomized speculative windows.
+
+    Each refresh draws its window from the density
+    ``f(x) = (μ/λ) e^{μx/λ} / (e - 1)`` on ``[0, λ/μ]`` via inverse-CDF
+    sampling: ``X = (λ/μ)·ln(1 + U(e-1))``.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed (runs are deterministic given the seed).
+    epoch_size:
+        As in :class:`SpeculativeCaching`.
+    """
+
+    name = "randomized-ttl"
+
+    def __init__(self, seed: Optional[int] = None, epoch_size: Optional[int] = None):
+        super().__init__(window_factor=1.0, epoch_size=epoch_size)
+        self.name = "randomized-ttl"
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def _setup(self) -> None:
+        # Re-seed per run so repeated runs over the same instance agree.
+        self._rng = np.random.default_rng(self._seed)
+        super()._setup()
+
+    def _window(self) -> float:
+        base = self.model.speculative_window
+        u = float(self._rng.random())
+        return base * math.log1p(u * (math.e - 1.0))

@@ -1,0 +1,130 @@
+"""The Double-Transfer (DT) transformation — paper Definition 10.
+
+The competitive proof rewrites an SC run into a cost-identical *DT
+schedule*: every copy-lifetime's speculative tail ``ω ≤ λ`` (the idle
+rent between the copy's last useful instant and its deletion) is removed
+from the caching bill and added onto the weight of the transfer edge that
+created the lifetime (``λ + ω ≤ 2λ``); the initial copy's tail becomes an
+explicit *initial cost* on the origin.  Total cost is preserved exactly —
+``Π(DT) = Π(SC)`` — which :func:`double_transfer` asserts.
+
+The transformed schedule is *request-grid aligned*: every interval
+endpoint is a request instant (or ``t_0``), which is what makes the V-
+and H-reductions of :mod:`repro.online.reductions` well defined on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.instance import ProblemInstance
+from ..core.types import InvalidScheduleError
+from ..schedule.schedule import Schedule
+from ..sim.recorder import OnlineRunResult
+
+__all__ = ["DoubleTransferResult", "double_transfer"]
+
+
+@dataclass
+class DoubleTransferResult:
+    """DT form of an SC run.
+
+    Attributes
+    ----------
+    schedule:
+        Grid-aligned schedule whose transfers carry weights ``λ + ω``.
+    initial_cost:
+        The origin copy's tail ``ω₁¹`` (Definition 10, first bullet).
+    omegas:
+        Per-lifetime tail costs in creation order.
+    total_cost:
+        ``Π(DT) = schedule cost + initial_cost``; equals ``Π(SC)``.
+    """
+
+    schedule: Schedule
+    initial_cost: float
+    omegas: List[float]
+    total_cost: float
+
+
+def double_transfer(
+    run: OnlineRunResult,
+    instance: ProblemInstance,
+    max_window_cost: float = None,  # type: ignore[assignment]
+) -> DoubleTransferResult:
+    """Transform an SC (or TTL-family) run into its DT schedule.
+
+    Parameters
+    ----------
+    run:
+        The online run to transform (must carry its lifetime ledger).
+    instance:
+        The instance the run served (supplies the cost model).
+    max_window_cost:
+        Upper bound each tail must respect; defaults to ``λ`` (the SC
+        window).  Pass ``γ·λ`` when transforming a ``TTL(γ·λ/μ)`` run.
+
+    Returns
+    -------
+    DoubleTransferResult
+
+    Raises
+    ------
+    InvalidScheduleError
+        If a tail exceeds the window bound or the cost identity
+        ``Π(DT) = Π(SC)`` fails — both would falsify the paper's
+        Definition 10 accounting.
+    """
+    model = instance.cost
+    if max_window_cost is None:
+        max_window_cost = model.lam
+    tol = 1e-9 * max(1.0, model.lam)
+
+    sched = Schedule()
+    extra_weight = {}  # transfer index -> accumulated ω
+    omegas: List[float] = []
+    initial_cost = 0.0
+    t_end = float(instance.t[-1])
+
+    for life in run.lifetimes:
+        end = min(life.end if life.end is not None else t_end, t_end)
+        last = min(life.last_refresh, end)
+        omega = model.mu * (end - last)
+        if omega > max_window_cost + tol:
+            raise InvalidScheduleError(
+                f"speculative tail ω={omega:.6g} on server {life.server} "
+                f"exceeds the window cost {max_window_cost:.6g}"
+            )
+        omegas.append(omega)
+        if last > life.start:
+            sched.hold(life.server, life.start, last)
+        elif life.created_by == "transfer":
+            # Zero-length remnant: keep the landing instant for validators.
+            sched.hold(life.server, life.start, life.start)
+        if life.created_by == "initial":
+            initial_cost += omega
+        else:
+            idx = life.transfer_index
+            extra_weight[idx] = extra_weight.get(idx, 0.0) + omega
+
+    for idx, (t, src, dst) in enumerate(run.transfers_raw()):
+        w = model.lam + extra_weight.get(idx, 0.0)
+        if w > 2.0 * max(model.lam, max_window_cost) + tol:
+            raise InvalidScheduleError(
+                f"DT transfer weight {w:.6g} exceeds λ + window bound"
+            )
+        sched.transfer(src, dst, t, weight=w)
+
+    dt = DoubleTransferResult(
+        schedule=sched.canonical(),
+        initial_cost=initial_cost,
+        omegas=omegas,
+        total_cost=sched.total_cost(model) + initial_cost,
+    )
+    if abs(dt.total_cost - run.cost) > 1e-6 * max(1.0, run.cost):
+        raise InvalidScheduleError(
+            f"DT accounting broke: Π(DT)={dt.total_cost!r} vs "
+            f"Π(SC)={run.cost!r}"
+        )
+    return dt

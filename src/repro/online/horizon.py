@@ -1,0 +1,110 @@
+"""Receding-horizon planning — model-predictive control for caching.
+
+:class:`PredictiveCaching` (the keep-or-drop policy class) cannot place
+copies *proactively*; the receding-horizon planner can.  At every
+request it solves the exact subset-state DP over the next ``horizon``
+known requests, starting from its current copy set, executes only the
+first planned step (which copies survive the gap, and how the request is
+served), then re-plans.  This is classic MPC applied to the paper's
+model, made possible by two substrate pieces: the exact solver's
+arbitrary ``initial_holders`` and the Markov-ness of the copy-set state.
+
+Properties (all enforced by tests):
+
+* with ``horizon >= n`` the executed trajectory is *exactly optimal*
+  (principle of optimality: each re-plan is optimal for the true
+  remaining future, so executed-cost-so-far + cost-to-go is invariant);
+* with small horizons it degrades gracefully and remains feasible;
+* per-request planning cost is ``O(horizon · 3^m)`` — this is a
+  semi-online algorithm for small fleets, not a production path for
+  ``m > 10`` (the exact solver's cap applies).
+
+Like the oracle predictors, the planner reads the instance's true future
+(``prescient``); it quantifies the value of *acting* on lookahead rather
+than only *evicting* on it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.instance import ProblemInstance
+from ..offline.exact import solve_exact
+from .base import OnlineAlgorithm
+
+__all__ = ["RecedingHorizonPlanner"]
+
+
+class RecedingHorizonPlanner(OnlineAlgorithm):
+    """Plan over the next ``horizon`` requests; execute one step; repeat.
+
+    Parameters
+    ----------
+    horizon:
+        Number of future requests each plan covers (``None`` = all
+        remaining — the exact-optimal limit).
+    """
+
+    name = "receding-horizon"
+    prescient = True
+
+    def __init__(self, horizon: Optional[int] = None):
+        super().__init__()
+        if horizon is not None and horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        self.horizon = horizon
+        self.name = (
+            "receding-horizon[full]"
+            if horizon is None
+            else f"receding-horizon[{horizon}]"
+        )
+
+    def begin(self, instance: ProblemInstance) -> None:
+        super().begin(instance)
+        self._inst = instance
+
+    def _setup(self) -> None:
+        self._holders: List[int] = [self.origin]
+        self._last_time = self.t0
+        self.rec.copy_created(self.origin, self.t0, created_by="initial")
+
+    def advance(self, t: float) -> None:
+        """All decisions are made at request instants."""
+
+    def serve(self, i: int, t: float, server: int) -> None:
+        inst = self._inst
+        hi = inst.n if self.horizon is None else min(inst.n, i + self.horizon - 1)
+        window = ProblemInstance.from_arrays(
+            inst.t[i : hi + 1],
+            inst.srv[i : hi + 1],
+            num_servers=inst.num_servers,
+            cost=inst.cost,
+            origin=self._holders[0],
+            start_time=self._last_time,
+        )
+        plan = solve_exact(
+            window,
+            build_schedule=False,
+            initial_holders=self._holders,
+        )
+        kept = plan.kept_sets[1]
+        after = plan.states[1]
+
+        # Execute the first planned step: drop at the gap's start ...
+        for h in list(self._holders):
+            if not (kept >> h) & 1:
+                self.rec.copy_deleted(h, self._last_time, ended_by="planned-drop")
+        # ... and serve the request (transfer if the plan replicates).
+        if not (kept >> server) & 1:
+            # Homogeneous transfers: any surviving holder is a valid source.
+            src = next(h for h in range(inst.num_servers) if (kept >> h) & 1)
+            self.rec.transfer(src, server, t)
+            self.rec.copy_created(server, t, created_by="transfer")
+        else:
+            self.rec.counters["local_hits"] += 1
+            self.rec.copy_refreshed(server, t)
+
+        self._holders = [
+            h for h in range(inst.num_servers) if (after >> h) & 1
+        ]
+        self._last_time = t

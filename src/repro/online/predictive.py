@@ -1,0 +1,179 @@
+"""Prediction-augmented online caching.
+
+The paper's Section I argument for off-line algorithms is that mobile
+trajectories are highly predictable.  This module operationalises the
+middle ground the paper leaves open: online algorithms that consume a
+*next-use predictor* and grant each copy an informed window — the SC
+window when the predictor expects reuse inside the rent horizon, zero
+when it does not (the copy dies instantly instead of paying a dead tail).
+
+Two predictor families:
+
+* :class:`MarkovPredictor` — **honest** (uses only observed requests):
+  per-server EWMA of same-server inter-arrival gaps.
+* :class:`OracleNextRequest` — **prescient** (peeks at the instance's
+  true future, optionally truncated to the next ``horizon`` requests).
+  ``PredictiveCaching(OracleNextRequest(horizon=k))`` is exactly a
+  *k-lookahead* semi-online algorithm, bridging SC (``k = 0``) and the
+  full off-line regime; with unlimited horizon it upper-bounds what any
+  predictor can achieve under the keep-or-drop policy class.
+
+The honest variant preserves the online information model (verified by
+the prefix-consistency test); the prescient variants are deliberately
+semi-offline and are labelled as such in benchmark output.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Optional
+
+from ..core.instance import ProblemInstance
+from .speculative import SpeculativeCaching
+
+__all__ = ["NextUsePredictor", "MarkovPredictor", "OracleNextRequest", "PredictiveCaching"]
+
+
+class NextUsePredictor(abc.ABC):
+    """Estimates when a server will next request the item."""
+
+    #: Whether the predictor peeks at the true future.
+    prescient: bool = False
+
+    def begin(self, instance: ProblemInstance) -> None:
+        """Reset for a run.  Honest predictors must ignore the future."""
+
+    @abc.abstractmethod
+    def observe(self, i: int, t: float, server: int) -> None:
+        """Record that request ``r_i = (server, t)`` was served."""
+
+    @abc.abstractmethod
+    def predict_next(self, server: int, now: float) -> float:
+        """Estimated next request instant on ``server`` (``inf`` = never)."""
+
+
+class MarkovPredictor(NextUsePredictor):
+    """Honest per-server recurrence predictor.
+
+    Maintains an exponentially weighted moving average of each server's
+    same-server inter-arrival gap; the next use is predicted at
+    ``last_seen + ewma_gap``.  Servers seen fewer than twice predict
+    ``inf`` (no evidence of recurrence), which makes the algorithm
+    conservative exactly where it knows nothing.
+
+    Parameters
+    ----------
+    alpha:
+        EWMA smoothing factor in ``(0, 1]``; 1 keeps only the last gap.
+    """
+
+    def __init__(self, alpha: float = 0.5):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._last: dict = {}
+        self._gap: dict = {}
+
+    def begin(self, instance: ProblemInstance) -> None:
+        self._last = {instance.origin: float(instance.t[0])}
+        self._gap = {}
+
+    def observe(self, i: int, t: float, server: int) -> None:
+        if server in self._last:
+            gap = t - self._last[server]
+            if server in self._gap:
+                self._gap[server] += self.alpha * (gap - self._gap[server])
+            else:
+                self._gap[server] = gap
+        self._last[server] = t
+
+    def predict_next(self, server: int, now: float) -> float:
+        if server not in self._gap:
+            return math.inf
+        predicted = self._last[server] + self._gap[server]
+        return max(predicted, now)
+
+
+class OracleNextRequest(NextUsePredictor):
+    """Prescient predictor reading the instance's true future.
+
+    Parameters
+    ----------
+    horizon:
+        Lookahead depth in requests: ``predict_next`` only sees the next
+        ``horizon`` requests after the one most recently observed
+        (``None`` = unbounded).  ``horizon = k`` turns the consuming
+        algorithm into a k-lookahead policy.
+    """
+
+    prescient = True
+
+    def __init__(self, horizon: Optional[int] = None):
+        if horizon is not None and horizon < 0:
+            raise ValueError(f"horizon must be >= 0, got {horizon}")
+        self.horizon = horizon
+        self._inst: ProblemInstance = None  # type: ignore[assignment]
+        self._pos = 0
+
+    def begin(self, instance: ProblemInstance) -> None:
+        self._inst = instance
+        self._pos = 0
+
+    def observe(self, i: int, t: float, server: int) -> None:
+        self._pos = i
+
+    def predict_next(self, server: int, now: float) -> float:
+        import numpy as np
+
+        idx = self._inst.requests_on(server)
+        pos = int(np.searchsorted(idx, self._pos, side="right"))
+        if pos >= idx.shape[0]:
+            return math.inf
+        k = int(idx[pos])
+        if self.horizon is not None and k > self._pos + self.horizon:
+            return math.inf
+        return float(self._inst.t[k])
+
+
+class PredictiveCaching(SpeculativeCaching):
+    """SC with prediction-informed copy windows.
+
+    Identical to :class:`SpeculativeCaching` except the window granted at
+    each refresh: the full ``Δt = λ/μ`` when the predictor expects the
+    server's next use within ``Δt``, otherwise **zero** — the copy is
+    dropped immediately, saving the dead-rent tail SC would pay.  The
+    never-drop-the-last-copy machinery is inherited unchanged, so
+    feasibility is preserved even under a predictor that is always wrong.
+
+    The same ``Π(SC) ≤ 3·Π(OPT)`` argument does **not** transfer (a wrong
+    "drop" can force extra transfers); the benchmarks measure where
+    informed windows win and what bad predictions cost.
+    """
+
+    name = "predictive-caching"
+
+    def __init__(self, predictor: NextUsePredictor, epoch_size: Optional[int] = None):
+        super().__init__(window_factor=1.0, epoch_size=epoch_size)
+        self.predictor = predictor
+        if predictor.prescient:
+            horizon = getattr(predictor, "horizon", None)
+            tag = f"lookahead({horizon})" if horizon is not None else "oracle"
+            self.name = f"predictive-caching[{tag}]"
+        else:
+            self.name = "predictive-caching[markov]"
+
+    def begin(self, instance: ProblemInstance) -> None:
+        self.predictor.begin(instance)
+        super().begin(instance)
+
+    def _window_for(self, server: int, now: float) -> float:
+        base = self._window()
+        predicted = self.predictor.predict_next(server, now)
+        return base if predicted - now <= base else 0.0
+
+    def serve(self, i: int, t: float, server: int) -> None:
+        # Observe first so the prediction for this refresh already knows
+        # about the request being served.
+        self.predictor.observe(i, t, server)
+        super().serve(i, t, server)

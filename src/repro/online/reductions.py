@@ -1,0 +1,255 @@
+"""V- and H-reductions and the reduced-cost bookkeeping of Section V.
+
+The competitive proof compares the DT schedule against the off-line
+optimum after stripping *identical* weight from both:
+
+* **V-reduction** (Definition 11): any inter-request gap with
+  ``μ·δt_{i-1,i} > λ`` is charged ``λ`` instead of ``μ·δt`` — legitimate
+  because exactly one server caches across such a gap in either schedule
+  (Lemma 5, checked here as :func:`check_single_cover_on_big_gaps`).
+* **H-reduction** (Definition 12): for every request with
+  ``μσ_i < λ`` (the set ``SR``), the own-server cache
+  ``H(s_i, t_{p(i)}, t_i)`` appears in both schedules (Lemma 6, checked
+  as :func:`check_short_windows_cached`) and its charge is zeroed.
+
+On the reduced instances, ``Π(DT') ≤ 3n'λ`` (Lemma 7) and
+``Π(OPT') ≥ n'λ`` (Lemma 8) with ``n' = |R \\ SR|``, giving the
+3-competitiveness of Theorem 3.  :func:`verify_theorem3` packages the
+whole chain as checkable numbers.
+
+All functions require *request-grid-aligned* schedules (every interval
+endpoint a request instant): the DT transform and the off-line optimum
+both satisfy this; raw SC runs do not (their tails end mid-gap) — pass
+them through :func:`repro.online.double_transfer.double_transfer` first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.types import InvalidScheduleError
+from ..schedule.schedule import Schedule
+
+__all__ = [
+    "short_request_set",
+    "gap_cover_matrix",
+    "check_single_cover_on_big_gaps",
+    "check_short_windows_cached",
+    "reduced_cost",
+    "refined_sigma",
+    "ReductionReport",
+    "verify_theorem3",
+]
+
+_TOL = 1e-9
+
+
+def short_request_set(instance: ProblemInstance) -> List[int]:
+    """``SR = {i : μσ_i < λ}`` — requests with cheap own-server caching."""
+    mu, lam = instance.cost.mu, instance.cost.lam
+    return [
+        i
+        for i in range(1, instance.n + 1)
+        if instance.p[i] >= 0 and mu * float(instance.sigma[i]) < lam
+    ]
+
+
+def _grid_index(instance: ProblemInstance, t: float) -> int:
+    idx = int(np.searchsorted(instance.t, t))
+    for cand in (idx - 1, idx, idx + 1):
+        if 0 <= cand <= instance.n and abs(float(instance.t[cand]) - t) <= _TOL:
+            return cand
+    raise InvalidScheduleError(
+        f"schedule is not request-grid aligned: no request instant at t={t!r}"
+    )
+
+
+def gap_cover_matrix(schedule: Schedule, instance: ProblemInstance) -> np.ndarray:
+    """Boolean ``(m, n)`` matrix: server ``j`` caches across gap ``i``.
+
+    Gap ``i`` (column ``i-1``) is the open interval ``(t_{i-1}, t_i)``; a
+    server covers it iff one of its merged intervals spans the whole gap.
+    Requires grid alignment.
+    """
+    m, n = instance.num_servers, instance.n
+    cov = np.zeros((m, n), dtype=bool)
+    for iv in schedule.canonical().intervals:
+        a = _grid_index(instance, iv.start)
+        b = _grid_index(instance, iv.end)
+        if b > a:
+            cov[iv.server, a:b] = True
+    return cov
+
+
+def _big_gaps(instance: ProblemInstance) -> np.ndarray:
+    mu, lam = instance.cost.mu, instance.cost.lam
+    return mu * np.diff(instance.t) > lam + _TOL
+
+
+def check_single_cover_on_big_gaps(
+    schedule: Schedule, instance: ProblemInstance
+) -> None:
+    """Assert Lemma 5: each gap with ``μδt > λ`` is covered once."""
+    cov = gap_cover_matrix(schedule, instance)
+    counts = cov.sum(axis=0)
+    big = _big_gaps(instance)
+    bad = np.flatnonzero(big & (counts != 1))
+    if bad.size:
+        i = int(bad[0]) + 1
+        raise InvalidScheduleError(
+            f"Lemma 5 violated: gap (t_{i - 1}, t_{i}) with μδt > λ is "
+            f"covered by {int(counts[i - 1])} servers (expected 1)"
+        )
+
+
+def check_short_windows_cached(
+    schedule: Schedule, instance: ProblemInstance
+) -> None:
+    """Assert Lemma 6: every ``i ∈ SR`` has ``H(s_i, t_{p(i)}, t_i)``."""
+    cov = gap_cover_matrix(schedule, instance)
+    for i in short_request_set(instance):
+        s, q = int(instance.srv[i]), int(instance.p[i])
+        if not cov[s, q:i].all():
+            raise InvalidScheduleError(
+                f"Lemma 6 violated: request r_{i} has μσ < λ but its "
+                f"own-server cache H(s{s}, t_{q}, t_{i}) is absent"
+            )
+
+
+def reduced_cost(
+    schedule: Schedule,
+    instance: ProblemInstance,
+    extra: float = 0.0,
+    check_lemmas: bool = True,
+) -> float:
+    """``Π`` of ``schedule`` after the V- and H-reductions.
+
+    Parameters
+    ----------
+    schedule:
+        Grid-aligned schedule (DT or off-line optimal).
+    instance:
+        The served instance.
+    extra:
+        Additional cost outside the schedule atoms (the DT initial cost).
+    check_lemmas:
+        Verify Lemmas 5 and 6 before reducing (they justify subtracting
+        the same weight from both schedules).
+    """
+    if check_lemmas:
+        check_single_cover_on_big_gaps(schedule, instance)
+        check_short_windows_cached(schedule, instance)
+    mu, lam = instance.cost.mu, instance.cost.lam
+    cov = gap_cover_matrix(schedule, instance)
+    gap_w = mu * np.diff(instance.t)  # charge per covering server, per gap
+    # V-reduction: big gaps charge λ (single cover guaranteed above).
+    gap_w = np.minimum(gap_w, lam)
+    charges = cov * gap_w[None, :]
+    # H-reduction: zero the own-server window of every short request.
+    for i in short_request_set(instance):
+        s, q = int(instance.srv[i]), int(instance.p[i])
+        charges[s, q:i] = 0.0
+    caching = float(charges.sum())
+    transfer = schedule.transfer_cost(instance.cost)
+    return caching + transfer + extra
+
+
+def refined_sigma(instance: ProblemInstance) -> np.ndarray:
+    """``μσ'_i`` per Equation (6) / Fig. 10 (indices 1..n; entry 0 is 0).
+
+    For gaps shrunk by the V-reduction (``μδt_{i-1,i} > λ``) the refined
+    window cost subtracts the shrinkage; otherwise it is ``μσ_i``
+    unchanged.  Lemma 8's stepping stone — ``μσ'_i ≥ λ`` for every
+    ``i ∉ SR`` — is a property test in the suite.
+    """
+    mu, lam = instance.cost.mu, instance.cost.lam
+    out = np.zeros(instance.n + 1)
+    dt = np.diff(instance.t)
+    for i in range(1, instance.n + 1):
+        base = mu * float(instance.sigma[i])
+        excess = mu * float(dt[i - 1]) - lam
+        if instance.p[i] >= 0 and excess > _TOL:
+            out[i] = base - excess
+        else:
+            out[i] = base
+    return out
+
+
+@dataclass
+class ReductionReport:
+    """The Theorem-3 chain, evaluated on one instance.
+
+    Attributes
+    ----------
+    sc_cost, opt_cost:
+        Raw ``Π(SC)`` and ``Π(OPT)``.
+    dt_reduced, opt_reduced:
+        ``Π(DT')`` and ``Π(OPT')`` after both reductions.
+    n_prime:
+        ``|R \\ SR|``.
+    lemma7_bound:
+        ``3 n' λ`` (upper bound on ``Π(DT')``).
+    lemma8_bound:
+        ``n' λ`` (lower bound on ``Π(OPT')``).
+    ratio, reduced_ratio:
+        ``Π(SC)/Π(OPT)`` and ``Π(DT')/Π(OPT')``.
+    """
+
+    sc_cost: float
+    opt_cost: float
+    dt_reduced: float
+    opt_reduced: float
+    n_prime: int
+    lemma7_bound: float
+    lemma8_bound: float
+
+    @property
+    def ratio(self) -> float:
+        """Empirical competitive ratio of the run."""
+        return self.sc_cost / self.opt_cost if self.opt_cost > 0 else float("inf")
+
+    @property
+    def reduced_ratio(self) -> float:
+        """Ratio of the reduced schedules (≤ 3 by Lemmas 7+8)."""
+        return (
+            self.dt_reduced / self.opt_reduced
+            if self.opt_reduced > 0
+            else float("inf")
+        )
+
+    def holds(self) -> bool:
+        """True iff every inequality of the Theorem-3 chain holds."""
+        tol = 1e-6 * max(1.0, self.sc_cost)
+        return (
+            self.dt_reduced <= self.lemma7_bound + tol
+            and self.opt_reduced >= self.lemma8_bound - tol
+            and self.sc_cost <= 3.0 * self.opt_cost + tol
+        )
+
+
+def verify_theorem3(instance: ProblemInstance) -> ReductionReport:
+    """Run SC and OPT on ``instance`` and evaluate the Theorem-3 chain."""
+    from ..offline.dp import solve_offline
+    from .double_transfer import double_transfer
+    from .speculative import SpeculativeCaching
+
+    run = SpeculativeCaching().run(instance)
+    dt = double_transfer(run, instance)
+    opt = solve_offline(instance)
+    opt_sched = opt.schedule()
+
+    n_prime = instance.n - len(short_request_set(instance))
+    lam = instance.cost.lam
+    return ReductionReport(
+        sc_cost=run.cost,
+        opt_cost=opt.optimal_cost,
+        dt_reduced=reduced_cost(dt.schedule, instance, extra=dt.initial_cost),
+        opt_reduced=reduced_cost(opt_sched, instance),
+        n_prime=n_prime,
+        lemma7_bound=3.0 * n_prime * lam,
+        lemma8_bound=n_prime * lam,
+    )

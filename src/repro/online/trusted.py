@@ -1,0 +1,138 @@
+"""Caching with untrusted predictions — robustness vs. consistency.
+
+:class:`PredictiveCaching` trusts its predictor absolutely: a wrong
+"no reuse coming" drops the copy and eats a transfer.  The
+algorithms-with-predictions literature (Purohit, Svitkina, Kumar,
+NeurIPS 2018 — ski rental with ML advice) offers the principled fix: a
+trust parameter ``β ∈ (0, 1]`` interpolating between following the
+advice and hedging like the advice-free algorithm.
+
+Applied to the per-copy rent-or-release decision (which *is* ski
+rental: renting costs ``μ`` per unit time, "buying" is the ``λ``
+transfer you will pay when the copy is gone):
+
+* predictor says the next use is **within** the window → grant the
+  *longer* lease ``Δt/β`` (trust it, hold through moderate error);
+* predictor says **no timely reuse** → still grant the *short* lease
+  ``β·Δt`` (don't free-fall on bad advice; SC's never-drop-the-last-copy
+  machinery remains underneath).
+
+``β → 1`` recovers plain SC (both leases become ``Δt``); small ``β``
+follows good advice almost optimally but hedges a bounded amount
+against bad advice.  The benchmarks sweep ``β`` against predictor
+corruption and reproduce the signature robustness-consistency cross.
+
+:class:`NoisyOracle` supplies controllably bad advice: Gaussian timing
+noise plus adversarial sign flips of the keep/drop verdict.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from .predictive import NextUsePredictor, OracleNextRequest
+from .speculative import SpeculativeCaching
+
+__all__ = ["TrustedPredictionCaching", "NoisyOracle"]
+
+
+class NoisyOracle(NextUsePredictor):
+    """The true next-use oracle, corrupted on purpose.
+
+    Parameters
+    ----------
+    noise:
+        Std-dev of Gaussian noise added to predicted instants, in units
+        of the speculative window (applied at prediction time).
+    flip_prob:
+        Probability a prediction's *verdict* is adversarially flipped:
+        a timely next use is reported as never, and vice versa.
+    seed:
+        RNG seed (deterministic per run).
+    """
+
+    prescient = True
+
+    def __init__(
+        self, noise: float = 0.0, flip_prob: float = 0.0, seed: Optional[int] = 0
+    ):
+        if noise < 0:
+            raise ValueError(f"noise must be non-negative, got {noise}")
+        if not 0.0 <= flip_prob <= 1.0:
+            raise ValueError(f"flip_prob must be a probability, got {flip_prob}")
+        self.noise = noise
+        self.flip_prob = flip_prob
+        self._seed = seed
+        self._truth = OracleNextRequest()
+        self._rng = np.random.default_rng(seed)
+        self._window = 1.0
+
+    def begin(self, instance: ProblemInstance) -> None:
+        self._truth.begin(instance)
+        self._rng = np.random.default_rng(self._seed)
+        self._window = instance.cost.speculative_window
+
+    def observe(self, i: int, t: float, server: int) -> None:
+        self._truth.observe(i, t, server)
+
+    def predict_next(self, server: int, now: float) -> float:
+        true_next = self._truth.predict_next(server, now)
+        if self.flip_prob and self._rng.random() < self.flip_prob:
+            # Flip the verdict relative to the rent horizon.
+            if true_next - now <= self._window:
+                return math.inf
+            return now + 0.5 * self._window
+        if self.noise and math.isfinite(true_next):
+            true_next += float(
+                self._rng.normal(0.0, self.noise * self._window)
+            )
+        return max(true_next, now)
+
+
+class TrustedPredictionCaching(SpeculativeCaching):
+    """SC with β-hedged predicted windows (ski rental with advice).
+
+    Parameters
+    ----------
+    predictor:
+        Any :class:`~repro.online.predictive.NextUsePredictor`.
+    beta:
+        Trust parameter in ``(0, 1]``; ``1`` is plain SC, smaller values
+        follow the advice harder while keeping a hedge.
+    epoch_size:
+        As in :class:`SpeculativeCaching`.
+    """
+
+    name = "trusted-prediction"
+
+    def __init__(
+        self,
+        predictor: NextUsePredictor,
+        beta: float = 0.5,
+        epoch_size: Optional[int] = None,
+    ):
+        super().__init__(window_factor=1.0, epoch_size=epoch_size)
+        if not 0.0 < beta <= 1.0:
+            raise ValueError(f"beta must be in (0, 1], got {beta}")
+        self.predictor = predictor
+        self.beta = beta
+        self.name = f"trusted-prediction[beta={beta:g}]"
+
+    def begin(self, instance: ProblemInstance) -> None:
+        self.predictor.begin(instance)
+        super().begin(instance)
+
+    def _window_for(self, server: int, now: float) -> float:
+        base = self._window()
+        predicted = self.predictor.predict_next(server, now)
+        if predicted - now <= base:
+            return base / self.beta  # trust: hold through timing error
+        return base * self.beta  # distrust: hedge, don't free-fall
+
+    def serve(self, i: int, t: float, server: int) -> None:
+        self.predictor.observe(i, t, server)
+        super().serve(i, t, server)

@@ -1,0 +1,127 @@
+"""The paper's worked examples as first-class, importable fixtures.
+
+The paper's "evaluation" consists of worked examples whose numbers can be
+checked exactly; this module pins them down once so tests, benchmarks and
+EXPERIMENTS.md all reference the same instances.
+
+* :func:`fig6_instance` — the running example of Figs. 5/6 (m=4, origin
+  ``s^1``, μ=λ=1).  The request sequence is reconstructed from the
+  worked arithmetic in Section IV (the figure itself prints ``n = 8``
+  including the boundary request ``r_0``; the text's computations cover
+  ``r_1..r_7`` and every derived number below is stated explicitly in
+  the text).  Expected values: :data:`FIG6_EXPECTED`.
+* :func:`fig7_instance` — an SC epoch with exactly 5 transfers in the
+  shape of Fig. 7 (the paper draws, but does not tabulate, its sequence;
+  this instance exercises every rule of the SC state machine: window
+  hits, transfer+source refresh, paired expirations, lone-copy extension
+  and the epoch reset).
+* :func:`fig2_instance` — a standard-form example whose *optimal* cost
+  decomposes exactly as Fig. 2's caption: caching ``3.2μ`` and transfer
+  ``4λ`` at ``μ = λ = 1`` (total 7.2).  Fig. 2's own request sequence is
+  not printed in the paper; this instance reproduces the caption's
+  numbers and structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .core.instance import ProblemInstance
+from .core.types import CostModel
+
+__all__ = [
+    "FIG6_REQUESTS",
+    "FIG6_EXPECTED",
+    "FIG7_REQUESTS",
+    "FIG2_REQUESTS",
+    "FIG2_EXPECTED",
+    "fig6_instance",
+    "fig7_instance",
+    "fig2_instance",
+]
+
+#: Figs. 5/6 request vector ``(time, server)`` — servers 0-based
+#: (paper's ``s^1`` is server 0).  Derived step by step from the text:
+#: ``C(1) = C(0) + 1 + 0.5``   → t₁ = 0.5 on a fresh server (s^2)
+#: ``C(2) = C(1) + 0.3 + 1``   → t₂ = 0.8 on s^3
+#: ``C(3) = C(2) + 0.3 + 1``   → t₃ = 1.1 on s^4
+#: ``D(4) = C(0) + 1.4 + 3-0`` → t₄ = 1.4 back on s^1 (σ₄ = 1.4, p(4)=0)
+#: ``D(5) = 4.4 + 2.1 + 4-4``  → t₅ = 2.6 on s^2 (pivot κ = 4)
+#: ``b₆ = 0.6``                → t₆ = 3.2 on s^2 (σ₆ = 0.6)
+#: ``D(7): μσ₇ = 3.2, p(7)=2`` → t₇ = 4.0 on s^3
+#: and Fig. 5's cache intervals [0, 1.4] on s^1, [0.5, 2.6] on s^2
+#: confirm the reconstruction.
+FIG6_REQUESTS: List[Tuple[float, int]] = [
+    (0.5, 1),
+    (0.8, 2),
+    (1.1, 3),
+    (1.4, 0),
+    (2.6, 1),
+    (3.2, 1),
+    (4.0, 2),
+]
+
+#: Every number the text states for the running example.
+FIG6_EXPECTED: Dict[str, object] = {
+    "C": [0.0, 1.5, 2.8, 4.1, 4.4, 6.5, 7.1, 8.9],
+    "D_finite": {4: 4.4, 5: 6.5, 6: 7.1, 7: 9.2},
+    "b": [0.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.6, 1.0],
+    "B": [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 5.6, 6.6],
+    "D7_candidates": [9.6, 9.2, 10.3, 10.3],  # paper prints 10.03 (typo)
+    "optimal_cost": 8.9,
+    "pivot_intervals_at_t_p7": {0: (0.0, 1.4), 1: (0.5, 2.6)},
+}
+
+
+def fig6_instance() -> ProblemInstance:
+    """The Figs. 5/6 running example (m=4, μ=λ=1, origin 0)."""
+    return ProblemInstance(
+        FIG6_REQUESTS, num_servers=4, cost=CostModel(mu=1.0, lam=1.0), origin=0
+    )
+
+
+#: A single SC epoch with 5 transfers (Fig. 7's shape), μ=λ=1 (Δt = 1).
+#: Walkthrough: r₁ misses (transfer 1); r₂ hits s1's window; r₃ and r₄
+#: miss (transfers 2, 3); the long gap to r₅ expires everything except
+#: the lone survivor on s3, which extends twice before sourcing
+#: transfer 4; r₆ misses (transfer 5) and completes the epoch.
+FIG7_REQUESTS: List[Tuple[float, int]] = [
+    (0.5, 1),
+    (1.0, 1),
+    (1.3, 2),
+    (1.6, 3),
+    (4.0, 0),
+    (4.5, 1),
+]
+
+
+def fig7_instance() -> ProblemInstance:
+    """A 5-transfer SC epoch in the shape of Fig. 7 (m=4, μ=λ=1)."""
+    return ProblemInstance(
+        FIG7_REQUESTS, num_servers=4, cost=CostModel(mu=1.0, lam=1.0), origin=0
+    )
+
+
+#: Standard-form example reproducing Fig. 2's caption arithmetic:
+#: optimal = 3.2 caching + 4.0 transfer = 7.2 at μ = λ = 1 (m = 3).
+FIG2_REQUESTS: List[Tuple[float, int]] = [
+    (1.4, 2),
+    (1.6, 1),
+    (2.2, 1),
+    (2.8, 2),
+    (3.0, 0),
+    (3.2, 1),
+]
+
+FIG2_EXPECTED: Dict[str, float] = {
+    "caching_cost": 3.2,
+    "transfer_cost": 4.0,
+    "optimal_cost": 7.2,
+}
+
+
+def fig2_instance() -> ProblemInstance:
+    """Instance whose optimum decomposes per Fig. 2's caption (7.2 total)."""
+    return ProblemInstance(
+        FIG2_REQUESTS, num_servers=3, cost=CostModel(mu=1.0, lam=1.0), origin=0
+    )

@@ -1,0 +1,92 @@
+"""ASCII space-time diagrams in the style of the paper's Figs. 2, 6 and 7.
+
+Each server gets one text row; time runs left to right.  Cache intervals
+render as ``=`` runs, requests as ``*``, transfer arrivals as ``v`` and
+transfer departures as ``^``.  A legend lists the exact transfer instants
+because column quantisation loses precision.
+
+These diagrams are used by the examples and by benchmark output so a human
+can eyeball a schedule the way the paper's figures are read.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.instance import ProblemInstance
+from .schedule import Schedule
+
+__all__ = ["render_schedule", "render_instance"]
+
+
+def _column(t: float, t0: float, tn: float, width: int) -> int:
+    if tn <= t0:
+        return 0
+    frac = (t - t0) / (tn - t0)
+    return min(width - 1, max(0, int(round(frac * (width - 1)))))
+
+
+def render_instance(instance: ProblemInstance, width: int = 72) -> str:
+    """Render just the request pattern of an instance (no schedule)."""
+    return render_schedule(Schedule(), instance, width=width, legend=False)
+
+
+def render_schedule(
+    schedule: Schedule,
+    instance: ProblemInstance,
+    width: int = 72,
+    legend: bool = True,
+    title: Optional[str] = None,
+) -> str:
+    """Render ``schedule`` over ``instance`` as a multi-line string.
+
+    Parameters
+    ----------
+    schedule:
+        The schedule to draw (may be empty to show only requests).
+    instance:
+        Supplies the time axis, server count and request marks.
+    width:
+        Number of character columns for the time axis.
+    legend:
+        Append exact transfer/interval listings below the grid.
+    title:
+        Optional heading line.
+    """
+    t0, tn = float(instance.t[0]), float(instance.t[-1])
+    m = instance.num_servers
+    canon = schedule.canonical()
+
+    grid: List[List[str]] = [[" "] * width for _ in range(m)]
+
+    for iv in canon.intervals:
+        c0 = _column(iv.start, t0, tn, width)
+        c1 = _column(iv.end, t0, tn, width)
+        for c in range(c0, c1 + 1):
+            grid[iv.server][c] = "="
+
+    for tr in canon.transfers:
+        c = _column(tr.time, t0, tn, width)
+        grid[tr.src][c] = "^"
+        grid[tr.dst][c] = "v"
+
+    for i in range(0, instance.n + 1):
+        c = _column(float(instance.t[i]), t0, tn, width)
+        grid[int(instance.srv[i])][c] = "*" if i else "O"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_w = len(f"s{m - 1}")
+    for j in range(m):
+        lines.append(f"s{j}".rjust(label_w) + " |" + "".join(grid[j]))
+    axis = " " * label_w + " +" + "-" * width
+    lines.append(axis)
+    lines.append(
+        " " * label_w + f"  t0={t0:.4g}" + f"tn={tn:.4g}".rjust(width - 8)
+    )
+    if legend and len(canon):
+        lines.append("legend: O=origin  *=request  ==cache  v=transfer in  ^=out")
+        for tr in canon.transfers:
+            lines.append(f"  Tr(s{tr.src} -> s{tr.dst}) at t={tr.time:.6g}")
+    return "\n".join(lines)

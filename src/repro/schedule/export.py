@@ -1,0 +1,117 @@
+"""Schedule serialisation: JSON-able dicts and Graphviz DOT.
+
+Provisioning systems downstream of the solver need schedules in a
+machine-readable form; humans debugging them want the space-time tree.
+Round-tripping through :func:`schedule_to_dict` / :func:`schedule_from_dict`
+is lossless (asserted by tests), and :func:`schedule_to_dot` emits the
+Definition-2 tree for ``dot -Tsvg``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from ..core.instance import ProblemInstance
+from ..core.types import CacheInterval, InvalidScheduleError, Transfer
+from .schedule import Schedule
+
+__all__ = [
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "schedule_to_json",
+    "schedule_from_json",
+    "schedule_to_dot",
+]
+
+_FORMAT_VERSION = 1
+
+
+def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:
+    """Canonical schedule as a plain JSON-able dict."""
+    canon = schedule.canonical()
+    return {
+        "version": _FORMAT_VERSION,
+        "intervals": [
+            {"server": iv.server, "start": iv.start, "end": iv.end}
+            for iv in canon.intervals
+        ],
+        "transfers": [
+            {
+                "time": tr.time,
+                "src": tr.src,
+                "dst": tr.dst,
+                **({"weight": tr.weight} if tr.weight is not None else {}),
+            }
+            for tr in canon.transfers
+        ],
+    }
+
+
+def schedule_from_dict(data: Dict[str, Any]) -> Schedule:
+    """Rebuild a schedule from :func:`schedule_to_dict` output."""
+    version = data.get("version")
+    if version != _FORMAT_VERSION:
+        raise InvalidScheduleError(
+            f"unsupported schedule format version {version!r}"
+        )
+    try:
+        intervals = [
+            CacheInterval(int(d["server"]), float(d["start"]), float(d["end"]))
+            for d in data["intervals"]
+        ]
+        transfers = [
+            Transfer(
+                float(d["time"]),
+                int(d["src"]),
+                int(d["dst"]),
+                float(d["weight"]) if "weight" in d else None,
+            )
+            for d in data["transfers"]
+        ]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InvalidScheduleError(f"malformed schedule payload: {exc}") from exc
+    return Schedule(intervals, transfers)
+
+
+def schedule_to_json(schedule: Schedule, indent: Optional[int] = None) -> str:
+    """JSON text form of :func:`schedule_to_dict`."""
+    return json.dumps(schedule_to_dict(schedule), indent=indent, sort_keys=True)
+
+
+def schedule_from_json(text: str) -> Schedule:
+    """Inverse of :func:`schedule_to_json`."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise InvalidScheduleError(f"invalid schedule JSON: {exc}") from exc
+    return schedule_from_dict(data)
+
+
+def schedule_to_dot(
+    schedule: Schedule,
+    instance: ProblemInstance,
+    title: str = "schedule",
+) -> str:
+    """Graphviz DOT of the schedule's space-time tree.
+
+    Nodes are ``(server, request column)`` points the schedule touches;
+    solid edges are cache intervals (labelled with their ``μ``-cost),
+    dashed edges are transfers (labelled ``λ`` or their DT weight).
+    """
+    from .spacetime import schedule_to_edges
+
+    lines = [f'digraph "{title}" {{', "  rankdir=LR;", "  node [shape=point];"]
+    model = instance.cost
+    for u, v in schedule_to_edges(schedule, instance):
+        (su, iu), (sv, iv_) = u, v
+        if su == sv:
+            w = model.mu * (float(instance.t[iv_]) - float(instance.t[iu]))
+            style = f'[label="{w:.3g}"]'
+        else:
+            style = f'[style=dashed, label="{model.lam:.3g}"]'
+        lines.append(f'  "s{su}@{iu}" -> "s{sv}@{iv_}" {style};')
+    root = f"s{instance.origin}@0"
+    lines.append(f'  "{root}" [shape=circle, label="origin", width=0.2];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,200 @@
+"""Schedule containers: sets of cache intervals and transfers.
+
+A *schedule* (Definition 1 of the paper) is a set of cache intervals
+``H(s, x, y)`` and transfers ``Tr(s_j, s_k, t)`` that serves a request
+sequence.  :class:`Schedule` is a mutable builder used by the off-line
+reconstruction and the online engines; :meth:`Schedule.canonical` returns
+the merged, per-server-sorted form on which costs are charged (merging
+guarantees overlapping intervals on one server are never double-billed).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.types import CacheInterval, CostModel, InvalidScheduleError, Transfer
+
+__all__ = ["Schedule", "merge_intervals"]
+
+
+def merge_intervals(intervals: Iterable[CacheInterval]) -> List[CacheInterval]:
+    """Merge overlapping / touching intervals per server.
+
+    Returns a list sorted by ``(server, start)`` where no two intervals on
+    the same server overlap or touch.  Zero-length intervals swallowed by a
+    neighbour disappear; isolated zero-length intervals survive (they model
+    a copy that exists only at a single request instant, e.g. a transferred
+    copy deleted immediately after use — the red squares of paper Fig. 1).
+    """
+    out: List[CacheInterval] = []
+    for iv in sorted(intervals):
+        if out and out[-1].server == iv.server and iv.start <= out[-1].end:
+            if iv.end > out[-1].end:
+                out[-1] = CacheInterval(iv.server, out[-1].start, iv.end)
+        else:
+            out.append(iv)
+    return out
+
+
+class Schedule:
+    """A set of cache intervals and transfers with cost accounting.
+
+    Parameters
+    ----------
+    intervals, transfers:
+        Optional initial contents.
+
+    Notes
+    -----
+    The container is deliberately dumb: feasibility w.r.t. an instance is
+    the job of :func:`repro.schedule.validate.validate_schedule`, and
+    optimality the job of the solvers.  Costs are charged on the canonical
+    (merged) form so a builder may freely add overlapping fragments.
+    """
+
+    def __init__(
+        self,
+        intervals: Optional[Iterable[CacheInterval]] = None,
+        transfers: Optional[Iterable[Transfer]] = None,
+    ):
+        self.intervals: List[CacheInterval] = list(intervals or [])
+        self.transfers: List[Transfer] = list(transfers or [])
+
+    # -- builder API ----------------------------------------------------------
+
+    def hold(self, server: int, start: float, end: float) -> "Schedule":
+        """Add cache interval ``H(server, start, end)``; returns self."""
+        self.intervals.append(CacheInterval(server, start, end))
+        return self
+
+    def transfer(
+        self, src: int, dst: int, time: float, weight: Optional[float] = None
+    ) -> "Schedule":
+        """Add transfer ``Tr(src, dst, time)``; returns self."""
+        self.transfers.append(Transfer(time, src, dst, weight))
+        return self
+
+    def extend(self, other: "Schedule") -> "Schedule":
+        """Absorb another schedule's intervals and transfers; returns self."""
+        self.intervals.extend(other.intervals)
+        self.transfers.extend(other.transfers)
+        return self
+
+    def copy(self) -> "Schedule":
+        """Shallow copy (atoms are immutable)."""
+        return Schedule(self.intervals, self.transfers)
+
+    # -- canonical form ---------------------------------------------------------
+
+    def canonical(self) -> "Schedule":
+        """Merged, sorted, cost-equivalent form of this schedule."""
+        return Schedule(merge_intervals(self.intervals), sorted(self.transfers))
+
+    def intervals_on(self, server: int) -> List[CacheInterval]:
+        """Merged intervals on ``server``, sorted by start."""
+        return [iv for iv in merge_intervals(self.intervals) if iv.server == server]
+
+    def per_server(self) -> Dict[int, List[CacheInterval]]:
+        """Merged intervals grouped by server."""
+        grouped: Dict[int, List[CacheInterval]] = {}
+        for iv in merge_intervals(self.intervals):
+            grouped.setdefault(iv.server, []).append(iv)
+        return grouped
+
+    # -- queries ----------------------------------------------------------------
+
+    def servers_with_copy_at(self, t: float) -> List[int]:
+        """Servers holding a live copy at instant ``t`` (closed intervals)."""
+        return sorted(
+            {iv.server for iv in merge_intervals(self.intervals) if iv.covers(t)}
+        )
+
+    def copy_count_at(self, t: float) -> int:
+        """Number of live copies at instant ``t``."""
+        return len(self.servers_with_copy_at(t))
+
+    def covers(self, server: int, t: float) -> bool:
+        """True iff ``server`` holds a live copy at instant ``t``."""
+        ivs = self.intervals_on(server)
+        pos = bisect.bisect_right([iv.start for iv in ivs], t) - 1
+        return pos >= 0 and ivs[pos].covers(t)
+
+    def span(self) -> Tuple[float, float]:
+        """Earliest interval start and latest interval end."""
+        if not self.intervals:
+            raise InvalidScheduleError("empty schedule has no span")
+        return (
+            min(iv.start for iv in self.intervals),
+            max(iv.end for iv in self.intervals),
+        )
+
+    # -- costs --------------------------------------------------------------------
+
+    def caching_cost(self, model: CostModel) -> float:
+        """``μ ×`` total merged copy-time."""
+        return model.mu * sum(iv.duration for iv in merge_intervals(self.intervals))
+
+    def transfer_cost(self, model: CostModel) -> float:
+        """Sum of transfer charges (DT weights where present, else ``λ``)."""
+        return sum(tr.cost(model) for tr in self.transfers)
+
+    def total_cost(self, model: CostModel) -> float:
+        """``Π(Ψ)``: caching plus transfer cost of the canonical form."""
+        return self.caching_cost(model) + self.transfer_cost(model)
+
+    # -- misc -----------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.intervals) + len(self.transfers)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        a, b = self.canonical(), other.canonical()
+        return a.intervals == b.intervals and a.transfers == b.transfers
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule({len(self.intervals)} intervals, "
+            f"{len(self.transfers)} transfers)"
+        )
+
+    def describe(self, model: Optional[CostModel] = None) -> str:
+        """Human-readable multi-line listing (sorted, merged)."""
+        c = self.canonical()
+        lines = [repr(self)]
+        for iv in c.intervals:
+            lines.append(f"  H(s{iv.server}, {iv.start:.4g}, {iv.end:.4g})")
+        for tr in c.transfers:
+            w = "" if tr.weight is None else f", w={tr.weight:.4g}"
+            lines.append(f"  Tr(s{tr.src} -> s{tr.dst}, t={tr.time:.4g}{w})")
+        if model is not None:
+            lines.append(
+                f"  cost = {c.caching_cost(model):.6g} caching "
+                f"+ {c.transfer_cost(model):.6g} transfer "
+                f"= {c.total_cost(model):.6g}"
+            )
+        return "\n".join(lines)
+
+
+def coverage_gaps(
+    intervals: Sequence[CacheInterval], start: float, end: float
+) -> List[Tuple[float, float]]:
+    """Sub-intervals of ``[start, end]`` not covered by any interval.
+
+    Used by the validator for condition 1 of the problem statement (at
+    least one live copy at every instant of the horizon).
+    """
+    spans = sorted((iv.start, iv.end) for iv in intervals)
+    gaps: List[Tuple[float, float]] = []
+    cursor = start
+    for s, e in spans:
+        if s > cursor:
+            gaps.append((cursor, min(s, end)))
+        cursor = max(cursor, e)
+        if cursor >= end:
+            break
+    if cursor < end:
+        gaps.append((cursor, end))
+    return [(a, b) for a, b in gaps if b > a]

@@ -1,0 +1,153 @@
+"""SVG space-time diagrams — the paper's figures as graphics.
+
+Dependency-free SVG writer rendering a schedule the way the paper draws
+its space-time diagrams (Figs. 2, 6, 7): one horizontal lane per server,
+thick bars for cache intervals, vertical arrows for transfers, dots for
+requests, a ring for the origin.  Output is a standalone ``.svg`` any
+browser renders; the test-suite checks the XML structurally.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import List, Optional
+
+from ..core.instance import ProblemInstance
+from .schedule import Schedule
+
+__all__ = ["render_svg", "write_svg"]
+
+# Palette chosen for print/projector contrast.
+_BAR = "#2c7fb8"
+_BAR_EDGE = "#1d5d8a"
+_TRANSFER = "#d95f0e"
+_REQUEST = "#222222"
+_GRID = "#cccccc"
+_TEXT = "#333333"
+
+
+def render_svg(
+    schedule: Schedule,
+    instance: ProblemInstance,
+    width: int = 800,
+    lane_height: int = 44,
+    margin: int = 56,
+    title: Optional[str] = None,
+) -> str:
+    """Render ``schedule`` over ``instance`` as an SVG document string.
+
+    Parameters
+    ----------
+    width:
+        Total image width in pixels.
+    lane_height:
+        Vertical space per server lane.
+    margin:
+        Left margin for lane labels / top margin for the title.
+    title:
+        Optional heading; defaults to the instance summary.
+    """
+    m = instance.num_servers
+    t0, tn = float(instance.t[0]), float(instance.t[-1])
+    span = max(tn - t0, 1e-9)
+    plot_w = width - margin - 16
+    height = margin // 2 + m * lane_height + 40
+
+    def x(t: float) -> float:
+        return margin + (t - t0) / span * plot_w
+
+    def y(server: int) -> float:
+        return margin // 2 + server * lane_height + lane_height / 2
+
+    canon = schedule.canonical()
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    heading = title if title is not None else html.escape(repr(instance))
+    parts.append(
+        f'<text x="{margin}" y="16" font-size="13" fill="{_TEXT}" '
+        f'font-family="sans-serif">{html.escape(heading)}</text>'
+    )
+
+    # Lanes and labels.
+    for j in range(m):
+        yy = y(j)
+        parts.append(
+            f'<line x1="{margin}" y1="{yy:.1f}" x2="{margin + plot_w}" '
+            f'y2="{yy:.1f}" stroke="{_GRID}" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="8" y="{yy + 4:.1f}" font-size="12" fill="{_TEXT}" '
+            f'font-family="monospace">s{j}</text>'
+        )
+
+    # Cache intervals.
+    for iv in canon.intervals:
+        x0, x1 = x(iv.start), x(iv.end)
+        yy = y(iv.server)
+        parts.append(
+            f'<rect class="cache" x="{x0:.1f}" y="{yy - 6:.1f}" '
+            f'width="{max(x1 - x0, 2.0):.1f}" height="12" rx="3" '
+            f'fill="{_BAR}" stroke="{_BAR_EDGE}"/>'
+        )
+
+    # Transfers (arrows between lanes at one instant).
+    for tr in canon.transfers:
+        xx = x(tr.time)
+        y1, y2 = y(tr.src), y(tr.dst)
+        tip = 5 if y2 > y1 else -5
+        parts.append(
+            f'<line class="transfer" x1="{xx:.1f}" y1="{y1:.1f}" '
+            f'x2="{xx:.1f}" y2="{y2 - tip:.1f}" stroke="{_TRANSFER}" '
+            f'stroke-width="1.6" stroke-dasharray="4 2"/>'
+        )
+        parts.append(
+            f'<path d="M {xx - 4:.1f} {y2 - tip:.1f} L {xx + 4:.1f} '
+            f'{y2 - tip:.1f} L {xx:.1f} {y2:.1f} Z" fill="{_TRANSFER}"/>'
+        )
+
+    # Requests and the origin marker.
+    parts.append(
+        f'<circle class="origin" cx="{x(t0):.1f}" cy="{y(instance.origin):.1f}" '
+        f'r="7" fill="none" stroke="{_REQUEST}" stroke-width="1.6"/>'
+    )
+    for i in range(1, instance.n + 1):
+        parts.append(
+            f'<circle class="request" cx="{x(float(instance.t[i])):.1f}" '
+            f'cy="{y(int(instance.srv[i])):.1f}" r="3.4" fill="{_REQUEST}"/>'
+        )
+
+    # Time axis.
+    axis_y = margin // 2 + m * lane_height + 14
+    parts.append(
+        f'<line x1="{margin}" y1="{axis_y}" x2="{margin + plot_w}" '
+        f'y2="{axis_y}" stroke="{_TEXT}" stroke-width="1"/>'
+    )
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        tt = t0 + frac * span
+        xx = x(tt)
+        parts.append(
+            f'<line x1="{xx:.1f}" y1="{axis_y - 3}" x2="{xx:.1f}" '
+            f'y2="{axis_y + 3}" stroke="{_TEXT}"/>'
+        )
+        parts.append(
+            f'<text x="{xx:.1f}" y="{axis_y + 16}" font-size="10" '
+            f'fill="{_TEXT}" text-anchor="middle" '
+            f'font-family="monospace">{tt:.3g}</text>'
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_svg(
+    schedule: Schedule,
+    instance: ProblemInstance,
+    path: str,
+    **kwargs,
+) -> None:
+    """Render and write an SVG file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_svg(schedule, instance, **kwargs))

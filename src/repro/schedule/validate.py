@@ -1,0 +1,241 @@
+"""Feasibility validation of schedules against problem instances.
+
+Checks the three schedule obligations of Section III plus structural
+sanity:
+
+1. **Coverage** — at least one live copy at every instant of
+   ``[t_0, t_n]``.
+2. **Service** — every request is served by a local copy or by a transfer
+   arriving exactly at its request time from a server that holds a copy.
+3. **Chain of custody** — every (merged) cache interval is *grounded*:
+   it either begins at ``(origin, t_0)`` or begins at the arrival time of a
+   transfer whose source is itself grounded at that instant.  This rules
+   out schedules that conjure copies out of thin air, including cyclic
+   same-instant transfer chains.
+
+Optionally, **standard form** (Observation 1: transfers end on requests)
+and **minimality** (no dead-end caches) can be enforced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.instance import ProblemInstance
+from ..core.types import CacheInterval, InvalidScheduleError, Transfer
+from .schedule import Schedule, coverage_gaps
+
+__all__ = ["validate_schedule", "is_standard_form"]
+
+#: Absolute tolerance for time comparisons.  Schedules are built from the
+#: same float64 time stamps as the instance, so matches are normally exact;
+#: the tolerance only absorbs benign round-off from cost arithmetic.
+_TOL = 1e-9
+
+
+def _near(a: float, b: float) -> bool:
+    return abs(a - b) <= _TOL * max(1.0, abs(a), abs(b))
+
+
+def validate_schedule(
+    schedule: Schedule,
+    instance: ProblemInstance,
+    require_standard_form: bool = False,
+    require_minimal: bool = False,
+) -> None:
+    """Raise :class:`InvalidScheduleError` unless ``schedule`` is feasible.
+
+    Parameters
+    ----------
+    schedule:
+        The candidate schedule (any builder form; validated canonically).
+    instance:
+        The instance whose requests must be served.
+    require_standard_form:
+        Also require every transfer to end on a request (Observation 1).
+    require_minimal:
+        Also require no dead-end caches: each merged interval must end at a
+        request on its server, at an outgoing-transfer instant, or at
+        ``t_n``.
+    """
+    canon = schedule.canonical()
+    intervals = canon.intervals
+    transfers = canon.transfers
+    t0, tn = float(instance.t[0]), float(instance.t[-1])
+
+    _check_bounds(intervals, transfers, instance)
+    _check_coverage(intervals, t0, tn)
+    grounded = _check_custody(intervals, transfers, instance)
+    _check_service(canon, instance, grounded)
+    if require_standard_form and not is_standard_form(canon, instance):
+        raise InvalidScheduleError("schedule is not in standard form")
+    if require_minimal:
+        _check_minimal(intervals, transfers, instance)
+
+
+def _check_bounds(
+    intervals: List[CacheInterval],
+    transfers: List[Transfer],
+    instance: ProblemInstance,
+) -> None:
+    m = instance.num_servers
+    for iv in intervals:
+        if iv.server >= m:
+            raise InvalidScheduleError(f"interval on unknown server {iv.server}")
+    for tr in transfers:
+        if tr.src >= m or tr.dst >= m:
+            raise InvalidScheduleError(f"transfer touches unknown server: {tr}")
+
+
+def _check_coverage(intervals: List[CacheInterval], t0: float, tn: float) -> None:
+    gaps = coverage_gaps(intervals, t0, tn)
+    real = [(a, b) for a, b in gaps if b - a > _TOL]
+    if real:
+        raise InvalidScheduleError(
+            f"no live copy during {real[:3]}{'...' if len(real) > 3 else ''}"
+        )
+
+
+def _check_custody(
+    intervals: List[CacheInterval],
+    transfers: List[Transfer],
+    instance: ProblemInstance,
+) -> Dict[Tuple[int, float], CacheInterval]:
+    """Ground every interval; returns map ``(server, start) -> interval``.
+
+    Grounding fixpoint: the origin interval starting at ``t_0`` is
+    grounded; a transfer grounds its destination interval if its source
+    holds a *grounded* interval covering the transfer instant.  Transfers
+    are replayed in time order, iterating same-instant groups to a
+    fixpoint so chains ``A->B->C`` at one instant pass but cycles fail.
+    """
+    per_server: Dict[int, List[CacheInterval]] = {}
+    for iv in intervals:
+        per_server.setdefault(iv.server, []).append(iv)
+
+    grounded: Dict[Tuple[int, float], CacheInterval] = {}
+
+    def find_interval_at(server: int, t: float):
+        for iv in per_server.get(server, []):
+            if iv.start - _TOL <= t <= iv.end + _TOL:
+                return iv
+        # No interval: the transferred copy was used at instant t and
+        # deleted immediately (the red squares of paper Fig. 1).  Legal.
+        return None
+
+    def is_grounded_at(server: int, t: float) -> bool:
+        for (_, _), iv in list(grounded.items()):
+            if iv.server == server and iv.start - _TOL <= t <= iv.end + _TOL:
+                return True
+        return False
+
+    # Seed: origin interval starting at t_0.
+    t0 = float(instance.t[0])
+    seeded = False
+    for iv in per_server.get(instance.origin, []):
+        if _near(iv.start, t0):
+            grounded[(iv.server, iv.start)] = iv
+            seeded = True
+    if not seeded and intervals:
+        raise InvalidScheduleError(
+            f"no interval on origin server {instance.origin} starting at t_0={t0}"
+        )
+
+    # Replay transfers in time order with same-instant fixpoint.
+    remaining = sorted(transfers, key=lambda tr: tr.time)
+    i = 0
+    while i < len(remaining):
+        j = i
+        while j < len(remaining) and _near(remaining[j].time, remaining[i].time):
+            j += 1
+        group = remaining[i:j]
+        pending = list(group)
+        progress = True
+        while pending and progress:
+            progress = False
+            for tr in list(pending):
+                if is_grounded_at(tr.src, tr.time):
+                    dst_iv = find_interval_at(tr.dst, tr.time)
+                    if dst_iv is not None:
+                        grounded[(dst_iv.server, dst_iv.start)] = dst_iv
+                    pending.remove(tr)
+                    progress = True
+        if pending:
+            raise InvalidScheduleError(
+                f"ungrounded transfers (source has no grounded copy): {pending[:3]}"
+            )
+        i = j
+
+    for iv in intervals:
+        if (iv.server, iv.start) not in grounded:
+            # An interval may also be grounded by *containing* a grounded
+            # start: merging already collapsed same-server overlaps, so any
+            # leftover must have arrived via a transfer or t_0 — which we
+            # recorded above keyed by (server, start).
+            raise InvalidScheduleError(
+                f"interval H(s{iv.server}, {iv.start:.6g}, {iv.end:.6g}) has no "
+                f"custody chain (no transfer arrives at its start)"
+            )
+    return grounded
+
+
+def _check_service(
+    schedule: Schedule,
+    instance: ProblemInstance,
+    grounded: Dict[Tuple[int, float], CacheInterval],
+) -> None:
+    transfers_by_dst: Dict[int, List[Transfer]] = {}
+    for tr in schedule.transfers:
+        transfers_by_dst.setdefault(tr.dst, []).append(tr)
+    for i in range(1, instance.n + 1):
+        s, t = int(instance.srv[i]), float(instance.t[i])
+        if schedule.covers(s, t):
+            continue
+        if any(_near(tr.time, t) for tr in transfers_by_dst.get(s, [])):
+            continue
+        raise InvalidScheduleError(
+            f"request r_{i} = (s{s}, t={t:.6g}) is not served"
+        )
+
+
+def _check_minimal(
+    intervals: List[CacheInterval],
+    transfers: List[Transfer],
+    instance: ProblemInstance,
+) -> None:
+    """No dead-end caches: every interval end must be 'useful'."""
+    tn = float(instance.t[-1])
+    out_times: Dict[int, List[float]] = {}
+    for tr in transfers:
+        out_times.setdefault(tr.src, []).append(tr.time)
+    request_times: Dict[int, List[float]] = {}
+    for i in range(1, instance.n + 1):
+        request_times.setdefault(int(instance.srv[i]), []).append(float(instance.t[i]))
+    for iv in intervals:
+        ok = (
+            _near(iv.end, tn)
+            or any(_near(iv.end, t) for t in request_times.get(iv.server, []))
+            or any(_near(iv.end, t) for t in out_times.get(iv.server, []))
+        )
+        if not ok:
+            raise InvalidScheduleError(
+                f"dead-end cache H(s{iv.server}, {iv.start:.6g}, {iv.end:.6g}): "
+                f"its end serves no request or transfer"
+            )
+
+
+def is_standard_form(schedule: Schedule, instance: ProblemInstance) -> bool:
+    """True iff every transfer ends on a request (Observation 1).
+
+    Standard form means each transfer's destination and instant coincide
+    with some request ``(s_i, t_i)``.
+    """
+    request_set = {
+        (int(instance.srv[i]), float(instance.t[i])) for i in range(1, instance.n + 1)
+    }
+    for tr in schedule.transfers:
+        if not any(
+            s == tr.dst and _near(t, tr.time) for (s, t) in request_set
+        ):
+            return False
+    return True

@@ -1,0 +1,17 @@
+"""Multi-item service layer (exact per-item decomposition)."""
+
+from .multi import (
+    MultiItemInstance,
+    MultiItemOfflineResult,
+    MultiItemOnlineService,
+    multi_item_workload,
+    solve_offline_multi,
+)
+
+__all__ = [
+    "MultiItemInstance",
+    "MultiItemOfflineResult",
+    "MultiItemOnlineService",
+    "multi_item_workload",
+    "solve_offline_multi",
+]

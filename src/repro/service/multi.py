@@ -1,0 +1,234 @@
+"""Multi-item data service layer.
+
+The paper analyses a single shared item; a real data service hosts many.
+Under the homogeneous cost model items do not interact (no capacity
+bound couples them), so the service-level problem decomposes exactly:
+the optimal multi-item schedule is the union of per-item optima, and any
+per-item online policy runs independently per item.  This module provides
+that service layer — the setting of the paper's reference [4] (Wang,
+Veeravalli, Tham: multiple shared data items in clouds) restricted to
+the homogeneous regime where decomposition is exact:
+
+* :class:`MultiItemInstance` — per-item request sequences over one
+  cluster, buildable from a mixed service log;
+* :func:`solve_offline_multi` — per-item fast DP plus aggregation;
+* :class:`MultiItemOnlineService` — run an online policy factory per
+  item over the merged event stream;
+* :func:`multi_item_workload` — Zipf-over-items × per-item Poisson
+  synthesis.
+
+A capacity-coupled variant (items competing for bounded cache space) is
+deliberately out of scope: it breaks the decomposition theorem and is
+exactly what the paper's "next generation" framing argues away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.types import CostModel, InvalidInstanceError
+from ..offline.dp import solve_offline
+from ..offline.result import OfflineResult
+from ..online.base import OnlineAlgorithm
+from ..sim.recorder import OnlineRunResult
+from ..workloads.synthetic import RngLike, _rng, zipf_weights
+from ..workloads.traces import TraceRecord
+
+__all__ = [
+    "MultiItemInstance",
+    "MultiItemOfflineResult",
+    "MultiItemOnlineService",
+    "solve_offline_multi",
+    "multi_item_workload",
+]
+
+
+class MultiItemInstance:
+    """Per-item request sequences sharing one cluster and cost model.
+
+    Parameters
+    ----------
+    items:
+        Mapping from item name to its :class:`ProblemInstance`.  All
+        instances must agree on fleet size and cost model (they may have
+        different origins — each item starts wherever it was uploaded).
+    """
+
+    def __init__(self, items: Dict[str, ProblemInstance]):
+        if not items:
+            raise InvalidInstanceError("need at least one item")
+        sizes = {inst.num_servers for inst in items.values()}
+        costs = {inst.cost for inst in items.values()}
+        if len(sizes) != 1:
+            raise InvalidInstanceError(f"items disagree on fleet size: {sizes}")
+        if len(costs) != 1:
+            raise InvalidInstanceError("items disagree on cost model")
+        self.items = dict(items)
+        self.num_servers = sizes.pop()
+        self.cost = costs.pop()
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[TraceRecord],
+        num_servers: Optional[int] = None,
+        cost: Optional[CostModel] = None,
+        origin: int = 0,
+    ) -> "MultiItemInstance":
+        """Split a mixed service log by item and mine each sequence."""
+        from ..workloads.traces import mine_instance
+
+        by_item: Dict[str, List[TraceRecord]] = {}
+        for r in records:
+            by_item.setdefault(r.item or "item-0", []).append(r)
+        if num_servers is None:
+            num_servers = max(r.server for rs in by_item.values() for r in rs) + 1
+        items = {
+            name: mine_instance(
+                rs, num_servers=num_servers, cost=cost, origin=origin
+            )
+            for name, rs in by_item.items()
+        }
+        return cls(items)
+
+    @property
+    def num_items(self) -> int:
+        """Number of hosted items."""
+        return len(self.items)
+
+    @property
+    def total_requests(self) -> int:
+        """Requests across all items."""
+        return sum(inst.n for inst in self.items.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiItemInstance(items={self.num_items}, "
+            f"requests={self.total_requests}, m={self.num_servers})"
+        )
+
+
+@dataclass
+class MultiItemOfflineResult:
+    """Aggregate of per-item optimal solutions.
+
+    Attributes
+    ----------
+    per_item:
+        Item name → :class:`OfflineResult`.
+    """
+
+    per_item: Dict[str, OfflineResult]
+
+    @property
+    def total_cost(self) -> float:
+        """Service-level optimal cost (sum of per-item optima)."""
+        return sum(r.optimal_cost for r in self.per_item.values())
+
+    @property
+    def total_lower_bound(self) -> float:
+        """Sum of per-item running bounds."""
+        return sum(r.lower_bound for r in self.per_item.values())
+
+    def cost_breakdown(self) -> Dict[str, float]:
+        """Item name → optimal cost, sorted by cost descending."""
+        return dict(
+            sorted(
+                ((k, r.optimal_cost) for k, r in self.per_item.items()),
+                key=lambda kv: -kv[1],
+            )
+        )
+
+
+def solve_offline_multi(service: MultiItemInstance) -> MultiItemOfflineResult:
+    """Optimal service-level schedule: per-item fast DP, exact by
+    decomposition (no capacity coupling in the homogeneous model)."""
+    return MultiItemOfflineResult(
+        per_item={name: solve_offline(inst) for name, inst in service.items.items()}
+    )
+
+
+@dataclass
+class MultiItemOnlineService:
+    """Run an online policy independently per hosted item.
+
+    Parameters
+    ----------
+    policy_factory:
+        Zero-argument callable producing a fresh
+        :class:`~repro.online.base.OnlineAlgorithm` per item.
+    """
+
+    policy_factory: Callable[[], OnlineAlgorithm]
+    runs: Dict[str, OnlineRunResult] = field(default_factory=dict)
+
+    def run(self, service: MultiItemInstance) -> "MultiItemOnlineService":
+        """Serve every item's stream; returns self for chaining."""
+        self.runs = {
+            name: self.policy_factory().run(inst)
+            for name, inst in service.items.items()
+        }
+        return self
+
+    @property
+    def total_cost(self) -> float:
+        """Aggregate online cost."""
+        if not self.runs:
+            raise RuntimeError("call run() first")
+        return sum(r.cost for r in self.runs.values())
+
+    def counters(self) -> Dict[str, int]:
+        """Summed counters across items."""
+        out: Dict[str, int] = {}
+        for run in self.runs.values():
+            for k, v in run.counters.items():
+                out[k] = out.get(k, 0) + v
+        return out
+
+
+def multi_item_workload(
+    num_items: int,
+    n_total: int,
+    m: int,
+    item_zipf: float = 1.0,
+    rate: float = 1.0,
+    server_zipf: float = 0.8,
+    cost: Optional[CostModel] = None,
+    rng: RngLike = None,
+) -> MultiItemInstance:
+    """Synthesise a multi-item service workload.
+
+    Items get request volume by a Zipf law (``item_zipf``); each item's
+    own stream is Poisson in time with Zipf-skewed server popularity
+    (independent permutations per item so hot servers differ across
+    items, as they do in real services).
+    """
+    if num_items < 1 or n_total < num_items:
+        raise InvalidInstanceError(
+            f"need >= 1 item and n_total >= num_items, got "
+            f"{num_items}/{n_total}"
+        )
+    g = _rng(rng)
+    cost = cost if cost is not None else CostModel()
+    weights = zipf_weights(num_items, item_zipf)
+    counts = np.maximum(1, np.round(weights * n_total).astype(int))
+    items: Dict[str, ProblemInstance] = {}
+    base_pop = zipf_weights(m, server_zipf)
+    for k in range(num_items):
+        perm = g.permutation(m)
+        pop = base_pop[perm]
+        gaps = g.exponential(1.0 / rate, size=int(counts[k]))
+        times = np.cumsum(np.maximum(gaps, 1e-12))
+        servers = g.choice(m, size=int(counts[k]), p=pop)
+        items[f"item-{k}"] = ProblemInstance.from_arrays(
+            times,
+            servers,
+            num_servers=m,
+            cost=cost,
+            origin=int(g.integers(0, m)),
+        )
+    return MultiItemInstance(items)

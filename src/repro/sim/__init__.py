@@ -1,0 +1,14 @@
+"""Discrete-event simulation substrate for the online algorithms."""
+
+from .engine import run_online
+from .events import Event, EventQueue
+from .recorder import CopyLifetime, OnlineRunResult, RunRecorder
+
+__all__ = [
+    "CopyLifetime",
+    "Event",
+    "EventQueue",
+    "OnlineRunResult",
+    "RunRecorder",
+    "run_online",
+]

@@ -1,0 +1,41 @@
+"""Generic driver for online caching algorithms.
+
+The engine replays an instance's requests in time order against any
+:class:`~repro.online.base.OnlineAlgorithm`: before each request it lets
+the algorithm process its internal timers strictly up to the request
+instant (copy expirations), then delivers the request; at the end it
+truncates the run at the service horizon ``t_n`` and collects the
+:class:`~repro.sim.recorder.OnlineRunResult`.
+
+Online algorithms see requests one at a time and nothing else — the
+engine enforces the information model of Section V (no lookahead).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.instance import ProblemInstance
+from .recorder import OnlineRunResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..online.base import OnlineAlgorithm
+
+__all__ = ["run_online"]
+
+
+def run_online(
+    algorithm: "OnlineAlgorithm", instance: ProblemInstance
+) -> OnlineRunResult:
+    """Drive ``algorithm`` over ``instance`` and return the run result.
+
+    The algorithm object is reset by the call (``begin``), so one object
+    can be reused across instances; runs are deterministic given the
+    algorithm's own RNG seeding.
+    """
+    algorithm.begin(instance)
+    for i in range(1, instance.n + 1):
+        t = float(instance.t[i])
+        algorithm.advance(t)
+        algorithm.serve(i, t, int(instance.srv[i]))
+    return algorithm.end(float(instance.t[-1]))

@@ -1,0 +1,105 @@
+"""Discrete-event substrate: a lazy-invalidation event queue.
+
+The online Speculative Caching algorithm (paper Section V) is event
+driven: besides request arrivals it reacts to *copy expiration* events
+whose due times move every time a copy is refreshed.  Rescheduling a heap
+entry is awkward, so the queue uses the standard lazy-invalidation trick:
+entries are never removed early; a popped entry is delivered only if its
+``(server, due)`` pair still matches the caller's live bookkeeping.
+
+Events at exactly equal times are grouped by :meth:`EventQueue.pop_group`
+because the paper's expiration rules are defined over *simultaneous*
+events (step 4: "at most two expiration events resulted from a transfer
+could occur at the same time").
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A scheduled occurrence.
+
+    Ordering is ``(time, seq)`` — FIFO among equal times — so replays are
+    deterministic.
+
+    Parameters
+    ----------
+    time:
+        Due instant.
+    seq:
+        Monotone tie-breaker assigned by the queue.
+    kind:
+        Free-form tag (e.g. ``"expire"``).
+    server:
+        Subject server id (or ``-1`` for global events).
+    """
+
+    time: float
+    seq: int
+    kind: str = field(compare=False, default="expire")
+    server: int = field(compare=False, default=-1)
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` with lazy invalidation helpers."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, kind: str = "expire", server: int = -1) -> Event:
+        """Schedule an event; returns the stored entry."""
+        ev = Event(time=time, seq=next(self._counter), kind=kind, server=server)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        """Due time of the earliest entry, or ``None`` when empty."""
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> Event:
+        """Pop the earliest entry (caller validates staleness)."""
+        return heapq.heappop(self._heap)
+
+    def pop_group(
+        self,
+        before: float,
+        is_valid: Callable[[Event], bool],
+    ) -> Optional[Tuple[float, List[Event]]]:
+        """Pop the next *valid* simultaneous group due strictly before ``before``.
+
+        Stale entries (for which ``is_valid`` returns ``False``) are
+        discarded on the way.  Returns ``(time, events)`` or ``None`` when
+        nothing valid is due.  Validity is re-checked within the group so a
+        pair whose first member's handling invalidates the second is
+        delivered correctly (the caller re-validates anyway).
+        """
+        while self._heap and self._heap[0].time < before:
+            ev = heapq.heappop(self._heap)
+            if not is_valid(ev):
+                continue
+            group = [ev]
+            while (
+                self._heap
+                and self._heap[0].time == ev.time
+            ):
+                nxt = heapq.heappop(self._heap)
+                if is_valid(nxt):
+                    group.append(nxt)
+            return ev.time, group
+        return None
+
+    def clear(self) -> None:
+        """Drop all entries."""
+        self._heap.clear()

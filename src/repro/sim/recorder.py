@@ -1,0 +1,201 @@
+"""Copy-lifetime recording for online runs.
+
+Online algorithms create, refresh and delete copies; the recorder turns
+that activity into (a) a :class:`~repro.schedule.schedule.Schedule`, (b)
+aggregate counters, and (c) the per-lifetime ledger the Double-Transfer
+transformation of Section V needs (each lifetime's last *useful* instant
+versus its deletion instant gives the speculative tail ``ω``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.types import CostModel
+from ..schedule.schedule import Schedule
+
+__all__ = ["CopyLifetime", "RunRecorder", "OnlineRunResult"]
+
+
+@dataclass
+class CopyLifetime:
+    """One contiguous stay of the item on one server.
+
+    Attributes
+    ----------
+    server:
+        Holder.
+    start:
+        Creation instant (``t_0`` for the initial copy, else the arrival
+        of the incoming transfer).
+    end:
+        Deletion instant (``None`` while alive).
+    last_refresh:
+        Most recent *useful* instant: serving a local request, sourcing a
+        transfer, or creation.  The speculative tail is
+        ``end - last_refresh``.
+    created_by:
+        ``"initial"`` or ``"transfer"``.
+    transfer_index:
+        Index into the run's transfer list for the incoming transfer that
+        created this lifetime (``-1`` for the initial copy).
+    ended_by:
+        ``"expire"``, ``"epoch-reset"`` or ``"truncate"``.
+    """
+
+    server: int
+    start: float
+    end: Optional[float] = None
+    last_refresh: float = 0.0
+    created_by: str = "initial"
+    transfer_index: int = -1
+    ended_by: str = ""
+
+    @property
+    def alive(self) -> bool:
+        """True while not yet deleted."""
+        return self.end is None
+
+    def tail(self) -> float:
+        """Idle time between last useful instant and deletion."""
+        if self.end is None:
+            raise ValueError("lifetime still alive")
+        return self.end - self.last_refresh
+
+
+@dataclass
+class OnlineRunResult:
+    """Outcome of driving an online algorithm over an instance.
+
+    Attributes
+    ----------
+    schedule:
+        The realised schedule (canonical form).
+    cost:
+        ``Π`` of the run under the instance's cost model.
+    counters:
+        Aggregate statistics (transfers, local hits, expirations, ...).
+    lifetimes:
+        Per-copy ledger in creation order.
+    algorithm:
+        Name of the algorithm that produced the run.
+    """
+
+    schedule: Schedule
+    cost: float
+    counters: Dict[str, int]
+    lifetimes: List[CopyLifetime]
+    algorithm: str = "unknown"
+    transfers: List[tuple] = field(default_factory=list)
+
+    def transfers_raw(self) -> List[tuple]:
+        """Transfers in creation order as ``(time, src, dst)`` tuples.
+
+        Creation order matters: :attr:`CopyLifetime.transfer_index` points
+        into this list (canonicalising the schedule re-sorts its copy).
+        """
+        return self.transfers
+
+    @property
+    def num_transfers(self) -> int:
+        """Total transfers charged."""
+        return len(self.schedule.transfers)
+
+    def __repr__(self) -> str:
+        return (
+            f"OnlineRunResult(algorithm={self.algorithm!r}, "
+            f"cost={self.cost:.6g}, transfers={self.num_transfers})"
+        )
+
+
+class RunRecorder:
+    """Mutable ledger an online algorithm writes while running."""
+
+    def __init__(self, num_servers: int, model: CostModel):
+        self.model = model
+        self.num_servers = num_servers
+        self.lifetimes: List[CopyLifetime] = []
+        self._open: Dict[int, CopyLifetime] = {}
+        self.transfers: List[tuple] = []  # (time, src, dst)
+        self.counters: Dict[str, int] = {
+            "transfers": 0,
+            "local_hits": 0,
+            "expirations": 0,
+            "extensions": 0,
+            "epochs": 0,
+        }
+
+    # -- copy events ----------------------------------------------------------
+
+    def copy_created(
+        self, server: int, t: float, created_by: str = "transfer"
+    ) -> CopyLifetime:
+        """Open a lifetime on ``server`` at ``t``."""
+        if server in self._open:
+            raise RuntimeError(f"server {server} already holds a copy")
+        life = CopyLifetime(
+            server=server,
+            start=t,
+            last_refresh=t,
+            created_by=created_by,
+            transfer_index=len(self.transfers) - 1 if created_by == "transfer" else -1,
+        )
+        self._open[server] = life
+        self.lifetimes.append(life)
+        return life
+
+    def copy_refreshed(self, server: int, t: float) -> None:
+        """Record a useful touch (local hit or transfer sourcing)."""
+        self._open[server].last_refresh = t
+
+    def copy_deleted(self, server: int, t: float, ended_by: str = "expire") -> None:
+        """Close the lifetime on ``server`` at ``t``."""
+        life = self._open.pop(server)
+        life.end = t
+        life.ended_by = ended_by
+
+    def holds_copy(self, server: int) -> bool:
+        """True iff a lifetime is currently open on ``server``."""
+        return server in self._open
+
+    def open_servers(self) -> List[int]:
+        """Servers currently holding a copy."""
+        return sorted(self._open)
+
+    # -- transfers ----------------------------------------------------------------
+
+    def transfer(self, src: int, dst: int, t: float) -> int:
+        """Record a transfer; returns its index."""
+        self.transfers.append((t, src, dst))
+        self.counters["transfers"] += 1
+        return len(self.transfers) - 1
+
+    # -- finalisation ----------------------------------------------------------------
+
+    def finalize(self, t_end: float, algorithm: str) -> OnlineRunResult:
+        """Close surviving copies at ``t_end`` and build the result.
+
+        Truncating at the service horizon only discards speculative tails
+        that extend past ``t_n``; this makes online/off-line comparisons
+        apples-to-apples (the off-line optimum never caches past ``t_n``)
+        and can only lower the online cost, so competitive-ratio
+        measurements remain valid upper-bound witnesses.
+        """
+        for server in list(self._open):
+            self.copy_deleted(server, t_end, ended_by="truncate")
+        sched = Schedule()
+        for life in self.lifetimes:
+            end = life.end if life.end is not None else t_end
+            sched.hold(life.server, life.start, min(end, t_end))
+        for (t, src, dst) in self.transfers:
+            sched.transfer(src, dst, t)
+        sched = sched.canonical()
+        return OnlineRunResult(
+            schedule=sched,
+            cost=sched.total_cost(self.model),
+            counters=dict(self.counters),
+            lifetimes=list(self.lifetimes),
+            algorithm=algorithm,
+            transfers=list(self.transfers),
+        )

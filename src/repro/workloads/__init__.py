@@ -1,0 +1,39 @@
+"""Workload substrates: synthetic arrivals, mobility trajectories, traces."""
+
+from .diurnal import diurnal_instance, diurnal_rate
+from .flashcrowd import flash_crowd_instance
+from .predictability import empirical_entropy, lz_entropy_rate, max_predictability
+from .synthetic import (
+    arrival_gaps,
+    choose_servers,
+    mmpp_instance,
+    poisson_zipf_instance,
+    random_instance,
+    renewal_instance,
+    zipf_weights,
+)
+from .traces import TraceRecord, mine_instance, read_trace, write_trace
+from .trajectory import MarkovMobility, RandomWaypoint, merge_streams
+
+__all__ = [
+    "MarkovMobility",
+    "RandomWaypoint",
+    "TraceRecord",
+    "arrival_gaps",
+    "choose_servers",
+    "diurnal_instance",
+    "diurnal_rate",
+    "empirical_entropy",
+    "flash_crowd_instance",
+    "lz_entropy_rate",
+    "max_predictability",
+    "merge_streams",
+    "mine_instance",
+    "mmpp_instance",
+    "poisson_zipf_instance",
+    "random_instance",
+    "read_trace",
+    "renewal_instance",
+    "write_trace",
+    "zipf_weights",
+]

@@ -1,0 +1,115 @@
+"""Diurnal (time-of-day) request patterns.
+
+Mobile data services breathe: traffic peaks by day and collapses by
+night, and the regime shifts are exactly where caching policies must
+switch between hold (day) and release (night).  This generator produces
+a non-homogeneous Poisson process with a sinusoidal rate via thinning
+(Lewis & Shedler), optionally with a day/night *server* split modelling
+commuters (daytime requests favour work-side servers, night-time the
+home side).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.types import CostModel
+from .synthetic import RngLike, _rng, zipf_weights
+
+__all__ = ["diurnal_rate", "diurnal_instance"]
+
+
+def diurnal_rate(
+    t: Union[float, np.ndarray],
+    base_rate: float = 1.0,
+    amplitude: float = 0.8,
+    period: float = 24.0,
+    phase: float = 0.0,
+) -> Union[float, np.ndarray]:
+    """Instantaneous request rate ``λ(t)`` of the diurnal process.
+
+    ``λ(t) = base · (1 + amplitude · sin(2π (t + phase) / period))``,
+    clipped at zero.  ``amplitude ∈ [0, 1]`` keeps the rate non-negative
+    without clipping.
+    """
+    if base_rate <= 0:
+        raise ValueError(f"base_rate must be positive, got {base_rate}")
+    if not 0.0 <= amplitude <= 1.0:
+        raise ValueError(f"amplitude must be in [0, 1], got {amplitude}")
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    wave = np.sin(2.0 * np.pi * (np.asarray(t) + phase) / period)
+    out = base_rate * (1.0 + amplitude * wave)
+    return float(out) if np.isscalar(t) else np.maximum(out, 0.0)
+
+
+def diurnal_instance(
+    duration: float,
+    m: int,
+    base_rate: float = 1.0,
+    amplitude: float = 0.8,
+    period: float = 24.0,
+    day_servers: Optional[Sequence[int]] = None,
+    night_servers: Optional[Sequence[int]] = None,
+    zipf_s: float = 0.8,
+    cost: Optional[CostModel] = None,
+    origin: int = 0,
+    rng: RngLike = None,
+) -> ProblemInstance:
+    """Sinusoidal-rate arrivals over ``[0, duration]`` via thinning.
+
+    Parameters
+    ----------
+    duration:
+        Simulated horizon (same unit as ``period``; default hours).
+    day_servers, night_servers:
+        Optional commuter split: requests in the high-rate half of the
+        cycle draw servers from ``day_servers``, the rest from
+        ``night_servers`` (Zipf-weighted within each side).  Omitting
+        both uses a global Zipf law.
+    """
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    if (day_servers is None) != (night_servers is None):
+        raise ValueError("pass both day_servers and night_servers, or neither")
+    g = _rng(rng)
+    lam_max = base_rate * (1.0 + amplitude)
+
+    # Thinning: homogeneous candidates at lam_max, accept w.p. λ(t)/λ_max.
+    times = []
+    t = 0.0
+    while True:
+        t += float(g.exponential(1.0 / lam_max))
+        if t > duration:
+            break
+        if g.random() * lam_max <= diurnal_rate(
+            t, base_rate, amplitude, period
+        ):
+            times.append(t)
+    if not times:
+        raise ValueError(
+            "no requests generated; increase duration or base_rate"
+        )
+    times_arr = np.asarray(times)
+
+    if day_servers is None:
+        weights = zipf_weights(m, zipf_s)
+        servers = g.choice(m, size=times_arr.shape[0], p=weights)
+    else:
+        day = np.asarray(list(day_servers), dtype=np.int64)
+        night = np.asarray(list(night_servers), dtype=np.int64)
+        if day.size == 0 or night.size == 0:
+            raise ValueError("server sides must be non-empty")
+        wave = np.sin(2.0 * np.pi * (times_arr) / period)
+        servers = np.empty(times_arr.shape[0], dtype=np.int64)
+        w_day = zipf_weights(day.size, zipf_s)
+        w_night = zipf_weights(night.size, zipf_s)
+        for k, (tt, wv) in enumerate(zip(times_arr, wave)):
+            side, w = (day, w_day) if wv >= 0 else (night, w_night)
+            servers[k] = side[g.choice(side.size, p=w)]
+    return ProblemInstance.from_arrays(
+        times_arr, servers, num_servers=m, cost=cost, origin=origin
+    )

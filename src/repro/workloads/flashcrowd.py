@@ -1,0 +1,82 @@
+"""Flash-crowd workloads: the hotspot jumps.
+
+Viral content produces a distinctive access pattern: almost all requests
+concentrate on one edge server (the crowd's location), and the hotspot
+*relocates* abruptly when the content catches on elsewhere.  Between the
+jumps the optimal policy parks the copy at the hotspot; at each jump it
+must decide fast — exactly the regime where SC's speculative window and
+the epoch reset interact.
+
+:func:`flash_crowd_instance` generates Poisson arrivals whose server
+distribution is ``(1 - leak)`` on the current hotspot and ``leak``
+spread uniformly elsewhere, with the hotspot resampled at exponential
+intervals of mean ``dwell``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.types import CostModel
+from .synthetic import RngLike, _rng
+
+__all__ = ["flash_crowd_instance"]
+
+
+def flash_crowd_instance(
+    n: int,
+    m: int,
+    rate: float = 2.0,
+    dwell: float = 10.0,
+    leak: float = 0.1,
+    cost: Optional[CostModel] = None,
+    origin: int = 0,
+    rng: RngLike = None,
+) -> ProblemInstance:
+    """Hotspot-jumping workload.
+
+    Parameters
+    ----------
+    n:
+        Number of requests.
+    m:
+        Fleet size (needs ``m >= 2`` for jumps to exist).
+    rate:
+        Poisson arrival rate.
+    dwell:
+        Mean sojourn time of the hotspot on one server.
+    leak:
+        Probability mass of requests landing off-hotspot.
+    """
+    if m < 2:
+        raise ValueError(f"flash crowds need m >= 2, got {m}")
+    if not 0.0 <= leak < 1.0:
+        raise ValueError(f"leak must be in [0, 1), got {leak}")
+    if dwell <= 0 or rate <= 0:
+        raise ValueError("dwell and rate must be positive")
+    g = _rng(rng)
+
+    times = np.cumsum(g.exponential(1.0 / rate, size=n))
+    servers: List[int] = []
+    hotspot = int(g.integers(0, m))
+    next_jump = float(g.exponential(dwell))
+    for t in times:
+        while t > next_jump:
+            others = [j for j in range(m) if j != hotspot]
+            hotspot = int(others[g.integers(0, m - 1)])
+            next_jump += float(g.exponential(dwell))
+        if g.random() < leak:
+            others = [j for j in range(m) if j != hotspot]
+            servers.append(int(others[g.integers(0, m - 1)]))
+        else:
+            servers.append(hotspot)
+    return ProblemInstance.from_arrays(
+        times,
+        np.asarray(servers, dtype=np.int64),
+        num_servers=m,
+        cost=cost,
+        origin=origin,
+    )

@@ -1,0 +1,225 @@
+"""Synthetic request-sequence generators.
+
+The paper evaluates no concrete traces (it is analytical); its motivation
+is mobile data services whose access sequences mix temporal burstiness
+with skewed server popularity.  These generators provide the standard
+parametric families used throughout the benchmark harness:
+
+* **Arrival processes** — Poisson (exponential gaps), renewal processes
+  with Pareto / lognormal / constant gaps, and a two-state MMPP for
+  bursty traffic.
+* **Server popularity** — uniform, Zipf(``s``), or explicit weights.
+
+All generators take an explicit :class:`numpy.random.Generator` (or a
+seed) and are fully deterministic given it, per the reproducibility
+conventions of the analysis layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.types import CostModel
+
+__all__ = [
+    "zipf_weights",
+    "arrival_gaps",
+    "choose_servers",
+    "poisson_zipf_instance",
+    "renewal_instance",
+    "mmpp_instance",
+    "random_instance",
+]
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def _rng(rng: RngLike) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def zipf_weights(m: int, s: float = 1.0) -> np.ndarray:
+    """Zipf popularity weights over ``m`` servers (rank ``r`` ∝ ``r^-s``).
+
+    ``s = 0`` degenerates to uniform; larger ``s`` concentrates requests
+    on few hot servers — the regime where caching at the hot server and
+    transferring elsewhere dominates.
+    """
+    if m < 1:
+        raise ValueError(f"need m >= 1, got {m}")
+    ranks = np.arange(1, m + 1, dtype=np.float64)
+    w = ranks ** (-float(s))
+    return w / w.sum()
+
+
+def arrival_gaps(
+    n: int,
+    process: str = "poisson",
+    rate: float = 1.0,
+    rng: RngLike = None,
+    pareto_alpha: float = 1.5,
+    lognorm_sigma: float = 1.0,
+) -> np.ndarray:
+    """Draw ``n`` positive inter-arrival gaps with mean ``1/rate``.
+
+    Parameters
+    ----------
+    process:
+        ``"poisson"`` (exponential), ``"pareto"`` (heavy tail, shape
+        ``pareto_alpha > 1``), ``"lognormal"``, or ``"constant"``.
+    rate:
+        Mean arrival rate; gaps are scaled to mean ``1/rate``.
+    """
+    if n < 0:
+        raise ValueError(f"need n >= 0, got {n}")
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    g = _rng(rng)
+    mean = 1.0 / rate
+    if process == "poisson":
+        gaps = g.exponential(mean, size=n)
+    elif process == "pareto":
+        if pareto_alpha <= 1:
+            raise ValueError("pareto_alpha must exceed 1 for a finite mean")
+        raw = g.pareto(pareto_alpha, size=n) + 1.0  # Lomax + 1, mean a/(a-1)
+        gaps = raw * (mean * (pareto_alpha - 1.0) / pareto_alpha)
+    elif process == "lognormal":
+        sigma = float(lognorm_sigma)
+        gaps = g.lognormal(np.log(mean) - 0.5 * sigma**2, sigma, size=n)
+    elif process == "constant":
+        gaps = np.full(n, mean)
+    else:
+        raise ValueError(f"unknown arrival process {process!r}")
+    return np.maximum(gaps, 1e-12)
+
+
+def choose_servers(
+    n: int,
+    m: int,
+    popularity: Union[str, Sequence[float]] = "uniform",
+    zipf_s: float = 1.0,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Draw ``n`` server ids from the requested popularity law."""
+    g = _rng(rng)
+    if isinstance(popularity, str):
+        if popularity == "uniform":
+            w = np.full(m, 1.0 / m)
+        elif popularity == "zipf":
+            w = zipf_weights(m, zipf_s)
+        else:
+            raise ValueError(f"unknown popularity {popularity!r}")
+    else:
+        w = np.asarray(popularity, dtype=np.float64)
+        if w.shape != (m,) or np.any(w < 0) or w.sum() <= 0:
+            raise ValueError("popularity weights must be m non-negative values")
+        w = w / w.sum()
+    return g.choice(m, size=n, p=w).astype(np.int64)
+
+
+def poisson_zipf_instance(
+    n: int,
+    m: int,
+    rate: float = 1.0,
+    zipf_s: float = 1.0,
+    cost: Optional[CostModel] = None,
+    origin: int = 0,
+    rng: RngLike = None,
+) -> ProblemInstance:
+    """Poisson arrivals with Zipf-skewed server popularity.
+
+    The workhorse workload of the benchmark harness: ``rate`` sets how
+    many requests land per ``λ/μ`` window and ``zipf_s`` how concentrated
+    they are.
+    """
+    g = _rng(rng)
+    gaps = arrival_gaps(n, "poisson", rate, g)
+    times = np.cumsum(gaps)
+    servers = choose_servers(n, m, "zipf", zipf_s, g)
+    return ProblemInstance.from_arrays(
+        times, servers, num_servers=m, cost=cost, origin=origin
+    )
+
+
+def renewal_instance(
+    n: int,
+    m: int,
+    process: str = "pareto",
+    rate: float = 1.0,
+    popularity: Union[str, Sequence[float]] = "uniform",
+    zipf_s: float = 1.0,
+    cost: Optional[CostModel] = None,
+    origin: int = 0,
+    rng: RngLike = None,
+    **gap_kwargs,
+) -> ProblemInstance:
+    """General renewal arrivals with configurable popularity."""
+    g = _rng(rng)
+    times = np.cumsum(arrival_gaps(n, process, rate, g, **gap_kwargs))
+    servers = choose_servers(n, m, popularity, zipf_s, g)
+    return ProblemInstance.from_arrays(
+        times, servers, num_servers=m, cost=cost, origin=origin
+    )
+
+
+def mmpp_instance(
+    n: int,
+    m: int,
+    rate_low: float = 0.2,
+    rate_high: float = 5.0,
+    switch_prob: float = 0.05,
+    popularity: Union[str, Sequence[float]] = "uniform",
+    zipf_s: float = 1.0,
+    cost: Optional[CostModel] = None,
+    origin: int = 0,
+    rng: RngLike = None,
+) -> ProblemInstance:
+    """Two-state Markov-modulated Poisson arrivals (bursty traffic).
+
+    The process alternates between a quiet state (``rate_low``) and a
+    bursty state (``rate_high``); after each arrival it switches state
+    with probability ``switch_prob``.  Bursts are exactly the regime where
+    speculative caching shines (many hits inside one window) and long
+    quiet spells where it must let copies die.
+    """
+    if not 0.0 <= switch_prob <= 1.0:
+        raise ValueError(f"switch_prob must be a probability, got {switch_prob}")
+    g = _rng(rng)
+    gaps = np.empty(n)
+    state_high = False
+    for i in range(n):
+        rate = rate_high if state_high else rate_low
+        gaps[i] = g.exponential(1.0 / rate)
+        if g.random() < switch_prob:
+            state_high = not state_high
+    times = np.cumsum(np.maximum(gaps, 1e-12))
+    servers = choose_servers(n, m, popularity, zipf_s, g)
+    return ProblemInstance.from_arrays(
+        times, servers, num_servers=m, cost=cost, origin=origin
+    )
+
+
+def random_instance(
+    rng: RngLike = None,
+    max_m: int = 6,
+    max_n: int = 40,
+    cost: Optional[CostModel] = None,
+) -> ProblemInstance:
+    """Small random instance for tests and fuzzing (uniform everything)."""
+    g = _rng(rng)
+    m = int(g.integers(1, max_m + 1))
+    n = int(g.integers(1, max_n + 1))
+    if cost is None:
+        cost = CostModel(
+            mu=float(g.uniform(0.2, 3.0)), lam=float(g.uniform(0.2, 3.0))
+        )
+    times = np.cumsum(g.exponential(float(g.uniform(0.1, 3.0)), size=n)) + 0.05
+    servers = g.integers(0, m, size=n)
+    return ProblemInstance.from_arrays(
+        times, servers, num_servers=m, cost=cost, origin=int(g.integers(0, m))
+    )

@@ -1,0 +1,244 @@
+"""Spatial-temporal trajectory workloads (the paper's motivating regime).
+
+Section I motivates cost-driven caching with mobile accesses that "often
+exhibit spatial-temporal trajectory patterns" and are highly predictable
+[2][3].  Real trajectory traces are proprietary, so this module builds
+the closest synthetic equivalents (DESIGN.md, Substitutions):
+
+* :class:`MarkovMobility` — each user hops between servers under a
+  locality-parameterised Markov chain (probability ``locality`` of
+  staying; otherwise move to a neighbouring cell of the cluster layout,
+  or uniformly when no layout exists).  High locality produces the long
+  same-server runs the off-line DP exploits.
+* :class:`RandomWaypoint` — the classic mobility model: pick a waypoint
+  uniformly in the region, travel toward it at constant speed, repeat;
+  requests fire along the way at Poisson instants and land on the nearest
+  edge server of the cluster layout.
+
+Multiple users are merged into one strictly time-ordered request vector
+(ties broken by deterministic jitter far below any meaningful timescale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.types import CostModel
+from ..network.cluster import Cluster
+from .synthetic import RngLike, _rng
+
+__all__ = ["MarkovMobility", "RandomWaypoint", "merge_streams"]
+
+#: Tie-breaking jitter (times are O(1)-scaled; this is far below float64
+#: noise of any generated gap).
+_JITTER = 1e-9
+
+
+def merge_streams(
+    streams: List[Tuple[np.ndarray, np.ndarray]],
+    m: int,
+    cost: Optional[CostModel] = None,
+    origin: int = 0,
+) -> ProblemInstance:
+    """Merge per-user ``(times, servers)`` streams into one instance.
+
+    Simultaneous requests across users are separated by accumulating a
+    deterministic jitter so the strict-ordering precondition holds without
+    perturbing the workload's structure.
+    """
+    if not streams:
+        raise ValueError("need at least one user stream")
+    times = np.concatenate([s[0] for s in streams])
+    servers = np.concatenate([s[1] for s in streams])
+    order = np.argsort(times, kind="stable")
+    times, servers = times[order], servers[order]
+    for i in range(1, times.shape[0]):
+        if times[i] <= times[i - 1]:
+            times[i] = times[i - 1] + _JITTER
+    return ProblemInstance.from_arrays(
+        times, servers, num_servers=m, cost=cost, origin=origin
+    )
+
+
+@dataclass
+class MarkovMobility:
+    """Markov-chain user mobility over the server set.
+
+    Parameters
+    ----------
+    cluster:
+        Server fleet; when it has a planar layout, off-server moves go to
+        one of the ``neighbors`` nearest sites (trajectory locality),
+        otherwise to a uniform random other server.
+    locality:
+        Probability of staying on the current server between requests.
+    request_rate:
+        Poisson rate of requests per user.
+    neighbors:
+        Size of the neighbourhood for layout-aware moves.
+    """
+
+    cluster: Cluster
+    locality: float = 0.8
+    request_rate: float = 1.0
+    neighbors: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.locality <= 1.0:
+            raise ValueError(f"locality must be in [0, 1], got {self.locality}")
+        if self.request_rate <= 0:
+            raise ValueError(f"request_rate must be positive, got {self.request_rate}")
+        self._neighbor_table = self._build_neighbors()
+
+    def _build_neighbors(self) -> List[np.ndarray]:
+        m = self.cluster.num_servers
+        table: List[np.ndarray] = []
+        if self.cluster.has_layout and m > 1:
+            pts = self.cluster.positions()
+            for j in range(m):
+                d2 = ((pts - pts[j]) ** 2).sum(axis=1)
+                order = np.argsort(d2)
+                near = order[order != j][: max(1, self.neighbors)]
+                table.append(near.astype(np.int64))
+        else:
+            others = np.arange(m, dtype=np.int64)
+            for j in range(m):
+                table.append(others[others != j])
+        return table
+
+    def user_stream(
+        self,
+        duration: float,
+        start_server: Optional[int] = None,
+        rng: RngLike = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Generate one user's ``(times, servers)`` over ``[0, duration]``."""
+        g = _rng(rng)
+        m = self.cluster.num_servers
+        here = (
+            int(g.integers(0, m)) if start_server is None else int(start_server)
+        )
+        times: List[float] = []
+        servers: List[int] = []
+        t = 0.0
+        while True:
+            t += float(g.exponential(1.0 / self.request_rate))
+            if t > duration:
+                break
+            times.append(t)
+            servers.append(here)
+            if m > 1 and g.random() > self.locality:
+                nbrs = self._neighbor_table[here]
+                here = int(nbrs[g.integers(0, nbrs.shape[0])])
+        return np.asarray(times), np.asarray(servers, dtype=np.int64)
+
+    def instance(
+        self,
+        num_users: int,
+        duration: float,
+        cost: Optional[CostModel] = None,
+        rng: RngLike = None,
+    ) -> ProblemInstance:
+        """Merged instance for ``num_users`` independent users."""
+        g = _rng(rng)
+        streams = [self.user_stream(duration, rng=g) for _ in range(num_users)]
+        streams = [s for s in streams if s[0].size]
+        if not streams:
+            raise ValueError(
+                "no requests generated; increase duration or request_rate"
+            )
+        return merge_streams(
+            streams, self.cluster.num_servers, cost=cost, origin=self.cluster.origin
+        )
+
+
+@dataclass
+class RandomWaypoint:
+    """Random-waypoint mobility over a planar cluster layout.
+
+    Parameters
+    ----------
+    cluster:
+        Must carry a planar layout (``Cluster.grid`` / ``random_layout``).
+    speed:
+        Travel speed between waypoints.
+    request_rate:
+        Poisson rate of requests along the trajectory.
+    extent:
+        Side length of the square region waypoints are drawn from;
+        defaults to the layout's bounding box.
+    """
+
+    cluster: Cluster
+    speed: float = 1.0
+    request_rate: float = 1.0
+    extent: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.cluster.has_layout:
+            raise ValueError("RandomWaypoint needs a cluster with a planar layout")
+        if self.speed <= 0 or self.request_rate <= 0:
+            raise ValueError("speed and request_rate must be positive")
+        if self.extent is None:
+            pts = self.cluster.positions()
+            self.extent = float(pts.max())
+
+    def user_stream(
+        self, duration: float, rng: RngLike = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One user's ``(times, servers)``: positions at Poisson instants."""
+        g = _rng(rng)
+        # Request instants first, then walk the trajectory through them.
+        times: List[float] = []
+        t = 0.0
+        while True:
+            t += float(g.exponential(1.0 / self.request_rate))
+            if t > duration:
+                break
+            times.append(t)
+        if not times:
+            return np.asarray([]), np.asarray([], dtype=np.int64)
+        req_t = np.asarray(times)
+        pos = g.uniform(0.0, self.extent, size=2)
+        target = g.uniform(0.0, self.extent, size=2)
+        now = 0.0
+        coords = np.empty((req_t.shape[0], 2))
+        for i, rt in enumerate(req_t):
+            remaining = rt - now
+            while remaining > 0:
+                leg = np.linalg.norm(target - pos)
+                leg_time = leg / self.speed
+                if leg_time > remaining:
+                    pos = pos + (target - pos) * (remaining * self.speed / leg)
+                    remaining = 0.0
+                else:
+                    pos = target
+                    target = g.uniform(0.0, self.extent, size=2)
+                    remaining -= leg_time
+            now = rt
+            coords[i] = pos
+        servers = self.cluster.nearest_servers(coords)
+        return req_t, servers
+
+    def instance(
+        self,
+        num_users: int,
+        duration: float,
+        cost: Optional[CostModel] = None,
+        rng: RngLike = None,
+    ) -> ProblemInstance:
+        """Merged instance for ``num_users`` independent walkers."""
+        g = _rng(rng)
+        streams = [self.user_stream(duration, rng=g) for _ in range(num_users)]
+        streams = [s for s in streams if s[0].size]
+        if not streams:
+            raise ValueError(
+                "no requests generated; increase duration or request_rate"
+            )
+        return merge_streams(
+            streams, self.cluster.num_servers, cost=cost, origin=self.cluster.origin
+        )

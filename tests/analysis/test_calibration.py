@@ -1,0 +1,79 @@
+"""Cloud-pricing calibration tests."""
+
+import pytest
+
+from repro.analysis import PRICE_POINTS, PricingPlan, calibrate, describe_window
+
+
+class TestPricingPlan:
+    def test_catalog_entries_valid(self):
+        assert set(PRICE_POINTS) == {
+            "object-store-standard",
+            "object-store-infrequent",
+            "cdn-edge",
+        }
+
+    def test_free_transfers_rejected(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            PricingPlan(0.02, 0.0, 0.0)
+
+    def test_negative_prices_rejected(self):
+        with pytest.raises(ValueError):
+            PricingPlan(-1.0, 0.09)
+        with pytest.raises(ValueError):
+            PricingPlan(0.02, 0.09, request_fee=-1.0)
+
+
+class TestCalibrate:
+    def test_units(self):
+        plan = PricingPlan(storage_per_gb_month=0.73, egress_per_gb=0.10)
+        model = calibrate(plan, item_size_gb=10.0, time_unit_hours=1.0)
+        # 0.73 $/GB-month == 0.001 $/GB-hour; 10 GB item -> mu = 0.01/h.
+        assert model.mu == pytest.approx(0.01)
+        assert model.lam == pytest.approx(1.0)
+        assert model.speculative_window == pytest.approx(100.0)  # hours
+
+    def test_window_scales_with_time_unit(self):
+        plan = PricingPlan(0.73, 0.10)
+        hourly = calibrate(plan, 10.0, time_unit_hours=1.0)
+        daily = calibrate(plan, 10.0, time_unit_hours=24.0)
+        # Same physical window regardless of the chosen unit.
+        assert hourly.speculative_window == pytest.approx(
+            daily.speculative_window * 24.0
+        )
+
+    def test_object_store_window_is_days(self):
+        model = calibrate(PRICE_POINTS["object-store-standard"], 1.0)
+        hours = model.speculative_window
+        assert hours > 24 * 30  # cold-storage economics: keep for months
+
+    def test_cdn_edge_window_is_much_shorter(self):
+        cdn = calibrate(PRICE_POINTS["cdn-edge"], 1.0).speculative_window
+        s3 = calibrate(
+            PRICE_POINTS["object-store-standard"], 1.0
+        ).speculative_window
+        assert cdn < s3 / 10
+
+    def test_invalid_inputs(self):
+        plan = PricingPlan(0.02, 0.09)
+        with pytest.raises(ValueError):
+            calibrate(plan, 0.0)
+        with pytest.raises(ValueError):
+            calibrate(plan, 1.0, time_unit_hours=0.0)
+
+
+class TestDescribeWindow:
+    @pytest.mark.parametrize(
+        "hours,expect",
+        [
+            (10.0 / 3600, "seconds"),
+            (0.5, "minutes"),
+            (10.0, "hours"),
+            (24.0 * 10, "days"),
+        ],
+    )
+    def test_unit_selection(self, hours, expect):
+        from repro import CostModel
+
+        model = CostModel(mu=1.0, lam=hours)
+        assert expect in describe_window(model)

@@ -1,0 +1,47 @@
+"""Per-epoch accounting tests."""
+
+import pytest
+
+from repro.analysis import epoch_report
+from repro.online import SpeculativeCaching
+from repro.workloads import poisson_zipf_instance
+
+
+class TestEpochReport:
+    def make(self, seed=0, n=120):
+        return poisson_zipf_instance(n, 5, rate=1.0, rng=seed)
+
+    def test_rows_partition_the_requests(self):
+        inst = self.make()
+        rows = epoch_report(inst, epoch_size=10)
+        assert rows[0].first_request == 1
+        assert rows[-1].last_request == inst.n
+        for a, b in zip(rows, rows[1:]):
+            assert b.first_request == a.last_request + 1
+
+    def test_sc_costs_sum_to_total(self):
+        inst = self.make(seed=1)
+        rows = epoch_report(inst, epoch_size=10)
+        total = SpeculativeCaching(epoch_size=10).run(inst).cost
+        assert sum(r.sc_cost for r in rows) == pytest.approx(total, rel=1e-6)
+
+    def test_per_epoch_ratios_bounded(self):
+        for seed in range(4):
+            inst = self.make(seed=seed)
+            for row in epoch_report(inst, epoch_size=8):
+                assert row.ratio <= 3.0 + 1e-6, row
+
+    def test_max_epochs_truncates(self):
+        inst = self.make(seed=2)
+        rows = epoch_report(inst, epoch_size=5, max_epochs=2)
+        assert len(rows) == 2
+
+    def test_single_giant_epoch(self):
+        inst = self.make(seed=3, n=40)
+        rows = epoch_report(inst, epoch_size=10_000)
+        assert len(rows) == 1
+        assert rows[0].last_request == inst.n
+
+    def test_bad_epoch_size(self):
+        with pytest.raises(ValueError):
+            epoch_report(self.make(), epoch_size=0)

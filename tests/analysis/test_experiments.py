@@ -1,0 +1,51 @@
+"""Experiment-registry tests."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    EXPERIMENTS,
+    list_experiments,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_listing_is_sorted_and_complete(self):
+        names = list_experiments()
+        assert names == sorted(names)
+        assert set(names) == set(EXPERIMENTS)
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("does-not-exist")
+
+    @pytest.mark.parametrize("name", ["fig2", "fig6", "fig7"])
+    def test_paper_experiments_run(self, name):
+        out = run_experiment(name)
+        assert isinstance(out, str) and len(out.splitlines()) >= 3
+
+    def test_fig6_contains_paper_optimum(self):
+        assert "8.9" in run_experiment("fig6")
+
+    def test_fig2_contains_decomposition(self):
+        out = run_experiment("fig2")
+        assert "3.2" in out and "7.2" in out
+
+    def test_dt_chain_holds_column(self):
+        out = run_experiment("dt-chain")
+        assert "holds" in out and "no" not in out.split("holds")[1]
+
+    def test_table1_mentions_both_regimes(self):
+        out = run_experiment("table1")
+        assert "Belady" in out and "SC cost" in out
+
+    def test_adversary_bounded(self):
+        out = run_experiment("adversary")
+        assert "gap_factor" in out
+
+    def test_ladder_ends_at_opt(self):
+        out = run_experiment("ladder")
+        assert "OPT" in out and "MPC" in out
+
+    def test_multi_item_runs(self):
+        assert "SC/OPT" in run_experiment("multi-item")

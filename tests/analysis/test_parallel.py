@@ -1,0 +1,74 @@
+"""Parallel execution utilities tests."""
+
+import pytest
+
+from repro.analysis.parallel import parallel_map, ratio_study, sweep_parallel
+from repro.analysis.sweeps import sweep
+from repro.online import SpeculativeCaching
+from repro.workloads import poisson_zipf_instance
+
+# Module-level work items (process pools require picklable callables).
+
+
+def _square(x):
+    return x * x
+
+
+def _measure(n, k):
+    return {"prod": n * k}
+
+
+def _workload(seed):
+    return poisson_zipf_instance(40, 4, rate=1.0, rng=seed)
+
+
+def _sc_factory():
+    return SpeculativeCaching()
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(_square, [(2,), (3,)], processes=1) == [4, 9]
+
+    def test_pool_matches_serial(self):
+        args = [(i,) for i in range(6)]
+        assert parallel_map(_square, args, processes=2) == parallel_map(
+            _square, args, processes=1
+        )
+
+    def test_empty(self):
+        assert parallel_map(_square, [], processes=4) == []
+
+    def test_lambda_rejected_for_pools(self):
+        with pytest.raises(ValueError, match="module-level"):
+            parallel_map(lambda x: x, [(1,)], processes=2)
+
+    def test_lambda_fine_serially(self):
+        assert parallel_map(lambda x: x + 1, [(1,)], processes=1) == [2]
+
+    def test_bad_process_count(self):
+        with pytest.raises(ValueError):
+            parallel_map(_square, [(1,)], processes=0)
+
+
+class TestSweepParallel:
+    def test_matches_serial_sweep(self):
+        grid = {"n": [1, 2], "k": [10, 20]}
+        serial = sweep(grid, _measure)
+        par = sweep_parallel(grid, _measure, processes=2)
+        assert par.rows == serial.rows
+
+    def test_single_process(self):
+        out = sweep_parallel({"n": [3], "k": [4]}, _measure, processes=1)
+        assert out.rows == [{"n": 3, "k": 4, "prod": 12}]
+
+
+class TestRatioStudy:
+    def test_serial_matches_pool(self):
+        serial = ratio_study(_workload, [0, 1], _sc_factory, processes=1)
+        pooled = ratio_study(_workload, [0, 1], _sc_factory, processes=2)
+        assert serial == pytest.approx(pooled)
+
+    def test_ratios_bounded(self):
+        ratios = ratio_study(_workload, range(3), _sc_factory, processes=1)
+        assert all(1.0 - 1e-9 <= r <= 3.0 + 1e-6 for r in ratios)

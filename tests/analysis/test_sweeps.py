@@ -1,0 +1,35 @@
+"""Sweep harness tests."""
+
+from repro.analysis import Sweep, sweep, timed
+
+
+class TestSweep:
+    def test_cartesian_product(self):
+        out = sweep(
+            {"a": [1, 2], "b": ["x", "y"]},
+            lambda a, b: {"val": f"{a}{b}"},
+        )
+        assert len(out) == 4
+        assert out.column("val") == ["1x", "1y", "2x", "2y"]
+
+    def test_rows_merge_point_and_result(self):
+        out = sweep({"n": [3]}, lambda n: {"double": 2 * n})
+        assert out.rows[0] == {"n": 3, "double": 6}
+
+    def test_table_rendering(self):
+        out = sweep({"n": [1, 2]}, lambda n: {"sq": n * n})
+        text = out.table()
+        assert "sq" in text and "4" in text
+
+    def test_manual_add(self):
+        s = Sweep()
+        s.add(x=1)
+        s.add(x=2)
+        assert s.column("x") == [1, 2]
+
+
+class TestTimed:
+    def test_returns_value_and_duration(self):
+        out = timed(lambda: 42)
+        assert out["value"] == 42
+        assert out["seconds"] >= 0.0

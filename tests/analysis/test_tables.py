@@ -1,0 +1,59 @@
+"""Table formatting tests."""
+
+import pytest
+
+from repro.analysis import format_markdown, format_series, format_table
+
+
+ROWS = [
+    {"name": "sc", "cost": 12.5, "ok": True},
+    {"name": "opt", "cost": 8.25, "ok": False},
+]
+
+
+class TestFormatTable:
+    def test_header_and_rows(self):
+        out = format_table(ROWS)
+        lines = out.splitlines()
+        assert "name" in lines[0] and "cost" in lines[0]
+        assert len(lines) == 4  # header, rule, 2 rows
+
+    def test_title(self):
+        out = format_table(ROWS, title="Results")
+        assert out.splitlines()[0] == "Results"
+
+    def test_explicit_headers_subset(self):
+        out = format_table(ROWS, headers=["cost"])
+        assert "name" not in out
+
+    def test_bool_rendering(self):
+        out = format_table(ROWS)
+        assert "yes" in out and "no" in out
+
+    def test_precision(self):
+        out = format_table([{"x": 1.23456789}], precision=3)
+        assert "1.23" in out and "1.2345" not in out
+
+    def test_missing_cells_blank(self):
+        out = format_table([{"a": 1}, {"b": 2}])
+        assert out  # must not raise
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([])
+
+
+class TestFormatMarkdown:
+    def test_pipe_structure(self):
+        out = format_markdown(ROWS)
+        lines = out.splitlines()
+        assert lines[0].startswith("| name")
+        assert set(lines[1].replace("|", "")) <= {"-"}
+        assert len(lines) == 4
+
+
+class TestFormatSeries:
+    def test_two_columns(self):
+        out = format_series([1, 2], [10.0, 20.0], x_label="n", y_label="t")
+        assert "n" in out and "t" in out
+        assert "10" in out and "20" in out

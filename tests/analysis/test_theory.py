@@ -1,0 +1,98 @@
+"""Closed-form theory vs. solver outputs."""
+
+import numpy as np
+import pytest
+
+from repro import CostModel, solve_offline
+from repro.analysis import (
+    cyclic_adversary,
+    never_delete_cost,
+    round_robin_envelope,
+    single_server_optimal,
+)
+from repro.online import NeverDelete
+
+from ..conftest import make_instance
+
+
+class TestSingleServer:
+    def test_on_origin(self):
+        inst = make_instance([1.0, 3.0, 4.5], [0, 0, 0], m=2, mu=2.0)
+        assert single_server_optimal(inst) == pytest.approx(9.0)
+        assert solve_offline(inst).optimal_cost == pytest.approx(9.0)
+
+    def test_off_origin_adds_one_transfer(self):
+        inst = make_instance([1.0, 3.0], [1, 1], m=2, mu=1.0, lam=2.5)
+        assert single_server_optimal(inst) == pytest.approx(3.0 + 2.5)
+        assert solve_offline(inst).optimal_cost == pytest.approx(5.5)
+
+    def test_multi_server_rejected(self, fig6):
+        with pytest.raises(ValueError, match="several"):
+            single_server_optimal(fig6)
+
+    def test_empty(self):
+        inst = make_instance([], [], m=2)
+        assert single_server_optimal(inst) == 0.0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_dp_on_random_single_server_loads(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 20))
+        t = np.cumsum(rng.uniform(0.1, 3.0, size=n))
+        srv = np.full(n, 1)
+        inst = make_instance(t, srv, m=3, mu=float(rng.uniform(0.2, 2)), lam=float(rng.uniform(0.2, 2)))
+        assert solve_offline(inst).optimal_cost == pytest.approx(
+            single_server_optimal(inst)
+        )
+
+
+class TestNeverDeleteClosedForm:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_simulation(self, seed):
+        from repro.workloads import poisson_zipf_instance
+
+        inst = poisson_zipf_instance(60, 5, rate=1.0, rng=seed)
+        run = NeverDelete().run(inst)
+        assert run.cost == pytest.approx(never_delete_cost(inst))
+
+    def test_origin_only(self):
+        inst = make_instance([1.0, 2.0], [0, 0], m=3)
+        assert never_delete_cost(inst) == pytest.approx(2.0)
+
+
+class TestRoundRobinEnvelope:
+    @pytest.mark.parametrize(
+        "m,gap,rounds",
+        [(2, 0.4, 10), (3, 0.5, 8), (4, 1.3, 6), (5, 0.2, 10)],
+    )
+    def test_brackets_the_optimum(self, m, gap, rounds):
+        cost = CostModel(mu=1.0, lam=1.0)
+        env = round_robin_envelope(m, gap, rounds, cost)
+        inst = cyclic_adversary(m, rounds, gap / cost.speculative_window, cost=cost)
+        opt = solve_offline(inst).optimal_cost
+        assert env.lower - 1e-9 <= opt <= env.upper + 1e-9
+
+    def test_strategy_formulas_are_feasible_costs(self):
+        # Each pure-strategy formula must dominate the optimum.
+        cost = CostModel(mu=2.0, lam=0.7)
+        env = round_robin_envelope(3, 0.9, 5, cost)
+        inst = cyclic_adversary(3, 5, 0.9 / cost.speculative_window, cost=cost)
+        opt = solve_offline(inst).optimal_cost
+        for value in (env.park, env.cache_all, env.migrate):
+            assert value >= opt - 1e-9
+
+    def test_regime_flip(self):
+        cost = CostModel(mu=1.0, lam=1.0)
+        dense = round_robin_envelope(3, 0.05, 10, cost)
+        sparse = round_robin_envelope(3, 5.0, 10, cost)
+        # Tiny gaps favour caching everywhere; huge gaps favour parking.
+        assert dense.cache_all < dense.park
+        assert sparse.park < sparse.cache_all
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            round_robin_envelope(1, 1.0, 5, CostModel())
+        with pytest.raises(ValueError):
+            round_robin_envelope(3, 0.0, 5, CostModel())
+        with pytest.raises(ValueError):
+            round_robin_envelope(3, 1.0, 0, CostModel())

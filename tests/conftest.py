@@ -1,0 +1,100 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro import CostModel, ProblemInstance
+from repro.paperdata import fig2_instance, fig6_instance, fig7_instance
+
+
+@pytest.fixture
+def fig6():
+    """The paper's Figs. 5/6 running example."""
+    return fig6_instance()
+
+
+@pytest.fixture
+def fig2():
+    """The Fig. 2 standard-form example."""
+    return fig2_instance()
+
+
+@pytest.fixture
+def fig7():
+    """The Fig. 7 SC epoch example."""
+    return fig7_instance()
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+def make_instance(
+    times, servers, m=None, mu=1.0, lam=1.0, origin=0
+) -> ProblemInstance:
+    """Terse instance builder used across test modules."""
+    return ProblemInstance.from_arrays(
+        np.asarray(times, dtype=float),
+        np.asarray(servers, dtype=int),
+        num_servers=m,
+        cost=CostModel(mu=mu, lam=lam),
+        origin=origin,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def instances(
+    draw,
+    max_m: int = 5,
+    max_n: int = 20,
+    max_gap: float = 5.0,
+    mu_range=(0.25, 4.0),
+    lam_range=(0.25, 4.0),
+):
+    """Random, well-formed problem instances.
+
+    Times are built from positive gaps so the strict-ordering invariant
+    holds by construction; costs and the origin are drawn independently.
+    """
+    m = draw(st.integers(min_value=1, max_value=max_m))
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    gaps = draw(
+        st.lists(
+            st.floats(
+                min_value=1e-3,
+                max_value=max_gap,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    servers = draw(
+        st.lists(st.integers(min_value=0, max_value=m - 1), min_size=n, max_size=n)
+    )
+    mu = draw(
+        st.floats(min_value=mu_range[0], max_value=mu_range[1], allow_nan=False)
+    )
+    lam = draw(
+        st.floats(min_value=lam_range[0], max_value=lam_range[1], allow_nan=False)
+    )
+    origin = draw(st.integers(min_value=0, max_value=m - 1))
+    times = np.cumsum(np.asarray(gaps))
+    return ProblemInstance.from_arrays(
+        times,
+        np.asarray(servers, dtype=int),
+        num_servers=m,
+        cost=CostModel(mu=mu, lam=lam),
+        origin=origin,
+    )

@@ -1,0 +1,157 @@
+"""Instance transformation tests — each claimed invariance, enforced."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import CostModel, solve_offline
+from repro.core.transforms import (
+    concat,
+    permute_servers,
+    scale_costs,
+    split_at,
+    time_scale,
+    time_shift,
+    with_cost,
+)
+
+from ..conftest import instances, make_instance
+
+_SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestTimeShift:
+    def test_requests_shifted(self, fig6):
+        shifted = time_shift(fig6, 3.0)
+        assert shifted.t[0] == 3.0
+        assert shifted.t[-1] == pytest.approx(7.0)
+
+    @given(instances(), st.floats(-50, 50, allow_nan=False))
+    @settings(**_SETTINGS)
+    def test_cost_invariant(self, inst, delta):
+        assert solve_offline(time_shift(inst, delta)).optimal_cost == (
+            pytest.approx(solve_offline(inst).optimal_cost, rel=1e-9, abs=1e-9)
+        )
+
+
+class TestTimeScale:
+    def test_gaps_scaled(self, fig6):
+        scaled = time_scale(fig6, 2.0)
+        assert np.allclose(np.diff(scaled.t), 2.0 * np.diff(fig6.t))
+
+    @given(instances(), st.floats(0.1, 10, allow_nan=False))
+    @settings(**_SETTINGS)
+    def test_invariant_with_mu_rescale(self, inst, factor):
+        scaled = time_scale(inst, factor, rescale_mu=True)
+        assert solve_offline(scaled).optimal_cost == pytest.approx(
+            solve_offline(inst).optimal_cost, rel=1e-9, abs=1e-9
+        )
+
+    def test_nonpositive_factor_rejected(self, fig6):
+        with pytest.raises(Exception):
+            time_scale(fig6, 0.0)
+
+
+class TestScaleCosts:
+    @given(instances(), st.floats(0.1, 10, allow_nan=False))
+    @settings(**_SETTINGS)
+    def test_cost_scales_linearly(self, inst, factor):
+        assert solve_offline(scale_costs(inst, factor)).optimal_cost == (
+            pytest.approx(
+                factor * solve_offline(inst).optimal_cost, rel=1e-9, abs=1e-9
+            )
+        )
+
+    def test_finite_beta_scaled(self):
+        inst = make_instance([1.0], [0], m=1)
+        inst = with_cost(inst, CostModel(mu=1.0, lam=1.0, beta=2.0))
+        assert scale_costs(inst, 3.0).cost.beta == pytest.approx(6.0)
+
+
+class TestPermuteServers:
+    @given(instances(max_m=5), st.randoms(use_true_random=False))
+    @settings(**_SETTINGS)
+    def test_cost_invariant_under_relabelling(self, inst, rnd):
+        perm = list(range(inst.num_servers))
+        rnd.shuffle(perm)
+        permuted = permute_servers(inst, perm)
+        assert solve_offline(permuted).optimal_cost == pytest.approx(
+            solve_offline(inst).optimal_cost, rel=1e-9, abs=1e-9
+        )
+
+    def test_origin_mapped(self, fig6):
+        permuted = permute_servers(fig6, [3, 2, 1, 0])
+        assert permuted.origin == 3
+
+    def test_invalid_permutation_rejected(self, fig6):
+        with pytest.raises(Exception, match="permutation"):
+            permute_servers(fig6, [0, 0, 1, 2])
+
+
+class TestSplitConcat:
+    def test_split_sizes(self, fig6):
+        head, tail = split_at(fig6, 3)
+        assert head.n == 3 and tail.n == 4
+
+    def test_tail_reanchored_at_boundary(self, fig6):
+        head, tail = split_at(fig6, 3)
+        assert tail.origin == int(fig6.srv[3])
+        assert tail.t[0] == pytest.approx(float(fig6.t[3]))
+
+    def test_split_bounds_checked(self, fig6):
+        with pytest.raises(Exception):
+            split_at(fig6, 99)
+
+    def test_split_costs_upper_bound_whole(self, fig6):
+        # A feasible whole-sequence schedule can be assembled from the
+        # two halves plus at most one bridging transfer.
+        whole = solve_offline(fig6).optimal_cost
+        head, tail = split_at(fig6, 4)
+        parts = (
+            solve_offline(head).optimal_cost + solve_offline(tail).optimal_cost
+        )
+        assert whole <= parts + fig6.cost.lam + 1e-9
+
+    @given(instances(max_m=4, max_n=12), st.integers(0, 12))
+    @settings(**_SETTINGS)
+    def test_split_concat_roundtrip(self, inst, k):
+        k = min(k, inst.n)
+        head, tail = split_at(inst, k)
+        glued = concat(head, tail)
+        assert glued.n == inst.n
+        assert np.allclose(glued.t, inst.t)
+        assert np.array_equal(glued.srv, inst.srv)
+        assert solve_offline(glued).optimal_cost == pytest.approx(
+            solve_offline(inst).optimal_cost, rel=1e-9, abs=1e-9
+        )
+
+    @given(instances(max_m=4, max_n=12), st.integers(0, 12))
+    @settings(**_SETTINGS)
+    def test_split_pieces_upper_bound_whole(self, inst, k):
+        # The tail's origin is the head's final request server, so the
+        # two optima compose into a feasible whole-sequence schedule:
+        # C(whole) <= C(head) + C(tail).
+        k = min(k, inst.n)
+        head, tail = split_at(inst, k)
+        whole = solve_offline(inst).optimal_cost
+        parts = (
+            solve_offline(head).optimal_cost + solve_offline(tail).optimal_cost
+        )
+        assert whole <= parts + 1e-6
+
+    def test_concat_requires_same_cost(self, fig6):
+        other = with_cost(fig6, CostModel(mu=2.0))
+        with pytest.raises(Exception, match="cost"):
+            concat(fig6, other)
+
+
+class TestWithCost:
+    def test_swaps_model_only(self, fig6):
+        swapped = with_cost(fig6, CostModel(mu=3.0, lam=0.5))
+        assert swapped.cost.mu == 3.0
+        assert np.array_equal(swapped.t, fig6.t)

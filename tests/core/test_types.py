@@ -1,0 +1,161 @@
+"""Unit tests for the core value types."""
+
+import math
+
+import pytest
+
+from repro.core.types import (
+    CacheInterval,
+    CostModel,
+    InvalidInstanceError,
+    InvalidScheduleError,
+    Request,
+    Transfer,
+    iter_pairs,
+    sort_requests,
+)
+
+
+class TestRequest:
+    def test_fields(self):
+        r = Request(1.5, 3)
+        assert r.time == 1.5
+        assert r.server == 3
+
+    def test_ordering_is_by_time(self):
+        assert Request(1.0, 5) < Request(2.0, 0)
+
+    def test_as_tuple(self):
+        assert Request(0.25, 2).as_tuple() == (0.25, 2)
+
+    def test_negative_server_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Request(1.0, -1)
+
+    def test_nonfinite_time_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Request(math.inf, 0)
+        with pytest.raises(InvalidInstanceError):
+            Request(math.nan, 0)
+
+    def test_frozen(self):
+        r = Request(1.0, 0)
+        with pytest.raises(AttributeError):
+            r.time = 2.0
+
+
+class TestCostModel:
+    def test_defaults(self):
+        c = CostModel()
+        assert c.mu == 1.0 and c.lam == 1.0 and math.isinf(c.beta)
+
+    def test_speculative_window(self):
+        assert CostModel(mu=2.0, lam=5.0).speculative_window == 2.5
+
+    def test_caching_cost(self):
+        assert CostModel(mu=3.0).caching_cost(2.0) == 6.0
+
+    def test_caching_cost_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().caching_cost(-1.0)
+
+    def test_marginal_bound_transfer_side(self):
+        assert CostModel(mu=1.0, lam=2.0).marginal_bound(5.0) == 2.0
+
+    def test_marginal_bound_cache_side(self):
+        assert CostModel(mu=1.0, lam=2.0).marginal_bound(0.5) == 0.5
+
+    def test_marginal_bound_infinite_sigma(self):
+        assert CostModel(mu=1.0, lam=2.0).marginal_bound(math.inf) == 2.0
+
+    @pytest.mark.parametrize("mu", [0.0, -1.0, math.inf])
+    def test_bad_mu_rejected(self, mu):
+        with pytest.raises(ValueError):
+            CostModel(mu=mu)
+
+    @pytest.mark.parametrize("lam", [0.0, -2.0, math.inf])
+    def test_bad_lam_rejected(self, lam):
+        with pytest.raises(ValueError):
+            CostModel(lam=lam)
+
+    def test_bad_beta_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(beta=0.0)
+
+    def test_finite_beta_allowed(self):
+        assert CostModel(beta=3.0).beta == 3.0
+
+
+class TestCacheInterval:
+    def test_duration(self):
+        assert CacheInterval(0, 1.0, 3.5).duration == 2.5
+
+    def test_zero_length_allowed(self):
+        assert CacheInterval(1, 2.0, 2.0).duration == 0.0
+
+    def test_backwards_rejected(self):
+        with pytest.raises(InvalidScheduleError):
+            CacheInterval(0, 3.0, 1.0)
+
+    def test_negative_server_rejected(self):
+        with pytest.raises(InvalidScheduleError):
+            CacheInterval(-2, 0.0, 1.0)
+
+    def test_covers_closed_interval(self):
+        iv = CacheInterval(0, 1.0, 2.0)
+        assert iv.covers(1.0) and iv.covers(2.0) and iv.covers(1.5)
+        assert not iv.covers(0.999) and not iv.covers(2.001)
+
+    def test_overlaps_same_server(self):
+        a = CacheInterval(0, 0.0, 2.0)
+        assert a.overlaps(CacheInterval(0, 1.0, 3.0))
+        assert a.overlaps(CacheInterval(0, 2.0, 3.0))  # touching counts
+        assert not a.overlaps(CacheInterval(0, 2.5, 3.0))
+
+    def test_overlaps_requires_same_server(self):
+        assert not CacheInterval(0, 0.0, 2.0).overlaps(CacheInterval(1, 0.0, 2.0))
+
+    def test_ordering_groups_by_server(self):
+        ivs = sorted(
+            [CacheInterval(1, 0.0, 1.0), CacheInterval(0, 5.0, 6.0)]
+        )
+        assert ivs[0].server == 0
+
+
+class TestTransfer:
+    def test_fields(self):
+        tr = Transfer(1.0, 0, 2)
+        assert (tr.time, tr.src, tr.dst) == (1.0, 0, 2)
+
+    def test_self_transfer_rejected(self):
+        with pytest.raises(InvalidScheduleError):
+            Transfer(1.0, 3, 3)
+
+    def test_negative_server_rejected(self):
+        with pytest.raises(InvalidScheduleError):
+            Transfer(1.0, -1, 0)
+
+    def test_default_cost_is_lambda(self):
+        assert Transfer(0.0, 0, 1).cost(CostModel(lam=2.5)) == 2.5
+
+    def test_weighted_cost_overrides_lambda(self):
+        assert Transfer(0.0, 0, 1, weight=4.0).cost(CostModel(lam=2.5)) == 4.0
+
+    def test_ordering_by_time(self):
+        assert Transfer(1.0, 0, 1) < Transfer(2.0, 1, 0)
+
+
+class TestHelpers:
+    def test_sort_requests(self):
+        out = sort_requests([Request(2.0, 0), Request(1.0, 1)])
+        assert [r.time for r in out] == [1.0, 2.0]
+
+    def test_sort_requests_rejects_ties(self):
+        with pytest.raises(InvalidInstanceError):
+            sort_requests([Request(1.0, 0), Request(1.0, 1)])
+
+    def test_iter_pairs(self):
+        reqs = [Request(1.0, 0), Request(2.0, 1), Request(3.0, 0)]
+        pairs = list(iter_pairs(reqs))
+        assert len(pairs) == 2
+        assert pairs[0] == (reqs[0], reqs[1])

@@ -1,0 +1,92 @@
+"""Latency emulator tests."""
+
+import pytest
+
+from repro import InvalidScheduleError, Schedule, solve_offline
+from repro.emulator import LatencyModel, emulate
+from repro.network import Cluster
+from repro.online import NeverDelete, SpeculativeCaching
+
+from ..conftest import make_instance
+
+
+class TestLatencyModel:
+    def test_defaults(self):
+        lm = LatencyModel()
+        assert lm.hit < lm.fetch_base
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(hit=-1.0)
+
+    def test_flat_fetch(self):
+        assert LatencyModel(fetch_base=30.0).fetch(0, 1) == 30.0
+
+    def test_distance_term(self):
+        cluster = Cluster.grid(1, 3, spacing=2.0)
+        lm = LatencyModel(fetch_base=10.0, fetch_per_distance=5.0)
+        assert lm.fetch(0, 2, cluster) == pytest.approx(10.0 + 5.0 * 4.0)
+
+    def test_distance_needs_layout(self):
+        lm = LatencyModel(fetch_per_distance=1.0)
+        with pytest.raises(ValueError, match="layout"):
+            lm.fetch(0, 1, Cluster(3))
+
+
+class TestEmulate:
+    def test_hit_vs_fetch_classification(self):
+        inst = make_instance([1.0, 2.0], [1, 1], m=2)
+        sched = (
+            Schedule()
+            .hold(0, 0.0, 1.0)
+            .transfer(0, 1, 1.0)
+            .hold(1, 1.0, 2.0)
+        )
+        rep = emulate(sched, inst)
+        assert rep.outcomes[0].mode == "fetch"  # copy arrives with r_1
+        assert rep.outcomes[1].mode == "hit"  # cached since t=1
+        assert rep.hit_ratio == pytest.approx(0.5)
+
+    def test_fetch_source_recorded(self):
+        inst = make_instance([1.0], [1], m=2)
+        sched = Schedule().hold(0, 0.0, 1.0).transfer(0, 1, 1.0)
+        rep = emulate(sched, inst)
+        assert rep.outcomes[0].src == 0
+
+    def test_unserved_request_raises(self):
+        inst = make_instance([1.0], [1], m=2)
+        sched = Schedule().hold(0, 0.0, 1.0)
+        with pytest.raises(InvalidScheduleError, match="not served"):
+            emulate(sched, inst)
+
+    def test_cost_matches_schedule(self, fig6):
+        sched = solve_offline(fig6).schedule()
+        rep = emulate(sched, fig6)
+        assert rep.cost == pytest.approx(8.9)
+
+    def test_latency_statistics(self):
+        inst = make_instance([1.0, 2.0, 3.0], [1, 1, 1], m=2)
+        sched = (
+            Schedule()
+            .hold(0, 0.0, 1.0)
+            .transfer(0, 1, 1.0)
+            .hold(1, 1.0, 3.0)
+        )
+        rep = emulate(sched, inst, LatencyModel(hit=1.0, fetch_base=11.0))
+        assert rep.mean_latency == pytest.approx((11.0 + 1.0 + 1.0) / 3)
+        assert rep.percentile(50) == 1.0
+        assert rep.within_deadline(5.0) == pytest.approx(2 / 3)
+
+    def test_never_delete_maximises_hits(self):
+        from repro.workloads import poisson_zipf_instance
+
+        inst = poisson_zipf_instance(100, 4, rate=2.0, rng=0)
+        nd = emulate(NeverDelete().run(inst).schedule, inst)
+        sc = emulate(SpeculativeCaching().run(inst).schedule, inst)
+        assert nd.hit_ratio >= sc.hit_ratio
+
+    def test_empty_instance(self):
+        inst = make_instance([], [], m=2)
+        rep = emulate(Schedule(), inst)
+        assert rep.hit_ratio == 0.0 and rep.mean_latency == 0.0
+        assert rep.within_deadline(1.0) == 1.0

@@ -1,0 +1,65 @@
+"""Cost-latency frontier tests."""
+
+import pytest
+
+from repro.emulator import FrontierPoint, cost_latency_frontier, pareto_front
+from repro.online import AlwaysTransfer, NeverDelete, SpeculativeCaching
+from repro.workloads import poisson_zipf_instance
+
+
+def points(seed=0):
+    inst = poisson_zipf_instance(120, 5, rate=2.0, rng=seed)
+    return cost_latency_frontier(
+        inst,
+        [
+            ("sc", lambda: SpeculativeCaching()),
+            ("always-transfer", lambda: AlwaysTransfer()),
+            ("never-delete", lambda: NeverDelete()),
+        ],
+    )
+
+
+class TestFrontier:
+    def test_optimal_included_and_cheapest(self):
+        pts = points()
+        opt = next(p for p in pts if p.policy == "off-line optimal")
+        assert all(opt.cost <= p.cost + 1e-9 for p in pts)
+
+    def test_never_delete_buys_latency(self):
+        pts = points()
+        nd = next(p for p in pts if p.policy == "never-delete")
+        sc = next(p for p in pts if p.policy == "sc")
+        assert nd.hit_ratio >= sc.hit_ratio
+        assert nd.cost >= sc.cost
+
+    def test_optional_optimal_exclusion(self):
+        inst = poisson_zipf_instance(40, 4, rate=1.0, rng=1)
+        pts = cost_latency_frontier(
+            inst, [("sc", lambda: SpeculativeCaching())], include_optimal=False
+        )
+        assert [p.policy for p in pts] == ["sc"]
+
+
+class TestPareto:
+    def test_front_is_nondominated(self):
+        pts = points()
+        front = pareto_front(pts)
+        for p in front:
+            assert not any(q.dominates(p) for q in pts)
+
+    def test_optimal_always_on_front(self):
+        front = pareto_front(points())
+        assert any(p.policy == "off-line optimal" for p in front)
+
+    def test_dominates_semantics(self):
+        a = FrontierPoint("a", cost=1.0, p95_latency=1.0, hit_ratio=1.0)
+        b = FrontierPoint("b", cost=2.0, p95_latency=2.0, hit_ratio=0.5)
+        c = FrontierPoint("c", cost=0.5, p95_latency=3.0, hit_ratio=0.2)
+        assert a.dominates(b)
+        assert not a.dominates(c) and not c.dominates(a)
+        assert not a.dominates(a)
+
+    def test_front_sorted_by_cost(self):
+        front = pareto_front(points())
+        costs = [p.cost for p in front]
+        assert costs == sorted(costs)

@@ -1,0 +1,65 @@
+"""Cluster substrate tests."""
+
+import numpy as np
+import pytest
+
+from repro import CostModel
+from repro.network import Cluster, Server
+
+
+class TestConstruction:
+    def test_basic(self):
+        c = Cluster(4)
+        assert c.num_servers == 4 and c.origin == 0
+        assert not c.has_layout
+
+    def test_positions_length_checked(self):
+        with pytest.raises(ValueError, match="positions"):
+            Cluster(3, positions=[(0, 0)])
+
+    def test_zero_servers_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster(0)
+
+    def test_bad_origin_rejected(self):
+        with pytest.raises(ValueError, match="origin"):
+            Cluster(2, origin=5)
+
+    def test_grid_layout(self):
+        c = Cluster.grid(2, 3, spacing=2.0)
+        assert c.num_servers == 6 and c.has_layout
+        assert c.servers[0].position == (0.0, 0.0)
+        assert c.servers[5].position == (4.0, 2.0)
+
+    def test_random_layout_deterministic(self):
+        a = Cluster.random_layout(5, rng=np.random.default_rng(1))
+        b = Cluster.random_layout(5, rng=np.random.default_rng(1))
+        assert np.allclose(a.positions(), b.positions())
+
+
+class TestQueries:
+    def test_nearest_server(self):
+        c = Cluster.grid(1, 3, spacing=1.0)
+        assert c.nearest_server((0.1, 0.0)) == 0
+        assert c.nearest_server((1.9, 0.0)) == 2
+
+    def test_nearest_servers_vectorised(self):
+        c = Cluster.grid(1, 3)
+        pts = np.array([[0.0, 0.0], [2.0, 0.0]])
+        assert list(c.nearest_servers(pts)) == [0, 2]
+
+    def test_positions_require_layout(self):
+        with pytest.raises(ValueError, match="layout"):
+            Cluster(2).positions()
+
+    def test_heterogeneous_model_lift(self):
+        c = Cluster(3, cost=CostModel(mu=2.0, lam=3.0))
+        h = c.heterogeneous_model()
+        assert h.as_homogeneous() == CostModel(mu=2.0, lam=3.0)
+
+    def test_server_label(self):
+        assert Server(2).label() == "s2"
+        assert Server(2, name="edge-a").label() == "edge-a"
+
+    def test_repr(self):
+        assert "m=3" in repr(Cluster(3))

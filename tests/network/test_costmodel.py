@@ -1,0 +1,80 @@
+"""Heterogeneous cost model tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import CostModel
+from repro.network import HeterogeneousCostModel, homogeneous_as_heterogeneous
+
+
+def het(m=3, mu=1.0, lam=2.0):
+    return homogeneous_as_heterogeneous(CostModel(mu=mu, lam=lam), m)
+
+
+class TestConstruction:
+    def test_lift_from_homogeneous(self):
+        h = het()
+        assert h.num_servers == 3
+        assert np.all(h.mu == 1.0)
+        assert h.lam[0, 1] == 2.0 and h.lam[1, 1] == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            HeterogeneousCostModel(mu=np.ones(3), lam=np.zeros((2, 2)))
+
+    def test_mu_must_be_1d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            HeterogeneousCostModel(mu=np.ones((2, 2)), lam=np.zeros((2, 2)))
+
+    def test_nonpositive_mu_rejected(self):
+        lam = np.array([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ValueError, match="positive"):
+            HeterogeneousCostModel(mu=np.array([1.0, 0.0]), lam=lam)
+
+    def test_nonzero_diagonal_rejected(self):
+        lam = np.array([[1.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ValueError, match="diagonal"):
+            HeterogeneousCostModel(mu=np.ones(2), lam=lam)
+
+    def test_nonpositive_offdiagonal_rejected(self):
+        lam = np.array([[0.0, -1.0], [1.0, 0.0]])
+        with pytest.raises(ValueError, match="transfer costs"):
+            HeterogeneousCostModel(mu=np.ones(2), lam=lam)
+
+
+class TestQueries:
+    def test_is_homogeneous_true(self):
+        assert het().is_homogeneous()
+
+    def test_is_homogeneous_false(self):
+        h = het()
+        mu = h.mu.copy()
+        mu[0] = 9.0
+        assert not HeterogeneousCostModel(mu=mu, lam=h.lam).is_homogeneous()
+
+    def test_roundtrip_to_homogeneous(self):
+        back = het(mu=1.5, lam=2.5).as_homogeneous()
+        assert back.mu == 1.5 and back.lam == 2.5
+
+    def test_as_homogeneous_rejects_heterogeneous(self):
+        h = het()
+        mu = h.mu.copy()
+        mu[0] = 9.0
+        with pytest.raises(ValueError, match="not homogeneous"):
+            HeterogeneousCostModel(mu=mu, lam=h.lam).as_homogeneous()
+
+    def test_check_size(self):
+        with pytest.raises(ValueError, match="covers"):
+            het(m=3).check(4)
+
+    def test_single_server_fleet(self):
+        h = homogeneous_as_heterogeneous(CostModel(), 1)
+        assert h.is_homogeneous()
+        assert h.as_homogeneous().mu == 1.0
+
+    def test_beta_passthrough(self):
+        h = homogeneous_as_heterogeneous(CostModel(beta=5.0), 2)
+        assert h.beta == 5.0
+        assert math.isinf(het().beta)

@@ -1,0 +1,102 @@
+"""Beam-search solver tests."""
+
+import numpy as np
+import pytest
+
+from repro import solve_exact, solve_offline, validate_schedule
+from repro.network import HeterogeneousCostModel
+from repro.offline import solve_beam
+from repro.workloads import poisson_zipf_instance
+
+from ..conftest import make_instance
+
+
+def het_model(m, rng, spread=2.0):
+    mu = np.exp(rng.uniform(-np.log(spread), np.log(spread), size=m))
+    lam = np.exp(rng.uniform(-0.5, 0.5, size=(m, m)))
+    np.fill_diagonal(lam, 0.0)
+    return HeterogeneousCostModel(mu=mu, lam=lam)
+
+
+class TestAgainstExact:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_wide_beam_matches_oracle_homogeneous(self, seed):
+        inst = poisson_zipf_instance(20, 4, rate=1.0, rng=seed)
+        ex = solve_exact(inst, build_schedule=False).optimal_cost
+        bm = solve_beam(inst, width=128)
+        assert bm.cost == pytest.approx(ex, rel=1e-9)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_wide_beam_matches_oracle_heterogeneous(self, seed):
+        rng = np.random.default_rng(seed)
+        inst = poisson_zipf_instance(18, 4, rate=1.0, rng=200 + seed)
+        het = het_model(4, rng)
+        ex = solve_exact(inst, het=het, build_schedule=False).optimal_cost
+        bm = solve_beam(inst, het=het, width=128)
+        assert bm.cost == pytest.approx(ex, rel=1e-9)
+
+    def test_fig6(self, fig6):
+        assert solve_beam(fig6, width=64).cost == pytest.approx(8.9)
+
+
+class TestUpperBoundProperty:
+    @pytest.mark.parametrize("width", [1, 2, 8])
+    def test_narrow_beams_never_beat_the_optimum(self, width):
+        for seed in range(6):
+            inst = poisson_zipf_instance(25, 4, rate=1.0, rng=seed)
+            ex = solve_exact(inst, build_schedule=False).optimal_cost
+            bm = solve_beam(inst, width=width)
+            assert bm.cost >= ex - 1e-9
+
+    def test_wider_beam_never_worse(self):
+        for seed in range(6):
+            inst = poisson_zipf_instance(30, 5, rate=1.0, rng=seed)
+            narrow = solve_beam(inst, width=2, build_schedule=False).cost
+            wide = solve_beam(inst, width=64, build_schedule=False).cost
+            assert wide <= narrow + 1e-9
+
+    def test_schedules_always_feasible(self):
+        for seed in range(6):
+            inst = poisson_zipf_instance(30, 5, rate=1.0, rng=seed)
+            bm = solve_beam(inst, width=4)
+            validate_schedule(bm.schedule, inst)
+            assert bm.schedule.total_cost(inst.cost) == pytest.approx(bm.cost)
+
+
+class TestScale:
+    def test_large_fleet(self):
+        inst = poisson_zipf_instance(150, 32, rate=1.0, rng=1)
+        bm = solve_beam(inst, width=16)
+        fast = solve_offline(inst).optimal_cost
+        # Homogeneous large fleet: beam must stay near the exact DP.
+        assert bm.cost <= 1.1 * fast
+
+    def test_schedule_cost_consistency_heterogeneous(self):
+        rng = np.random.default_rng(3)
+        inst = poisson_zipf_instance(40, 6, rate=1.0, rng=3)
+        het = het_model(6, rng)
+        bm = solve_beam(inst, het=het, width=32)
+        caching = sum(
+            float(het.mu[iv.server]) * iv.duration
+            for iv in bm.schedule.canonical().intervals
+        )
+        transfer = sum(
+            float(het.lam[tr.src, tr.dst]) for tr in bm.schedule.transfers
+        )
+        assert caching + transfer == pytest.approx(bm.cost, rel=1e-9)
+
+
+class TestAPI:
+    def test_width_validated(self, fig6):
+        with pytest.raises(ValueError):
+            solve_beam(fig6, width=0)
+
+    def test_empty_instance(self):
+        inst = make_instance([], [], m=3)
+        bm = solve_beam(inst)
+        assert bm.cost == 0.0 and len(bm.schedule) == 0
+
+    def test_het_size_checked(self, fig6):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="covers"):
+            solve_beam(fig6, het=het_model(3, rng))

@@ -1,0 +1,35 @@
+"""Bound utilities tests."""
+
+import numpy as np
+import pytest
+
+from repro.offline import bound_report, marginal_bounds, running_bound
+
+from ..conftest import make_instance
+
+
+class TestBounds:
+    def test_marginal_bounds_are_instance_b(self, fig6):
+        assert np.array_equal(marginal_bounds(fig6), fig6.b)
+
+    def test_running_bound_fig6(self, fig6):
+        assert running_bound(fig6) == pytest.approx(6.6)
+
+    def test_report_gap_nonnegative(self, fig6):
+        rep = bound_report(fig6)
+        assert rep.gap >= 0
+        assert rep.optimal_cost == pytest.approx(8.9)
+        assert rep.lower_bound == pytest.approx(6.6)
+        assert rep.ratio == pytest.approx(8.9 / 6.6)
+
+    def test_tight_bound_case(self):
+        # A single far-away request: optimum = mu*t + lam; bound = lam.
+        inst = make_instance([10.0], [1], m=2)
+        rep = bound_report(inst)
+        assert rep.lower_bound == pytest.approx(1.0)
+        assert rep.optimal_cost == pytest.approx(11.0)
+
+    def test_empty_instance_ratio_inf(self):
+        inst = make_instance([], [], m=1)
+        rep = bound_report(inst)
+        assert rep.lower_bound == 0.0 and rep.ratio == float("inf")

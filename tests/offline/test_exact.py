@@ -1,0 +1,116 @@
+"""Exact subset-state oracle tests, including the heterogeneous extension."""
+
+import numpy as np
+import pytest
+
+from repro import CostModel, ProblemInstance, solve_exact, solve_offline, validate_schedule
+from repro.network import HeterogeneousCostModel, homogeneous_as_heterogeneous
+
+from ..conftest import make_instance
+
+
+class TestOracleAgreement:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_fast_dp(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        m = int(rng.integers(1, 6))
+        n = int(rng.integers(1, 16))
+        t = np.cumsum(rng.uniform(0.05, 2.0, size=n))
+        srv = rng.integers(0, m, size=n)
+        inst = ProblemInstance.from_arrays(
+            t,
+            srv,
+            num_servers=m,
+            cost=CostModel(
+                mu=float(rng.uniform(0.2, 4.0)), lam=float(rng.uniform(0.2, 4.0))
+            ),
+        )
+        ex = solve_exact(inst)
+        assert ex.optimal_cost == pytest.approx(
+            solve_offline(inst).optimal_cost, rel=1e-9
+        )
+
+    def test_fig6(self, fig6):
+        assert solve_exact(fig6).optimal_cost == pytest.approx(8.9)
+
+    def test_exact_schedule_is_feasible(self, fig6, fig2):
+        for inst in (fig6, fig2):
+            ex = solve_exact(inst)
+            validate_schedule(ex.schedule, inst)
+            assert ex.schedule.total_cost(inst.cost) == pytest.approx(
+                ex.optimal_cost
+            )
+
+    def test_states_start_at_origin(self, fig6):
+        ex = solve_exact(fig6)
+        assert ex.states[0] == 1 << fig6.origin
+
+    def test_schedule_optional(self, fig6):
+        ex = solve_exact(fig6, build_schedule=False)
+        assert len(ex.schedule) == 0
+        assert ex.optimal_cost == pytest.approx(8.9)
+
+    def test_too_many_servers_rejected(self):
+        inst = make_instance([1.0], [16], m=17)
+        with pytest.raises(ValueError, match="exponential"):
+            solve_exact(inst)
+
+
+class TestHeterogeneous:
+    def test_homogeneous_matrix_matches_scalar(self, fig6):
+        het = homogeneous_as_heterogeneous(fig6.cost, fig6.num_servers)
+        assert solve_exact(fig6, het=het).optimal_cost == pytest.approx(8.9)
+
+    def test_cheap_cache_server_attracts_the_copy(self):
+        # Server 1 caches 10x cheaper; requests alternate 0/1 with big
+        # gaps, so the copy should live on server 1 and transfer to 0.
+        inst = make_instance([2.0, 4.0, 6.0, 8.0], [1, 0, 1, 0], m=2, lam=1.0)
+        mu = np.array([10.0, 0.1])
+        lam = np.array([[0.0, 1.0], [1.0, 0.0]])
+        het = HeterogeneousCostModel(mu=mu, lam=lam)
+        ex = solve_exact(inst, het=het)
+        # Parking the copy on expensive server 0 would cost 10/unit rent:
+        # hold 0 over [0, 8] (80) plus two transfers to server 1 (2).
+        assert ex.optimal_cost < 82.0
+        # The copy should live on cheap server 1 from its first visit on.
+        cover = sum(iv.duration for iv in ex.schedule.intervals_on(1))
+        assert cover >= inst.horizon - 2.0 - 1e-9
+
+    def test_asymmetric_transfer_costs_respected(self):
+        inst = make_instance([1.0, 2.0], [1, 2], m=3, mu=0.01)
+        lam = np.array(
+            [[0.0, 10.0, 10.0], [5.0, 0.0, 0.5], [5.0, 0.5, 0.0]]
+        )
+        het = HeterogeneousCostModel(mu=np.full(3, 0.01), lam=lam)
+        ex = solve_exact(inst, het=het)
+        # Route 0->1 (10) then 1->2 (0.5) beats 0->2 directly for r_2.
+        pairs = {(tr.src, tr.dst) for tr in ex.schedule.transfers}
+        assert (1, 2) in pairs
+
+    def test_size_mismatch_rejected(self, fig6):
+        het = homogeneous_as_heterogeneous(fig6.cost, 3)
+        with pytest.raises(ValueError, match="covers"):
+            solve_exact(fig6, het=het)
+
+
+class TestUploads:
+    def test_cheap_upload_reduces_cost(self):
+        # Requests far apart on two servers; beta below lambda and below
+        # long caching makes uploading competitive.
+        inst = ProblemInstance(
+            [(5.0, 1), (10.0, 0)],
+            num_servers=2,
+            cost=CostModel(mu=1.0, lam=4.0, beta=0.5),
+        )
+        with_upload = solve_exact(inst).optimal_cost
+        no_upload = solve_exact(
+            ProblemInstance(
+                [(5.0, 1), (10.0, 0)],
+                num_servers=2,
+                cost=CostModel(mu=1.0, lam=4.0),
+            )
+        ).optimal_cost
+        assert with_upload < no_upload
+
+    def test_infinite_beta_means_no_uploads(self, fig6):
+        assert solve_exact(fig6).optimal_cost == pytest.approx(8.9)

@@ -1,0 +1,109 @@
+"""Exact reproduction of the paper's worked numbers (Figs. 2, 5, 6).
+
+Every assertion here corresponds to a number printed in the paper's text;
+EXPERIMENTS.md cross-references this module.
+"""
+
+import numpy as np
+import pytest
+
+from repro import solve_offline, solve_offline_naive, validate_schedule
+from repro.offline.result import FROM_D
+from repro.paperdata import FIG2_EXPECTED, FIG6_EXPECTED
+
+
+class TestFig6CostVectors:
+    def test_C_vector(self, fig6):
+        res = solve_offline(fig6)
+        assert np.allclose(res.C, FIG6_EXPECTED["C"], atol=1e-9)
+
+    def test_D_vector_finite_part(self, fig6):
+        res = solve_offline(fig6)
+        for i, want in FIG6_EXPECTED["D_finite"].items():
+            assert res.D[i] == pytest.approx(want)
+
+    def test_D_infinite_for_first_requests(self, fig6):
+        res = solve_offline(fig6)
+        assert np.all(np.isinf(res.D[1:4]))  # first hits on s^2, s^3, s^4
+
+    def test_marginal_and_running_bounds(self, fig6):
+        assert np.allclose(fig6.b, FIG6_EXPECTED["b"])
+        assert np.allclose(fig6.B, FIG6_EXPECTED["B"])
+
+    def test_optimal_cost_is_8_9(self, fig6):
+        assert solve_offline(fig6).optimal_cost == pytest.approx(8.9)
+
+    def test_intermediate_worked_values(self, fig6):
+        # C(1) = min{D(1), C(0)+1+0.5} = 1.5 ... C(4) = 4.4 as in the text.
+        res = solve_offline(fig6)
+        assert res.C[1] == pytest.approx(1.5)
+        assert res.C[2] == pytest.approx(2.8)
+        assert res.C[3] == pytest.approx(4.1)
+        assert res.C[4] == pytest.approx(4.4)
+        assert res.D[4] == pytest.approx(4.4)  # D(4) = C(0) + 1.4 + 3 - 0
+
+    def test_D7_candidate_enumeration(self, fig6):
+        # The paper enumerates D(7) candidates 9.6, 9.2, 10.3, 10.3 (it
+        # prints 10.03 — an obvious typo for 10.3) and picks 9.2 via κ=4.
+        res = solve_offline(fig6)
+        mu_sigma7 = fig6.cost.mu * fig6.sigma[7]
+        B6 = fig6.B[6]
+        base = res.C[fig6.p[7]] + mu_sigma7 + B6 - fig6.B[fig6.p[7]]
+        assert base == pytest.approx(9.6)
+        pivot_vals = {
+            k: float(res.D[k] + mu_sigma7 + B6 - fig6.B[k])
+            for k in (4, 5)
+        }
+        assert pivot_vals[4] == pytest.approx(9.2)
+        assert pivot_vals[5] == pytest.approx(10.3)
+        assert res.D[7] == pytest.approx(9.2)
+        assert res.choice_d_tag[7] == FROM_D
+        assert res.choice_d_k[7] == 4  # the paper's pivot κ = 4
+
+    def test_C7_takes_transfer_branch(self, fig6):
+        # C(7) = min{D(7)=9.2, C(6)+0.8+1=8.9} = 8.9 — transfer wins.
+        res = solve_offline(fig6)
+        assert not res.served_by_cache[7]
+        assert res.C[7] == pytest.approx(res.C[6] + 0.8 + 1.0)
+
+    def test_pivot_intervals_match_fig5(self, fig6):
+        # Fig. 5: the intervals containing t_{p(7)} = 0.8 are [0, 1.4] on
+        # s^1 and [0.5, 2.6] on s^2.
+        for k, (lo, hi) in FIG6_EXPECTED["pivot_intervals_at_t_p7"].items():
+            ks = [
+                kk
+                for kk in fig6.cover_set(7)
+                if int(fig6.srv[kk]) == k
+            ]
+            assert len(ks) == 1
+            kk = ks[0]
+            assert float(fig6.t[fig6.p[kk]]) == pytest.approx(lo)
+            assert float(fig6.t[kk]) == pytest.approx(hi)
+
+    def test_naive_solver_reproduces_the_same_table(self, fig6):
+        res = solve_offline_naive(fig6)
+        assert np.allclose(res.C, FIG6_EXPECTED["C"])
+
+
+class TestFig2Decomposition:
+    def test_total_cost(self, fig2):
+        assert solve_offline(fig2).optimal_cost == pytest.approx(
+            FIG2_EXPECTED["optimal_cost"]
+        )
+
+    def test_caching_transfer_split(self, fig2):
+        sched = solve_offline(fig2).schedule()
+        assert sched.caching_cost(fig2.cost) == pytest.approx(
+            FIG2_EXPECTED["caching_cost"]
+        )
+        assert sched.transfer_cost(fig2.cost) == pytest.approx(
+            FIG2_EXPECTED["transfer_cost"]
+        )
+
+    def test_schedule_standard_form_and_feasible(self, fig2):
+        sched = solve_offline(fig2).schedule()
+        validate_schedule(sched, fig2, require_standard_form=True)
+
+    def test_four_transfers(self, fig2):
+        sched = solve_offline(fig2).schedule()
+        assert len(sched.transfers) == 4

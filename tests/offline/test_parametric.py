@@ -1,0 +1,70 @@
+"""λ-sensitivity tests."""
+
+import numpy as np
+import pytest
+
+from repro.offline import lambda_breakpoints, lambda_sensitivity
+from repro.workloads import poisson_zipf_instance
+
+from ..conftest import make_instance
+
+
+class TestLambdaSensitivity:
+    def test_envelope_is_concave_nondecreasing(self):
+        inst = poisson_zipf_instance(40, 4, rate=1.0, rng=0)
+        pts = lambda_sensitivity(inst, np.linspace(0.1, 5.0, 12))
+        costs = [p.optimal_cost for p in pts]
+        assert all(b >= a - 1e-9 for a, b in zip(costs, costs[1:]))
+        # Concavity: slopes (transfer counts) non-increasing in lambda.
+        transfers = [p.transfers for p in pts]
+        assert all(b <= a for a, b in zip(transfers, transfers[1:]))
+
+    def test_slope_equals_transfer_count(self):
+        # Finite differences of the envelope within one segment match
+        # the active schedule's transfer count.
+        inst = poisson_zipf_instance(30, 4, rate=1.0, rng=1)
+        a, b = 0.50, 0.5001
+        pts = lambda_sensitivity(inst, [a, b])
+        if pts[0].transfers == pts[1].transfers:
+            fd = (pts[1].optimal_cost - pts[0].optimal_cost) / (b - a)
+            assert fd == pytest.approx(pts[0].transfers, abs=1e-3)
+
+    def test_copy_time_rises_with_lambda(self):
+        inst = poisson_zipf_instance(40, 4, rate=1.0, rng=2)
+        pts = lambda_sensitivity(inst, [0.2, 2.0, 8.0])
+        assert pts[0].copy_time <= pts[-1].copy_time + 1e-9
+
+    def test_empty_grid_rejected(self, fig6):
+        with pytest.raises(ValueError):
+            lambda_sensitivity(fig6, [])
+
+    def test_nonpositive_lambda_rejected(self, fig6):
+        with pytest.raises(ValueError):
+            lambda_sensitivity(fig6, [0.0, 1.0])
+
+
+class TestBreakpoints:
+    def test_breakpoints_separate_distinct_slopes(self):
+        inst = poisson_zipf_instance(25, 3, rate=1.0, rng=3)
+        bps = lambda_breakpoints(inst, 0.05, 10.0, tol=1e-3)
+        pts = lambda_sensitivity(inst, [0.05] + bps + [10.0])
+        # Transfer counts strictly decrease across consecutive probes.
+        transfers = [p.transfers for p in pts]
+        assert transfers[0] > transfers[-1]
+
+    def test_single_server_has_no_breakpoints(self):
+        inst = make_instance([1.0, 2.0, 3.0], [0, 0, 0], m=1)
+        assert lambda_breakpoints(inst, 0.1, 10.0) == []
+
+    def test_bad_range_rejected(self, fig6):
+        with pytest.raises(ValueError):
+            lambda_breakpoints(fig6, 2.0, 1.0)
+
+    def test_breakpoint_value_matches_regime_flip(self):
+        # Hand-solvable flip: transfer-everything costs 2μ + 2λ (hold the
+        # origin through [0, 2], transfer at t=1 and t=2); cache-on-s1
+        # costs 2.1μ + λ. Equal exactly at λ = 0.1μ.
+        inst = make_instance([1.0, 1.1, 2.0], [1, 0, 1], m=2, mu=1.0)
+        bps = lambda_breakpoints(inst, 0.02, 1.0, tol=1e-4)
+        assert len(bps) == 1
+        assert bps[0] == pytest.approx(0.1, abs=1e-3)

@@ -1,0 +1,114 @@
+"""Property-based tests tying all off-line solvers together."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro import (
+    solve_exact,
+    solve_offline,
+    solve_offline_bisect,
+    solve_offline_naive,
+    validate_schedule,
+)
+from repro.schedule import is_standard_form, migration_only_cost, schedule_edge_cost
+
+from ..conftest import instances
+
+_SETTINGS = dict(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestOptimality:
+    @given(instances(max_m=4, max_n=12))
+    @settings(**_SETTINGS)
+    def test_dp_equals_exact_oracle(self, inst):
+        fast = solve_offline(inst).optimal_cost
+        exact = solve_exact(inst, build_schedule=False).optimal_cost
+        assert fast == pytest.approx(exact, rel=1e-9, abs=1e-9)
+
+    @given(instances())
+    @settings(**_SETTINGS)
+    def test_all_dp_variants_agree(self, inst):
+        fast = solve_offline(inst)
+        assert fast.agrees_with(solve_offline_naive(inst))
+        assert fast.agrees_with(solve_offline_bisect(inst))
+
+    @given(instances())
+    @settings(**_SETTINGS)
+    def test_running_bound_is_a_lower_bound(self, inst):
+        res = solve_offline(inst)
+        assert inst.running_bound() <= res.optimal_cost + 1e-9
+
+    @given(instances())
+    @settings(**_SETTINGS)
+    def test_migration_only_is_an_upper_bound(self, inst):
+        assert (
+            solve_offline(inst).optimal_cost
+            <= migration_only_cost(inst) + 1e-9
+        )
+
+
+class TestReconstruction:
+    @given(instances())
+    @settings(**_SETTINGS)
+    def test_schedule_feasible_standard_and_exact_cost(self, inst):
+        res = solve_offline(inst)
+        sched = res.schedule()  # raises internally if cost identity breaks
+        validate_schedule(sched, inst)
+        assert is_standard_form(sched, inst)
+        assert schedule_edge_cost(sched, inst) == pytest.approx(
+            res.optimal_cost, rel=1e-9, abs=1e-9
+        )
+
+    @given(instances(max_m=4, max_n=12))
+    @settings(**_SETTINGS)
+    def test_exact_oracle_schedule_feasible(self, inst):
+        ex = solve_exact(inst)
+        validate_schedule(ex.schedule, inst)
+        assert ex.schedule.total_cost(inst.cost) == pytest.approx(
+            ex.optimal_cost, rel=1e-9, abs=1e-9
+        )
+
+
+class TestStability:
+    @given(instances())
+    @settings(**_SETTINGS)
+    def test_time_shift_invariance(self, inst):
+        # Shifting all request times by a constant shifts nothing: costs
+        # depend only on gaps.
+        import repro
+
+        shifted = repro.ProblemInstance.from_arrays(
+            inst.t[1:] + 7.25,
+            inst.srv[1:],
+            num_servers=inst.num_servers,
+            cost=inst.cost,
+            origin=inst.origin,
+            start_time=float(inst.t[0]) + 7.25,
+        )
+        assert solve_offline(shifted).optimal_cost == pytest.approx(
+            solve_offline(inst).optimal_cost, rel=1e-9, abs=1e-9
+        )
+
+    @given(instances())
+    @settings(**_SETTINGS)
+    def test_cost_scale_invariance(self, inst):
+        # Scaling both mu and lam by c scales the optimum by c.
+        import repro
+
+        c = 3.5
+        scaled = repro.ProblemInstance.from_arrays(
+            inst.t[1:],
+            inst.srv[1:],
+            num_servers=inst.num_servers,
+            cost=repro.CostModel(mu=inst.cost.mu * c, lam=inst.cost.lam * c),
+            origin=inst.origin,
+            start_time=float(inst.t[0]),
+        )
+        assert solve_offline(scaled).optimal_cost == pytest.approx(
+            c * solve_offline(inst).optimal_cost, rel=1e-9, abs=1e-9
+        )

@@ -1,0 +1,113 @@
+"""Schedule reconstruction (backtracking) tests."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostModel,
+    ProblemInstance,
+    reconstruct_schedule,
+    solve_offline,
+    solve_offline_naive,
+    validate_schedule,
+)
+from repro.schedule import is_standard_form, schedule_is_tree
+
+from ..conftest import make_instance
+
+
+class TestCostIdentity:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_realized_cost_equals_Cn(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        m = int(rng.integers(1, 7))
+        n = int(rng.integers(1, 50))
+        t = np.cumsum(rng.uniform(0.02, 2.5, size=n))
+        srv = rng.integers(0, m, size=n)
+        inst = ProblemInstance.from_arrays(
+            t,
+            srv,
+            num_servers=m,
+            cost=CostModel(
+                mu=float(rng.uniform(0.2, 3.0)), lam=float(rng.uniform(0.2, 3.0))
+            ),
+        )
+        res = solve_offline(inst)
+        sched = reconstruct_schedule(res)  # verify=True asserts internally
+        assert sched.total_cost(inst.cost) == pytest.approx(res.optimal_cost)
+        validate_schedule(sched, inst, require_standard_form=True)
+
+    def test_naive_result_reconstructs_too(self, fig6):
+        sched = reconstruct_schedule(solve_offline_naive(fig6))
+        assert sched.total_cost(fig6.cost) == pytest.approx(8.9)
+
+
+class TestStructure:
+    def test_standard_form(self, fig6, fig2, fig7):
+        for inst in (fig6, fig2, fig7):
+            sched = solve_offline(inst).schedule()
+            assert is_standard_form(sched, inst)
+
+    def test_tree_property(self, fig6, fig2):
+        for inst in (fig6, fig2):
+            assert schedule_is_tree(solve_offline(inst).schedule(), inst)
+
+    def test_no_self_transfers(self, fig6):
+        sched = solve_offline(fig6).schedule()
+        assert all(tr.src != tr.dst for tr in sched.transfers)
+
+    def test_fig6_schedule_atoms(self, fig6):
+        # The reconstructed optimum: origin caches [0, 1.4]; s^2 caches
+        # [0.5, 4.0]; four transfers as the space-time diagram shows.
+        sched = solve_offline(fig6).schedule()
+        per = sched.per_server()
+        assert per[0][0].start == pytest.approx(0.0)
+        assert per[0][0].end == pytest.approx(1.4)
+        assert per[1][0].start == pytest.approx(0.5)
+        assert per[1][0].end == pytest.approx(4.0)
+        assert len(sched.transfers) == 4
+
+
+class TestScale:
+    def test_long_transfer_chain_does_not_overflow_stack(self):
+        # Thousands of alternating-transfer steps exercise the explicit
+        # work stack (naive recursion would hit Python's limit).
+        n = 5000
+        t = np.arange(1, n + 1, dtype=float) * 10.0  # big gaps -> transfers
+        srv = np.arange(n) % 2
+        inst = ProblemInstance.from_arrays(
+            t, srv, num_servers=2, cost=CostModel(mu=1.0, lam=0.5)
+        )
+        res = solve_offline(inst)
+        sched = res.schedule()
+        assert sched.total_cost(inst.cost) == pytest.approx(res.optimal_cost)
+
+    def test_long_cache_chain(self):
+        n = 3000
+        t = np.arange(1, n + 1, dtype=float) * 0.01  # tiny gaps -> caching
+        srv = np.zeros(n, dtype=int)
+        inst = ProblemInstance.from_arrays(t, srv, num_servers=1)
+        res = solve_offline(inst)
+        assert res.schedule().total_cost(inst.cost) == pytest.approx(
+            res.optimal_cost
+        )
+
+
+class TestMarginalServices:
+    def test_short_gap_requests_cached_not_transferred(self):
+        # Requests on s1 with sigma << lam inside another server's window
+        # must be served by their own short caches.
+        inst = make_instance(
+            [1.0, 1.1, 1.2, 5.0], [1, 1, 1, 0], m=2, mu=1.0, lam=10.0
+        )
+        sched = solve_offline(inst).schedule()
+        ivs = sched.intervals_on(1)
+        assert any(iv.duration >= 0.2 - 1e-9 for iv in ivs)
+
+    def test_long_gap_marginals_transferred(self):
+        inst = make_instance(
+            [1.0, 6.0, 6.5], [1, 1, 1], m=2, mu=1.0, lam=1.0
+        )
+        sched = solve_offline(inst).schedule()
+        # sigma of r2 on s1 is 5 >> lam: a transfer must appear somewhere.
+        assert len(sched.transfers) >= 1

@@ -1,0 +1,87 @@
+"""Double-Transfer transformation tests (Definition 10)."""
+
+import numpy as np
+import pytest
+
+from repro import ProblemInstance, double_transfer
+from repro.online import SpeculativeCaching
+
+from ..conftest import make_instance
+
+
+def sc_run(inst, **kw):
+    return SpeculativeCaching(**kw).run(inst)
+
+
+class TestCostIdentity:
+    def test_pi_dt_equals_pi_sc_on_fig7(self, fig7):
+        run = sc_run(fig7, epoch_size=5)
+        dt = double_transfer(run, fig7)
+        assert dt.total_cost == pytest.approx(run.cost)
+
+    def test_pi_dt_equals_pi_sc_random(self, rng):
+        for _ in range(25):
+            m = int(rng.integers(1, 6))
+            n = int(rng.integers(1, 40))
+            t = np.cumsum(rng.uniform(0.05, 3.0, size=n))
+            srv = rng.integers(0, m, size=n)
+            inst = ProblemInstance.from_arrays(t, srv, num_servers=m)
+            run = sc_run(inst)
+            dt = double_transfer(run, inst)
+            assert dt.total_cost == pytest.approx(run.cost)
+
+
+class TestStructure:
+    def test_transfer_weights_bounded_by_two_lambda(self, rng):
+        for _ in range(15):
+            m = int(rng.integers(2, 6))
+            n = int(rng.integers(2, 40))
+            t = np.cumsum(rng.uniform(0.05, 3.0, size=n))
+            srv = rng.integers(0, m, size=n)
+            inst = ProblemInstance.from_arrays(t, srv, num_servers=m)
+            dt = double_transfer(sc_run(inst), inst)
+            lam = inst.cost.lam
+            for tr in dt.schedule.transfers:
+                assert tr.weight is not None
+                assert lam - 1e-9 <= tr.weight <= 2 * lam + 1e-9
+
+    def test_omegas_bounded_by_lambda(self, fig7):
+        dt = double_transfer(sc_run(fig7), fig7)
+        assert all(0.0 <= w <= fig7.cost.lam + 1e-9 for w in dt.omegas)
+
+    def test_initial_cost_is_origin_tail(self):
+        # Single request on another server: the origin copy is refreshed
+        # at t=1 as transfer source and truncated at t_n=1 -> tail 0; the
+        # initial tail before that... the origin lifetime's last refresh
+        # is t=1 = t_n, so initial cost is 0 here.
+        inst = make_instance([1.0], [1], m=2)
+        dt = double_transfer(sc_run(inst), inst)
+        assert dt.initial_cost == pytest.approx(0.0)
+
+    def test_initial_cost_positive_when_origin_idles(self):
+        # Origin serves r_1 as source at t=1; r_2 far away on s1; origin's
+        # copy expires at t=2 with a full tail of Δt = 1.
+        inst = make_instance([1.0, 5.0], [1, 1], m=2)
+        dt = double_transfer(sc_run(inst), inst)
+        assert dt.initial_cost == pytest.approx(1.0)
+
+    def test_grid_alignment(self, fig7):
+        # Every DT interval endpoint is a request instant or t_0.
+        dt = double_transfer(sc_run(fig7), fig7)
+        grid = {float(t) for t in fig7.t}
+        for iv in dt.schedule.intervals:
+            assert any(abs(iv.start - g) <= 1e-9 for g in grid)
+            assert any(abs(iv.end - g) <= 1e-9 for g in grid)
+
+    def test_ttl_variant_needs_wider_bound(self):
+        inst = make_instance([1.0, 2.5, 6.0], [1, 0, 1], m=2)
+        run = SpeculativeCaching(window_factor=2.0).run(inst)
+        dt = double_transfer(run, inst, max_window_cost=2.0 * inst.cost.lam)
+        assert dt.total_cost == pytest.approx(run.cost)
+
+    def test_caching_shrinks_transfers_grow(self, fig7):
+        run = sc_run(fig7)
+        dt = double_transfer(run, fig7)
+        model = fig7.cost
+        assert dt.schedule.caching_cost(model) <= run.schedule.caching_cost(model) + 1e-9
+        assert dt.schedule.transfer_cost(model) >= run.schedule.transfer_cost(model) - 1e-9

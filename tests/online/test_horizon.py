@@ -1,0 +1,86 @@
+"""Receding-horizon (MPC) planner tests."""
+
+import numpy as np
+import pytest
+
+from repro import RecedingHorizonPlanner, solve_offline, validate_schedule
+from repro.workloads import poisson_zipf_instance
+
+from ..conftest import make_instance
+
+
+class TestOptimalityLimit:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_full_horizon_is_exactly_optimal(self, seed):
+        # Principle of optimality: re-planning over the true remaining
+        # future and executing one step at a time loses nothing.
+        inst = poisson_zipf_instance(30, 4, rate=1.0, rng=seed)
+        run = RecedingHorizonPlanner().run(inst)
+        validate_schedule(run.schedule, inst)
+        assert run.cost == pytest.approx(solve_offline(inst).optimal_cost)
+
+    def test_fig6(self, fig6):
+        run = RecedingHorizonPlanner().run(fig6)
+        assert run.cost == pytest.approx(8.9)
+
+    def test_long_horizon_equals_full(self):
+        inst = poisson_zipf_instance(25, 4, rate=1.0, rng=1)
+        full = RecedingHorizonPlanner().run(inst).cost
+        long_k = RecedingHorizonPlanner(horizon=25).run(inst).cost
+        assert long_k == pytest.approx(full)
+
+
+class TestShortHorizons:
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    def test_feasible_and_never_below_opt(self, k):
+        for seed in range(5):
+            inst = poisson_zipf_instance(40, 4, rate=1.5, rng=seed)
+            run = RecedingHorizonPlanner(horizon=k).run(inst)
+            validate_schedule(run.schedule, inst)
+            assert run.cost >= solve_offline(inst).optimal_cost - 1e-6
+
+    def test_more_horizon_helps_on_average(self):
+        insts = [poisson_zipf_instance(50, 4, rate=1.0, rng=s) for s in range(6)]
+        opts = [solve_offline(i).optimal_cost for i in insts]
+
+        def mean_ratio(k):
+            return np.mean(
+                [
+                    RecedingHorizonPlanner(horizon=k).run(i).cost / o
+                    for i, o in zip(insts, opts)
+                ]
+            )
+
+        assert mean_ratio(10) <= mean_ratio(1) + 1e-9
+
+    def test_planned_drops_are_recorded(self):
+        inst = make_instance([1.0, 8.0], [1, 0], m=2)
+        run = RecedingHorizonPlanner().run(inst)
+        # The copy transferred to s1 is useless afterwards; the planner
+        # drops it at the start of the long gap rather than renting it.
+        drops = [l for l in run.lifetimes if l.ended_by == "planned-drop"]
+        assert drops
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            RecedingHorizonPlanner(horizon=0)
+
+    def test_names(self):
+        assert RecedingHorizonPlanner().name == "receding-horizon[full]"
+        assert RecedingHorizonPlanner(horizon=3).name == "receding-horizon[3]"
+
+
+class TestStateTracking:
+    def test_local_hits_counted(self):
+        inst = make_instance([1.0, 1.2], [0, 0], m=2)
+        run = RecedingHorizonPlanner().run(inst)
+        assert run.counters["local_hits"] == 2
+        assert run.counters["transfers"] == 0
+
+    def test_single_copy_invariant_respected(self):
+        inst = poisson_zipf_instance(30, 3, rate=0.5, rng=2)
+        run = RecedingHorizonPlanner(horizon=3).run(inst)
+        # Coverage at all times (validator) plus: never more copies than
+        # servers.
+        for t in np.linspace(float(inst.t[0]), float(inst.t[-1]), 20):
+            assert 1 <= run.schedule.copy_count_at(t) <= inst.num_servers

@@ -1,0 +1,144 @@
+"""Prediction-augmented caching tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import solve_offline, validate_schedule
+from repro.online import (
+    MarkovPredictor,
+    OracleNextRequest,
+    PredictiveCaching,
+    SpeculativeCaching,
+)
+from repro.workloads import poisson_zipf_instance
+
+from ..conftest import make_instance
+
+
+class TestPredictors:
+    def test_markov_needs_two_observations(self, fig6):
+        p = MarkovPredictor()
+        p.begin(fig6)
+        p.observe(1, 0.5, 1)
+        assert p.predict_next(1, 0.6) == math.inf
+        p.observe(5, 2.6, 1)
+        assert p.predict_next(1, 2.7) == pytest.approx(2.6 + 2.1)
+
+    def test_markov_prediction_never_in_past(self, fig6):
+        p = MarkovPredictor()
+        p.begin(fig6)
+        p.observe(1, 1.0, 1)
+        p.observe(2, 1.5, 1)
+        assert p.predict_next(1, 10.0) == 10.0  # clamped to `now`
+
+    def test_markov_alpha_validated(self):
+        with pytest.raises(ValueError):
+            MarkovPredictor(alpha=0.0)
+
+    def test_oracle_sees_true_future(self, fig6):
+        p = OracleNextRequest()
+        p.begin(fig6)
+        p.observe(1, 0.5, 1)
+        assert p.predict_next(1, 0.5) == pytest.approx(2.6)  # r_5 on s1
+        assert p.predict_next(3, 0.5) == pytest.approx(1.1)  # r_3 on s3
+
+    def test_oracle_horizon_truncates(self, fig6):
+        p = OracleNextRequest(horizon=2)
+        p.begin(fig6)
+        p.observe(1, 0.5, 1)
+        # next use of s1 is r_5, four requests ahead: beyond horizon 2.
+        assert p.predict_next(1, 0.5) == math.inf
+        assert p.predict_next(2, 0.5) == pytest.approx(0.8)  # r_2, 1 ahead
+
+    def test_oracle_no_future_request(self, fig6):
+        p = OracleNextRequest()
+        p.begin(fig6)
+        p.observe(7, 4.0, 2)
+        assert p.predict_next(3, 4.0) == math.inf
+
+    def test_oracle_horizon_validated(self):
+        with pytest.raises(ValueError):
+            OracleNextRequest(horizon=-1)
+
+    def test_prescient_flags(self):
+        assert OracleNextRequest().prescient
+        assert not MarkovPredictor().prescient
+
+
+class TestPredictiveCaching:
+    def test_feasible_and_bounded_by_baseline(self, rng):
+        for seed in range(8):
+            inst = poisson_zipf_instance(80, 5, rate=1.0, rng=seed)
+            opt = solve_offline(inst).optimal_cost
+            for predictor in (OracleNextRequest(), MarkovPredictor()):
+                run = PredictiveCaching(predictor).run(inst)
+                validate_schedule(run.schedule, inst)
+                assert run.cost >= opt - 1e-6
+
+    def test_oracle_beats_sc_on_average(self):
+        insts = [poisson_zipf_instance(100, 5, rate=1.0, rng=s) for s in range(8)]
+        opts = [solve_offline(i).optimal_cost for i in insts]
+        sc = np.mean(
+            [SpeculativeCaching().run(i).cost / o for i, o in zip(insts, opts)]
+        )
+        oracle = np.mean(
+            [
+                PredictiveCaching(OracleNextRequest()).run(i).cost / o
+                for i, o in zip(insts, opts)
+            ]
+        )
+        assert oracle < sc
+
+    def test_zero_lookahead_equals_sc_shape(self):
+        # horizon=0: the oracle never predicts a next use, every copy is
+        # dropped immediately after use except the protected last copy.
+        inst = make_instance([1.0, 2.5, 4.0], [1, 0, 1], m=2)
+        run = PredictiveCaching(OracleNextRequest(horizon=0)).run(inst)
+        validate_schedule(run.schedule, inst)
+        # all non-final lifetimes have zero tails
+        for life in run.lifetimes[:-1]:
+            if life.ended_by == "expire":
+                assert life.tail() <= 1e-9 or life.tail() <= inst.cost.lam
+
+    def test_wrong_predictor_still_feasible(self):
+        class AlwaysNever(OracleNextRequest):
+            def predict_next(self, server, now):
+                return math.inf
+
+        inst = poisson_zipf_instance(60, 4, rate=2.0, rng=3)
+        run = PredictiveCaching(AlwaysNever()).run(inst)
+        validate_schedule(run.schedule, inst)
+
+    def test_names_distinguish_variants(self):
+        assert "oracle" in PredictiveCaching(OracleNextRequest()).name
+        assert "lookahead(3)" in PredictiveCaching(OracleNextRequest(horizon=3)).name
+        assert "markov" in PredictiveCaching(MarkovPredictor()).name
+
+    def test_lookahead_monotone_in_horizon_on_average(self):
+        insts = [poisson_zipf_instance(100, 5, rate=1.0, rng=s) for s in range(8)]
+        opts = [solve_offline(i).optimal_cost for i in insts]
+
+        def mean_ratio(k):
+            return np.mean(
+                [
+                    PredictiveCaching(OracleNextRequest(horizon=k)).run(i).cost / o
+                    for i, o in zip(insts, opts)
+                ]
+            )
+
+        # More lookahead can only help (on average, by a margin).
+        assert mean_ratio(20) <= mean_ratio(1) + 0.02
+
+    def test_deterministic(self, fig7):
+        a = PredictiveCaching(MarkovPredictor()).run(fig7)
+        b = PredictiveCaching(MarkovPredictor()).run(fig7)
+        assert a.cost == pytest.approx(b.cost)
+
+    def test_honest_predictor_prefix_consistency(self):
+        full = make_instance([1.0, 2.2, 3.1, 9.0], [1, 0, 1, 0], m=2)
+        prefix = make_instance([1.0, 2.2, 3.1], [1, 0, 1], m=2)
+        rf = PredictiveCaching(MarkovPredictor()).run(full)
+        rp = PredictiveCaching(MarkovPredictor()).run(prefix)
+        assert rf.transfers[: len(rp.transfers)] == rp.transfers

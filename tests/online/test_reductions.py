@@ -1,0 +1,159 @@
+"""V-/H-reduction and Theorem-3 chain tests (paper Lemmas 5-8)."""
+
+import numpy as np
+import pytest
+
+from repro import CostModel, ProblemInstance, double_transfer, solve_offline
+from repro.online import SpeculativeCaching
+from repro.online.reductions import (
+    check_short_windows_cached,
+    check_single_cover_on_big_gaps,
+    gap_cover_matrix,
+    reduced_cost,
+    refined_sigma,
+    short_request_set,
+    verify_theorem3,
+)
+
+from ..conftest import make_instance
+
+
+def random_instance(rng):
+    m = int(rng.integers(2, 6))
+    n = int(rng.integers(2, 35))
+    t = np.cumsum(rng.uniform(0.05, 3.0, size=n))
+    srv = rng.integers(0, m, size=n)
+    mu = float(rng.uniform(0.3, 3.0))
+    lam = float(rng.uniform(0.3, 3.0))
+    return ProblemInstance.from_arrays(
+        t, srv, num_servers=m, cost=CostModel(mu, lam)
+    )
+
+
+class TestShortRequestSet:
+    def test_fig6(self, fig6):
+        # Only r_6 has mu*sigma < lam (0.6 < 1).
+        assert short_request_set(fig6) == [6]
+
+    def test_first_requests_never_short(self):
+        inst = make_instance([1.0, 2.0], [1, 2], m=3)
+        assert short_request_set(inst) == []
+
+    def test_threshold_is_strict(self):
+        inst = make_instance([1.0, 2.0], [0, 0], m=1, mu=1.0, lam=1.0)
+        # sigma_2 = 1.0 => mu*sigma == lam exactly: NOT in SR (strict <).
+        assert 2 not in short_request_set(inst)
+
+
+class TestGapCoverMatrix:
+    def test_optimal_fig6_cover(self, fig6):
+        sched = solve_offline(fig6).schedule()
+        cov = gap_cover_matrix(sched, fig6)
+        assert cov.shape == (4, 7)
+        # Origin caches [0, 1.4] -> gaps 1..4; s^2 caches [0.5, 4.0] ->
+        # gaps 2..7.
+        assert cov[0, :4].all() and not cov[0, 4:].any()
+        assert cov[1, 1:].all() and not cov[1, 0]
+
+    def test_unaligned_schedule_rejected(self, fig6):
+        from repro import Schedule
+
+        bad = Schedule().hold(0, 0.0, 0.77)
+        with pytest.raises(Exception, match="grid"):
+            gap_cover_matrix(bad, fig6)
+
+
+class TestLemmaChecks:
+    def test_lemma5_and_6_hold_for_opt_and_dt(self, rng):
+        for _ in range(20):
+            inst = random_instance(rng)
+            opt = solve_offline(inst).schedule()
+            check_single_cover_on_big_gaps(opt, inst)
+            check_short_windows_cached(opt, inst)
+            run = SpeculativeCaching().run(inst)
+            dt = double_transfer(run, inst)
+            check_single_cover_on_big_gaps(dt.schedule, inst)
+            check_short_windows_cached(dt.schedule, inst)
+
+    def test_lemma5_violation_detected(self):
+        from repro import Schedule
+
+        inst = make_instance([5.0], [1], m=2)  # single big gap
+        bad = (
+            Schedule()
+            .hold(0, 0.0, 5.0)
+            .hold(1, 0.0, 5.0)  # second cover across the big gap
+            .transfer(0, 1, 5.0)
+        )
+        with pytest.raises(Exception, match="Lemma 5"):
+            check_single_cover_on_big_gaps(bad, inst)
+
+    def test_lemma6_violation_detected(self):
+        from repro import Schedule
+
+        inst = make_instance([1.0, 1.2], [1, 1], m=2)  # sigma_2 = 0.2 < 1
+        bad = (
+            Schedule()
+            .hold(0, 0.0, 1.2)
+            .transfer(0, 1, 1.0)
+            .transfer(0, 1, 1.2)  # transfer instead of the short cache
+        )
+        with pytest.raises(Exception, match="Lemma 6"):
+            check_short_windows_cached(bad, inst)
+
+
+class TestRefinedSigma:
+    def test_case3_unchanged_for_small_gaps(self):
+        inst = make_instance([1.0, 1.5], [0, 0], m=1)  # gaps <= lam
+        rs = refined_sigma(inst)
+        assert rs[2] == pytest.approx(inst.cost.mu * inst.sigma[2])
+
+    def test_case12_subtracts_v_excess(self):
+        inst = make_instance([1.0, 4.0], [0, 0], m=1)  # gap 3 > lam = 1
+        rs = refined_sigma(inst)
+        # mu*sigma' = mu*sigma - (mu*dt - lam) = 3 - (3 - 1) = 1
+        assert rs[2] == pytest.approx(1.0)
+
+    def test_lemma8_premise_holds(self, rng):
+        # mu*sigma'_i >= lam for every i not in SR.
+        for _ in range(20):
+            inst = random_instance(rng)
+            rs = refined_sigma(inst)
+            sr = set(short_request_set(inst))
+            for i in range(1, inst.n + 1):
+                if i not in sr:
+                    assert rs[i] >= inst.cost.lam - 1e-9
+
+
+class TestTheorem3Chain:
+    def test_fig7(self, fig7):
+        rep = verify_theorem3(fig7)
+        assert rep.holds()
+        assert rep.ratio <= 3.0 + 1e-9
+
+    def test_random_instances(self, rng):
+        for _ in range(25):
+            rep = verify_theorem3(random_instance(rng))
+            assert rep.holds(), rep
+
+    def test_reduced_costs_ordering(self, rng):
+        for _ in range(10):
+            inst = random_instance(rng)
+            rep = verify_theorem3(inst)
+            assert rep.dt_reduced <= rep.lemma7_bound + 1e-6
+            assert rep.opt_reduced >= rep.lemma8_bound - 1e-6
+
+    def test_reduced_cost_never_exceeds_raw(self, rng):
+        for _ in range(10):
+            inst = random_instance(rng)
+            opt = solve_offline(inst)
+            sched = opt.schedule()
+            assert (
+                reduced_cost(sched, inst)
+                <= sched.total_cost(inst.cost) + 1e-9
+            )
+
+    def test_report_repr_fields(self, fig7):
+        rep = verify_theorem3(fig7)
+        assert rep.n_prime == fig7.n - len(short_request_set(fig7))
+        assert rep.lemma7_bound == pytest.approx(3 * rep.lemma8_bound)

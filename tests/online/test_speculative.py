@@ -1,0 +1,172 @@
+"""Unit tests for the Speculative Caching state machine."""
+
+import numpy as np
+import pytest
+
+from repro import CostModel, ProblemInstance, validate_schedule
+from repro.online import SpeculativeCaching
+
+from ..conftest import make_instance
+
+
+def run_sc(inst, **kwargs):
+    return SpeculativeCaching(**kwargs).run(inst)
+
+
+class TestWindowLogic:
+    def test_request_within_window_is_a_hit(self):
+        # mu=lam=1 -> window 1; gap 0.5 on the origin.
+        inst = make_instance([0.5], [0], m=1)
+        run = run_sc(inst)
+        assert run.counters["local_hits"] == 1
+        assert run.counters["transfers"] == 0
+
+    def test_request_beyond_window_on_lone_copy_still_hits(self):
+        # Observation 4, case 2, second bullet: the lone copy was extended
+        # past its window; a request on its own server serves locally.
+        inst = make_instance([5.0], [0], m=1)
+        run = run_sc(inst)
+        assert run.counters["local_hits"] == 1
+        assert run.counters["transfers"] == 0
+        assert run.counters["extensions"] >= 4
+
+    def test_miss_on_other_server_transfers_from_last_requester(self):
+        inst = make_instance([1.0, 2.5], [1, 0], m=2)
+        run = run_sc(inst)
+        assert run.counters["transfers"] == 2
+        assert run.transfers[0][1:] == (0, 1)  # from origin to s1
+        assert run.transfers[1][1:] == (1, 0)  # from last requester
+
+    def test_window_scales_with_lambda_over_mu(self):
+        # lam=4, mu=1 -> window 4: a gap of 3 is still a hit.
+        inst = ProblemInstance(
+            [(1.0, 1), (4.0, 1)], num_servers=2, cost=CostModel(mu=1.0, lam=4.0)
+        )
+        run = run_sc(inst)
+        assert run.counters["transfers"] == 1  # only the initial move
+        assert run.counters["local_hits"] == 1
+
+    def test_window_factor_knob(self):
+        # r2 lands back on the origin, whose copy (refreshed as the t=1
+        # transfer source) dies at t=2 under the unit window.
+        inst = make_instance([1.0, 2.5], [1, 0], m=2)
+        assert run_sc(inst).counters["transfers"] == 2
+        # A 2x window keeps the origin copy alive until t=3 -> hit.
+        assert run_sc(inst, window_factor=2.0).counters["transfers"] == 1
+
+
+class TestExpirationRules:
+    def test_stale_copy_expires_when_others_remain(self):
+        inst = make_instance([1.0, 1.2, 5.0], [1, 1, 1], m=2)
+        run = run_sc(inst)
+        # Origin's copy (refreshed at t=1 as transfer source) dies at 2.0;
+        # s1's copy lives on.
+        assert run.counters["expirations"] >= 1
+        origin_life = [l for l in run.lifetimes if l.server == 0][0]
+        assert origin_life.end == pytest.approx(2.0)
+        assert origin_life.ended_by == "expire"
+
+    def test_lone_copy_never_dies(self):
+        inst = make_instance([10.0], [0], m=3)
+        run = run_sc(inst)
+        assert run.counters["expirations"] == 0
+        assert len(run.lifetimes) == 1
+
+    def test_paired_expiration_keeps_transfer_target(self):
+        # Transfer at t=1 (source 0, target 1) -> both expire at t=2.0
+        # with c=2: the target (server 1) must survive and serve r2.
+        inst = make_instance([1.0, 3.5], [1, 1], m=2)
+        run = run_sc(inst)
+        origin_life = [l for l in run.lifetimes if l.server == 0][0]
+        assert origin_life.ended_by == "expire"
+        assert origin_life.end == pytest.approx(2.0)
+        s1_lives = [l for l in run.lifetimes if l.server == 1]
+        assert len(s1_lives) == 1  # never deleted, extended instead
+
+    def test_speculative_tails_never_exceed_window(self, rng):
+        for _ in range(20):
+            m = int(rng.integers(2, 6))
+            n = int(rng.integers(2, 40))
+            t = np.cumsum(rng.uniform(0.05, 3.0, size=n))
+            srv = rng.integers(0, m, size=n)
+            inst = ProblemInstance.from_arrays(t, srv, num_servers=m)
+            run = run_sc(inst)
+            dt = inst.cost.speculative_window
+            for life in run.lifetimes:
+                assert life.tail() <= dt + 1e-9
+
+    def test_no_source_fallback_for_pure_sc(self, rng):
+        for _ in range(20):
+            m = int(rng.integers(2, 6))
+            n = int(rng.integers(2, 40))
+            t = np.cumsum(rng.uniform(0.05, 3.0, size=n))
+            srv = rng.integers(0, m, size=n)
+            inst = ProblemInstance.from_arrays(t, srv, num_servers=m)
+            run = run_sc(inst)
+            assert run.counters.get("source_fallbacks", 0) == 0
+
+
+class TestEpochs:
+    def test_fig7_epoch_walkthrough(self, fig7):
+        run = run_sc(fig7, epoch_size=5)
+        assert run.counters["transfers"] == 5
+        assert run.counters["local_hits"] == 1
+        assert run.counters["epochs"] == 1
+        assert run.counters["extensions"] >= 2  # lone survivor on s3
+
+    def test_epoch_reset_deletes_all_but_requester(self, fig7):
+        run = run_sc(fig7, epoch_size=5)
+        reset_deaths = [l for l in run.lifetimes if l.ended_by == "epoch-reset"]
+        assert len(reset_deaths) >= 1
+        assert all(l.end == pytest.approx(4.5) for l in reset_deaths)
+
+    def test_epoch_size_one_degenerates_to_reset_per_transfer(self):
+        inst = make_instance([1.0, 2.2, 3.4], [1, 0, 1], m=2)
+        run = run_sc(inst, epoch_size=1)
+        assert run.counters["epochs"] == run.counters["transfers"]
+
+    def test_no_epoch_means_single_unbounded_epoch(self, fig7):
+        run = run_sc(fig7, epoch_size=None)
+        assert run.counters["epochs"] == 0
+
+    def test_bad_epoch_size_rejected(self):
+        with pytest.raises(ValueError):
+            SpeculativeCaching(epoch_size=0)
+
+    def test_bad_window_factor_rejected(self):
+        with pytest.raises(ValueError):
+            SpeculativeCaching(window_factor=-1.0)
+
+
+class TestRunIntegrity:
+    def test_schedules_always_feasible(self, rng):
+        for _ in range(25):
+            m = int(rng.integers(1, 7))
+            n = int(rng.integers(1, 50))
+            t = np.cumsum(rng.uniform(0.05, 3.0, size=n))
+            srv = rng.integers(0, m, size=n)
+            inst = ProblemInstance.from_arrays(t, srv, num_servers=m)
+            run = run_sc(inst)
+            validate_schedule(run.schedule, inst)
+
+    def test_prefix_consistency_no_lookahead(self):
+        # Serving a prefix must produce the same transfers regardless of
+        # what comes after (the online information model).
+        full = make_instance([1.0, 2.2, 3.1, 9.0], [1, 0, 1, 0], m=2)
+        prefix = make_instance([1.0, 2.2, 3.1], [1, 0, 1], m=2)
+        run_full = run_sc(full)
+        run_prefix = run_sc(prefix)
+        assert run_full.transfers[: len(run_prefix.transfers)] == run_prefix.transfers
+
+    def test_deterministic(self, fig7):
+        a, b = run_sc(fig7), run_sc(fig7)
+        assert a.cost == b.cost
+        assert a.counters == b.counters
+
+    def test_name_reflects_window_factor(self):
+        assert SpeculativeCaching().name == "speculative-caching"
+        assert "ttl" in SpeculativeCaching(window_factor=0.5).name
+
+    def test_cost_equals_schedule_cost(self, fig7):
+        run = run_sc(fig7)
+        assert run.cost == pytest.approx(run.schedule.total_cost(fig7.cost))

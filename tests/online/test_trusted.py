@@ -1,0 +1,113 @@
+"""Trusted-prediction caching tests (robustness vs. consistency)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import solve_offline, validate_schedule
+from repro.online import (
+    NoisyOracle,
+    OracleNextRequest,
+    SpeculativeCaching,
+    TrustedPredictionCaching,
+)
+from repro.workloads import poisson_zipf_instance
+
+
+def panel(n=80, seeds=6):
+    insts = [poisson_zipf_instance(n, 5, rate=1.0, rng=s) for s in range(seeds)]
+    opts = [solve_offline(i).optimal_cost for i in insts]
+    return insts, opts
+
+
+def mean_ratio(algo_factory, insts, opts):
+    return float(
+        np.mean([algo_factory().run(i).cost / o for i, o in zip(insts, opts)])
+    )
+
+
+class TestNoisyOracle:
+    def test_zero_noise_matches_truth(self, fig6):
+        clean = OracleNextRequest()
+        noisy = NoisyOracle(noise=0.0, flip_prob=0.0)
+        clean.begin(fig6)
+        noisy.begin(fig6)
+        clean.observe(1, 0.5, 1)
+        noisy.observe(1, 0.5, 1)
+        for j in range(4):
+            assert noisy.predict_next(j, 0.5) == clean.predict_next(j, 0.5)
+
+    def test_full_flip_inverts_verdicts(self, fig6):
+        noisy = NoisyOracle(flip_prob=1.0, seed=0)
+        noisy.begin(fig6)
+        noisy.observe(1, 0.5, 1)
+        window = fig6.cost.speculative_window
+        # Truth: s3 (server 2 zero-based... server 3) next at 1.1 (timely);
+        # flipped -> inf. Truth for a never-again server -> timely.
+        assert noisy.predict_next(3, 0.5) == math.inf  # true 1.1, timely
+        flipped = noisy.predict_next(1, 0.5)  # true 2.6 > 0.5 + 1 window
+        assert flipped - 0.5 <= window
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            NoisyOracle(noise=-1.0)
+        with pytest.raises(ValueError):
+            NoisyOracle(flip_prob=2.0)
+
+    def test_deterministic_given_seed(self):
+        inst = poisson_zipf_instance(60, 4, rate=1.0, rng=0)
+        a = TrustedPredictionCaching(NoisyOracle(flip_prob=0.3, seed=5)).run(inst)
+        b = TrustedPredictionCaching(NoisyOracle(flip_prob=0.3, seed=5)).run(inst)
+        assert a.cost == pytest.approx(b.cost)
+
+
+class TestTrustedPredictionCaching:
+    def test_beta_one_equals_sc(self):
+        insts, opts = panel()
+        for inst in insts:
+            sc = SpeculativeCaching().run(inst).cost
+            trusted = TrustedPredictionCaching(
+                NoisyOracle(flip_prob=1.0, seed=1), beta=1.0
+            ).run(inst).cost
+            assert trusted == pytest.approx(sc)
+
+    def test_consistency_good_advice_helps_more_with_small_beta(self):
+        insts, opts = panel()
+        r_half = mean_ratio(
+            lambda: TrustedPredictionCaching(NoisyOracle(seed=2), beta=0.5),
+            insts,
+            opts,
+        )
+        r_sc = mean_ratio(lambda: SpeculativeCaching(), insts, opts)
+        assert r_half < r_sc
+
+    def test_robustness_bad_advice_hurts_less_with_large_beta(self):
+        insts, opts = panel()
+        bad = lambda beta: mean_ratio(
+            lambda: TrustedPredictionCaching(
+                NoisyOracle(flip_prob=1.0, seed=3), beta=beta
+            ),
+            insts,
+            opts,
+        )
+        assert bad(1.0) < bad(0.25)
+
+    def test_always_feasible(self):
+        for seed in range(5):
+            inst = poisson_zipf_instance(60, 4, rate=1.5, rng=seed)
+            for flip in (0.0, 0.5, 1.0):
+                run = TrustedPredictionCaching(
+                    NoisyOracle(flip_prob=flip, seed=seed), beta=0.3
+                ).run(inst)
+                validate_schedule(run.schedule, inst)
+
+    def test_beta_validated(self):
+        with pytest.raises(ValueError):
+            TrustedPredictionCaching(NoisyOracle(), beta=0.0)
+        with pytest.raises(ValueError):
+            TrustedPredictionCaching(NoisyOracle(), beta=1.5)
+
+    def test_name_carries_beta(self):
+        algo = TrustedPredictionCaching(NoisyOracle(), beta=0.25)
+        assert "beta=0.25" in algo.name

@@ -1,0 +1,72 @@
+"""Work Function Algorithm tests."""
+
+import numpy as np
+import pytest
+
+from repro import solve_offline, validate_schedule
+from repro.online import SpeculativeCaching, WorkFunctionCaching
+from repro.workloads import poisson_zipf_instance
+
+from ..conftest import make_instance
+
+
+class TestBasics:
+    def test_feasible_across_workloads(self):
+        for seed in range(6):
+            inst = poisson_zipf_instance(60, 5, rate=1.0, rng=seed)
+            run = WorkFunctionCaching().run(inst)
+            validate_schedule(run.schedule, inst)
+            assert run.cost >= solve_offline(inst).optimal_cost - 1e-6
+
+    def test_hits_on_resident_copies(self):
+        inst = make_instance([1.0, 1.2, 1.4], [0, 0, 0], m=2)
+        run = WorkFunctionCaching().run(inst)
+        assert run.counters["local_hits"] == 3
+        assert run.counters["transfers"] == 0
+
+    def test_work_function_tracks_offline_optimum(self):
+        # After serving everything, min_S w(S) equals C(n).
+        inst = poisson_zipf_instance(30, 4, rate=1.0, rng=1)
+        algo = WorkFunctionCaching()
+        algo.run(inst)
+        assert min(w for w in algo._w if w != np.inf) == pytest.approx(
+            solve_offline(inst).optimal_cost
+        )
+
+    def test_online_information_model(self):
+        # Prefix consistency: WFA never peeks ahead.
+        full = make_instance([1.0, 2.2, 3.1, 9.0], [1, 0, 1, 0], m=2)
+        prefix = make_instance([1.0, 2.2, 3.1], [1, 0, 1], m=2)
+        rf = WorkFunctionCaching().run(full)
+        rp = WorkFunctionCaching().run(prefix)
+        assert rf.transfers[: len(rp.transfers)] == rp.transfers
+
+    def test_beats_sc_on_stationary_traffic(self):
+        insts = [poisson_zipf_instance(80, 5, rate=1.0, rng=s) for s in range(8)]
+        opts = [solve_offline(i).optimal_cost for i in insts]
+        wfa = np.mean(
+            [WorkFunctionCaching().run(i).cost / o for i, o in zip(insts, opts)]
+        )
+        sc = np.mean(
+            [SpeculativeCaching().run(i).cost / o for i, o in zip(insts, opts)]
+        )
+        assert wfa < sc
+
+
+class TestGuards:
+    def test_fleet_size_cap(self):
+        inst = poisson_zipf_instance(5, 13, rate=1.0, rng=0)
+        with pytest.raises(ValueError, match="2\\^m"):
+            WorkFunctionCaching().run(inst)
+
+    def test_aggression_validated(self):
+        with pytest.raises(ValueError):
+            WorkFunctionCaching(aggression=0.0)
+
+    def test_aggression_in_name(self):
+        assert "2x" in WorkFunctionCaching(aggression=2.0).name
+
+    def test_deterministic(self, fig7):
+        a = WorkFunctionCaching().run(fig7)
+        b = WorkFunctionCaching().run(fig7)
+        assert a.cost == pytest.approx(b.cost)

@@ -1,0 +1,80 @@
+"""Schedule export (JSON / DOT) tests."""
+
+import pytest
+
+from repro import InvalidScheduleError, Schedule, solve_offline
+from repro.schedule import (
+    schedule_from_dict,
+    schedule_from_json,
+    schedule_to_dict,
+    schedule_to_dot,
+    schedule_to_json,
+)
+
+
+class TestJsonRoundTrip:
+    def test_roundtrip_equality(self, fig6):
+        sched = solve_offline(fig6).schedule()
+        back = schedule_from_json(schedule_to_json(sched))
+        assert back == sched
+
+    def test_costs_preserved(self, fig6):
+        sched = solve_offline(fig6).schedule()
+        back = schedule_from_json(schedule_to_json(sched))
+        assert back.total_cost(fig6.cost) == pytest.approx(
+            sched.total_cost(fig6.cost)
+        )
+
+    def test_weights_preserved(self):
+        sched = Schedule().transfer(0, 1, 1.0, weight=1.75).hold(0, 0.0, 1.0)
+        back = schedule_from_dict(schedule_to_dict(sched))
+        assert back.transfers[0].weight == 1.75
+
+    def test_weightless_transfers_stay_weightless(self):
+        sched = Schedule().transfer(0, 1, 1.0)
+        back = schedule_from_dict(schedule_to_dict(sched))
+        assert back.transfers[0].weight is None
+
+    def test_indent_option(self, fig6):
+        text = schedule_to_json(solve_offline(fig6).schedule(), indent=2)
+        assert "\n" in text
+
+    def test_empty_schedule(self):
+        back = schedule_from_json(schedule_to_json(Schedule()))
+        assert len(back) == 0
+
+
+class TestValidation:
+    def test_bad_version_rejected(self):
+        with pytest.raises(InvalidScheduleError, match="version"):
+            schedule_from_dict({"version": 99, "intervals": [], "transfers": []})
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(InvalidScheduleError, match="malformed"):
+            schedule_from_dict(
+                {"version": 1, "intervals": [{"server": 0}], "transfers": []}
+            )
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(InvalidScheduleError, match="JSON"):
+            schedule_from_json("{nope")
+
+
+class TestDot:
+    def test_dot_structure(self, fig6):
+        sched = solve_offline(fig6).schedule()
+        dot = schedule_to_dot(sched, fig6, title="fig6")
+        assert dot.startswith('digraph "fig6"')
+        assert dot.rstrip().endswith("}")
+        assert "origin" in dot
+
+    def test_edge_counts(self, fig6):
+        from repro.schedule.spacetime import schedule_to_edges
+
+        sched = solve_offline(fig6).schedule()
+        dot = schedule_to_dot(sched, fig6)
+        assert dot.count("->") == len(schedule_to_edges(sched, fig6))
+
+    def test_transfers_dashed(self, fig6):
+        sched = solve_offline(fig6).schedule()
+        assert "style=dashed" in schedule_to_dot(sched, fig6)

@@ -1,0 +1,165 @@
+"""Unit tests for the Schedule container."""
+
+import pytest
+
+from repro import CacheInterval, CostModel, Schedule, Transfer
+from repro.schedule.schedule import coverage_gaps, merge_intervals
+
+
+class TestMergeIntervals:
+    def test_disjoint_kept(self):
+        out = merge_intervals(
+            [CacheInterval(0, 0.0, 1.0), CacheInterval(0, 2.0, 3.0)]
+        )
+        assert len(out) == 2
+
+    def test_overlapping_merged(self):
+        out = merge_intervals(
+            [CacheInterval(0, 0.0, 2.0), CacheInterval(0, 1.0, 3.0)]
+        )
+        assert out == [CacheInterval(0, 0.0, 3.0)]
+
+    def test_touching_merged(self):
+        out = merge_intervals(
+            [CacheInterval(0, 0.0, 1.0), CacheInterval(0, 1.0, 2.0)]
+        )
+        assert out == [CacheInterval(0, 0.0, 2.0)]
+
+    def test_contained_swallowed(self):
+        out = merge_intervals(
+            [CacheInterval(0, 0.0, 5.0), CacheInterval(0, 1.0, 2.0)]
+        )
+        assert out == [CacheInterval(0, 0.0, 5.0)]
+
+    def test_servers_kept_apart(self):
+        out = merge_intervals(
+            [CacheInterval(0, 0.0, 2.0), CacheInterval(1, 1.0, 3.0)]
+        )
+        assert len(out) == 2
+
+    def test_isolated_zero_length_survives(self):
+        out = merge_intervals([CacheInterval(0, 1.0, 1.0)])
+        assert out == [CacheInterval(0, 1.0, 1.0)]
+
+    def test_zero_length_swallowed_by_neighbour(self):
+        out = merge_intervals(
+            [CacheInterval(0, 0.0, 2.0), CacheInterval(0, 1.0, 1.0)]
+        )
+        assert out == [CacheInterval(0, 0.0, 2.0)]
+
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+
+class TestScheduleBuilder:
+    def test_hold_and_transfer_chain(self):
+        s = Schedule().hold(0, 0.0, 1.0).transfer(0, 1, 1.0)
+        assert len(s.intervals) == 1 and len(s.transfers) == 1
+
+    def test_extend(self):
+        a = Schedule().hold(0, 0.0, 1.0)
+        b = Schedule().transfer(0, 1, 1.0)
+        a.extend(b)
+        assert len(a) == 2
+
+    def test_copy_is_independent(self):
+        a = Schedule().hold(0, 0.0, 1.0)
+        b = a.copy()
+        b.hold(1, 0.0, 1.0)
+        assert len(a.intervals) == 1 and len(b.intervals) == 2
+
+
+class TestScheduleQueries:
+    def make(self):
+        return (
+            Schedule()
+            .hold(0, 0.0, 2.0)
+            .hold(1, 1.0, 3.0)
+            .transfer(0, 1, 1.0)
+        )
+
+    def test_servers_with_copy_at(self):
+        assert self.make().servers_with_copy_at(1.5) == [0, 1]
+        assert self.make().servers_with_copy_at(2.5) == [1]
+
+    def test_copy_count(self):
+        assert self.make().copy_count_at(1.0) == 2
+
+    def test_covers(self):
+        s = self.make()
+        assert s.covers(0, 1.9)
+        assert not s.covers(0, 2.1)
+
+    def test_span(self):
+        assert self.make().span() == (0.0, 3.0)
+
+    def test_span_of_empty_raises(self):
+        with pytest.raises(Exception):
+            Schedule().span()
+
+    def test_intervals_on(self):
+        assert len(self.make().intervals_on(1)) == 1
+
+    def test_per_server(self):
+        grouped = self.make().per_server()
+        assert set(grouped) == {0, 1}
+
+
+class TestCosts:
+    def test_caching_cost_merges_overlaps(self):
+        s = Schedule().hold(0, 0.0, 2.0).hold(0, 1.0, 3.0)
+        assert s.caching_cost(CostModel(mu=2.0)) == pytest.approx(6.0)
+
+    def test_transfer_cost_default(self):
+        s = Schedule().transfer(0, 1, 1.0).transfer(1, 0, 2.0)
+        assert s.transfer_cost(CostModel(lam=1.5)) == pytest.approx(3.0)
+
+    def test_transfer_cost_with_weights(self):
+        s = Schedule().transfer(0, 1, 1.0, weight=2.5)
+        assert s.transfer_cost(CostModel(lam=1.0)) == pytest.approx(2.5)
+
+    def test_total_cost(self):
+        s = Schedule().hold(0, 0.0, 1.0).transfer(0, 1, 1.0)
+        assert s.total_cost(CostModel()) == pytest.approx(2.0)
+
+
+class TestEqualityAndDescribe:
+    def test_equality_up_to_canonical_form(self):
+        a = Schedule().hold(0, 0.0, 1.0).hold(0, 1.0, 2.0)
+        b = Schedule().hold(0, 0.0, 2.0)
+        assert a == b
+
+    def test_inequality(self):
+        assert Schedule().hold(0, 0.0, 1.0) != Schedule().hold(1, 0.0, 1.0)
+
+    def test_describe_lists_atoms_and_cost(self):
+        s = Schedule().hold(0, 0.0, 1.0).transfer(0, 1, 1.0)
+        text = s.describe(CostModel())
+        assert "H(s0" in text and "Tr(s0 -> s1" in text and "cost" in text
+
+    def test_repr(self):
+        assert "1 intervals" in repr(Schedule().hold(0, 0.0, 1.0))
+
+
+class TestCoverageGaps:
+    def test_no_gap(self):
+        assert coverage_gaps([CacheInterval(0, 0.0, 5.0)], 0.0, 5.0) == []
+
+    def test_middle_gap(self):
+        gaps = coverage_gaps(
+            [CacheInterval(0, 0.0, 1.0), CacheInterval(1, 2.0, 5.0)], 0.0, 5.0
+        )
+        assert gaps == [(1.0, 2.0)]
+
+    def test_leading_and_trailing_gaps(self):
+        gaps = coverage_gaps([CacheInterval(0, 1.0, 2.0)], 0.0, 3.0)
+        assert gaps == [(0.0, 1.0), (2.0, 3.0)]
+
+    def test_overlapping_intervals_fuse_coverage(self):
+        gaps = coverage_gaps(
+            [CacheInterval(0, 0.0, 2.0), CacheInterval(1, 1.0, 5.0)], 0.0, 5.0
+        )
+        assert gaps == []
+
+    def test_empty_interval_list(self):
+        assert coverage_gaps([], 0.0, 1.0) == [(0.0, 1.0)]

@@ -1,0 +1,91 @@
+"""Space-time graph substrate tests (Definition 2)."""
+
+import pytest
+
+from repro import Schedule, solve_offline
+from repro.schedule.spacetime import (
+    build_spacetime_graph,
+    migration_only_cost,
+    schedule_edge_cost,
+    schedule_is_tree,
+    schedule_to_edges,
+)
+
+from ..conftest import make_instance
+
+
+class TestGraphShape:
+    def test_vertex_count(self, fig6):
+        g = build_spacetime_graph(fig6)
+        assert g.number_of_nodes() == fig6.num_servers * (fig6.n + 1)
+
+    def test_cache_edges_along_each_server(self, fig6):
+        g = build_spacetime_graph(fig6)
+        cache_edges = [e for e in g.edges(data=True) if e[2]["kind"] == "cache"]
+        assert len(cache_edges) == fig6.num_servers * fig6.n
+
+    def test_transfer_edges_form_bidirectional_stars(self, fig6):
+        g = build_spacetime_graph(fig6)
+        transfer_edges = [e for e in g.edges(data=True) if e[2]["kind"] == "transfer"]
+        assert len(transfer_edges) == 2 * (fig6.num_servers - 1) * fig6.n
+
+    def test_cache_edge_weights_are_mu_dt(self, fig6):
+        g = build_spacetime_graph(fig6)
+        w = g.edges[(0, 0), (0, 1)]["weight"]
+        assert w == pytest.approx(fig6.cost.mu * (fig6.t[1] - fig6.t[0]))
+
+    def test_transfer_edge_weights_are_lambda(self, fig6):
+        g = build_spacetime_graph(fig6)
+        s1 = int(fig6.srv[1])
+        other = (s1 + 1) % fig6.num_servers
+        assert g.edges[(other, 1), (s1, 1)]["weight"] == fig6.cost.lam
+
+    def test_storage_row_optional(self, fig6):
+        g = build_spacetime_graph(fig6, include_storage=True)
+        assert (fig6.num_servers, 0) in g
+        uploads = [e for e in g.edges(data=True) if e[2]["kind"] == "upload"]
+        assert len(uploads) == fig6.n
+
+
+class TestScheduleMapping:
+    def test_edge_cost_matches_schedule_cost(self, fig6):
+        res = solve_offline(fig6)
+        sched = res.schedule()
+        assert schedule_edge_cost(sched, fig6) == pytest.approx(res.optimal_cost)
+
+    def test_optimal_schedule_is_tree(self, fig6, fig2):
+        for inst in (fig6, fig2):
+            assert schedule_is_tree(solve_offline(inst).schedule(), inst)
+
+    def test_non_tree_detected(self):
+        inst = make_instance([1.0], [1], m=2)
+        # Two ways to reach r_1: cache chain + transfer AND a second path.
+        sched = (
+            Schedule()
+            .hold(0, 0.0, 1.0)
+            .hold(1, 0.0, 1.0)
+            .transfer(0, 1, 1.0)
+        )
+        assert not schedule_is_tree(sched, inst)
+
+    def test_unaligned_schedule_rejected(self, fig6):
+        sched = Schedule().hold(0, 0.0, 0.123)
+        with pytest.raises(Exception, match="request instant"):
+            schedule_to_edges(sched, fig6)
+
+    def test_empty_schedule_is_trivially_tree(self, fig6):
+        assert schedule_is_tree(Schedule(), fig6)
+
+
+class TestMigrationOnly:
+    def test_matches_closed_form(self):
+        inst = make_instance([1.0, 2.0, 4.0], [1, 1, 0], m=2, mu=2.0, lam=3.0)
+        # horizon 4.0, two server switches (0->1 at r1, 1->0 at r3)
+        assert migration_only_cost(inst) == pytest.approx(2.0 * 4.0 + 3.0 * 2)
+
+    def test_never_below_optimal(self, fig6):
+        assert migration_only_cost(fig6) >= solve_offline(fig6).optimal_cost - 1e-9
+
+    def test_all_on_origin_pays_no_transfers(self):
+        inst = make_instance([1.0, 2.0], [0, 0], m=1)
+        assert migration_only_cost(inst) == pytest.approx(2.0)

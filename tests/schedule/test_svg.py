@@ -1,0 +1,89 @@
+"""SVG renderer tests (structural XML checks)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro import Schedule, solve_offline
+from repro.schedule import render_svg, write_svg
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+class TestStructure:
+    def test_well_formed_xml(self, fig6):
+        sched = solve_offline(fig6).schedule()
+        root = parse(render_svg(sched, fig6))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_request_dot_per_request(self, fig6):
+        sched = solve_offline(fig6).schedule()
+        root = parse(render_svg(sched, fig6))
+        dots = [
+            el
+            for el in root.iter(f"{SVG_NS}circle")
+            if el.get("class") == "request"
+        ]
+        assert len(dots) == fig6.n
+
+    def test_interval_and_transfer_counts(self, fig6):
+        sched = solve_offline(fig6).schedule()
+        root = parse(render_svg(sched, fig6))
+        bars = [
+            el for el in root.iter(f"{SVG_NS}rect") if el.get("class") == "cache"
+        ]
+        arrows = [
+            el
+            for el in root.iter(f"{SVG_NS}line")
+            if el.get("class") == "transfer"
+        ]
+        canon = sched.canonical()
+        assert len(bars) == len(canon.intervals)
+        assert len(arrows) == len(canon.transfers)
+
+    def test_origin_ring_present(self, fig6):
+        root = parse(render_svg(Schedule(), fig6))
+        rings = [
+            el
+            for el in root.iter(f"{SVG_NS}circle")
+            if el.get("class") == "origin"
+        ]
+        assert len(rings) == 1
+
+    def test_title_escaped(self, fig6):
+        text = render_svg(Schedule(), fig6, title="<unsafe> & co")
+        assert "<unsafe>" not in text
+        assert "&lt;unsafe&gt;" in text
+        parse(text)  # still well-formed
+
+    def test_lane_labels(self, fig6):
+        text = render_svg(Schedule(), fig6)
+        for j in range(fig6.num_servers):
+            assert f">s{j}<" in text
+
+
+class TestGeometry:
+    def test_request_x_positions_monotone(self, fig6):
+        root = parse(render_svg(Schedule(), fig6))
+        xs = [
+            float(el.get("cx"))
+            for el in root.iter(f"{SVG_NS}circle")
+            if el.get("class") == "request"
+        ]
+        assert xs == sorted(xs)
+
+    def test_custom_dimensions(self, fig6):
+        root = parse(render_svg(Schedule(), fig6, width=400, lane_height=20))
+        assert root.get("width") == "400"
+
+
+class TestWrite:
+    def test_write_svg_roundtrip(self, fig6, tmp_path):
+        sched = solve_offline(fig6).schedule()
+        path = tmp_path / "fig6.svg"
+        write_svg(sched, fig6, str(path))
+        parse(path.read_text())

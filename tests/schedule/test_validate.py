@@ -1,0 +1,149 @@
+"""Feasibility-validator tests: accept good schedules, reject broken ones."""
+
+import pytest
+
+from repro import InvalidScheduleError, Schedule, solve_offline, validate_schedule
+from repro.schedule.validate import is_standard_form
+
+from ..conftest import make_instance
+
+
+def tiny_instance():
+    # origin s0 at t0=0; r1 on s1 at t=1; r2 on s0 at t=2.
+    return make_instance([1.0, 2.0], [1, 0], m=2)
+
+
+def good_schedule():
+    return (
+        Schedule()
+        .hold(0, 0.0, 2.0)
+        .transfer(0, 1, 1.0)
+    )
+
+
+class TestAccepts:
+    def test_good_schedule(self):
+        validate_schedule(good_schedule(), tiny_instance())
+
+    def test_optimal_schedules_always_validate(self, fig6, fig2):
+        for inst in (fig6, fig2):
+            validate_schedule(
+                solve_offline(inst).schedule(),
+                inst,
+                require_standard_form=True,
+            )
+
+    def test_transfer_served_request_without_interval(self):
+        # The transferred copy is used and deleted immediately (red square).
+        validate_schedule(good_schedule(), tiny_instance())
+
+    def test_zero_length_interval_at_transfer(self):
+        s = good_schedule().hold(1, 1.0, 1.0)
+        validate_schedule(s, tiny_instance())
+
+    def test_simultaneous_transfer_chain(self):
+        # a -> b -> c at the same instant is legal (negligible latency).
+        inst = make_instance([1.0, 1.0 + 1e-12], [1, 2], m=3)
+        # strictly increasing times required; use two distinct instants
+        inst = make_instance([1.0, 2.0], [1, 2], m=3)
+        s = (
+            Schedule()
+            .hold(0, 0.0, 2.0)
+            .transfer(0, 1, 1.0)
+            .hold(1, 1.0, 2.0)
+            .transfer(1, 2, 2.0)
+        )
+        validate_schedule(s, inst)
+
+    def test_empty_instance_empty_schedule(self):
+        inst = make_instance([], [], m=2)
+        validate_schedule(Schedule(), inst)
+
+
+class TestRejects:
+    def test_unserved_request(self):
+        s = Schedule().hold(0, 0.0, 2.0)
+        with pytest.raises(InvalidScheduleError, match="not served"):
+            validate_schedule(s, tiny_instance())
+
+    def test_coverage_gap(self):
+        inst = tiny_instance()
+        s = (
+            Schedule()
+            .hold(0, 0.0, 0.5)
+            .hold(0, 1.5, 2.0)
+            .transfer(0, 1, 1.0)
+        )
+        with pytest.raises(InvalidScheduleError):
+            validate_schedule(s, inst)
+
+    def test_interval_from_thin_air(self):
+        s = good_schedule().hold(1, 1.5, 2.0)  # no transfer arrives at 1.5
+        with pytest.raises(InvalidScheduleError, match="custody|no transfer"):
+            validate_schedule(s, tiny_instance())
+
+    def test_transfer_from_copyless_server(self):
+        inst = tiny_instance()
+        s = Schedule().hold(0, 0.0, 2.0).transfer(1, 0, 1.0).transfer(0, 1, 1.0)
+        # transfer 1 -> 0 at t=1: server 1 only gets a copy at t=1 via the
+        # second transfer; circular same-instant pair must be rejected...
+        # actually 0 is grounded, so 0->1 grounds 1; but 1->0 needs a dst
+        # interval; without one it is a no-op delivery. Build a real cycle:
+        inst2 = make_instance([1.0], [1], m=3)
+        cyc = (
+            Schedule()
+            .hold(0, 0.0, 1.0)
+            .hold(1, 1.0, 1.0)
+            .hold(2, 1.0, 1.0)
+            .transfer(1, 2, 1.0)
+            .transfer(2, 1, 1.0)
+        )
+        with pytest.raises(InvalidScheduleError, match="ungrounded"):
+            validate_schedule(cyc, inst2)
+
+    def test_unknown_server_in_interval(self):
+        s = good_schedule().hold(7, 0.0, 1.0)
+        with pytest.raises(InvalidScheduleError, match="unknown server"):
+            validate_schedule(s, tiny_instance())
+
+    def test_unknown_server_in_transfer(self):
+        s = good_schedule().transfer(0, 9, 1.0)
+        with pytest.raises(InvalidScheduleError, match="unknown server"):
+            validate_schedule(s, tiny_instance())
+
+    def test_no_origin_interval(self):
+        inst = tiny_instance()
+        s = Schedule().hold(1, 0.0, 2.0).transfer(1, 0, 2.0)
+        with pytest.raises(InvalidScheduleError):
+            validate_schedule(s, inst)
+
+    def test_dead_end_cache_rejected_when_minimal(self):
+        inst = tiny_instance()
+        s = good_schedule().hold(0, 0.0, 2.0)  # fine
+        s2 = Schedule().hold(0, 0.0, 3.5).transfer(0, 1, 1.0)
+        # interval runs past t_n=2 for no reason
+        with pytest.raises(InvalidScheduleError, match="dead-end"):
+            validate_schedule(s2, inst, require_minimal=True)
+
+    def test_nonstandard_transfer_flagged(self):
+        inst = tiny_instance()
+        s = (
+            Schedule()
+            .hold(0, 0.0, 2.0)
+            .transfer(0, 1, 0.5)  # not a request instant on s1
+            .hold(1, 0.5, 1.0)
+        )
+        validate_schedule(s, inst)  # feasible...
+        with pytest.raises(InvalidScheduleError, match="standard form"):
+            validate_schedule(s, inst, require_standard_form=True)
+
+
+class TestStandardForm:
+    def test_standard_schedule(self, fig6):
+        sched = solve_offline(fig6).schedule()
+        assert is_standard_form(sched, fig6)
+
+    def test_non_standard_schedule(self):
+        inst = tiny_instance()
+        s = Schedule().hold(0, 0.0, 2.0).transfer(0, 1, 0.25)
+        assert not is_standard_form(s, inst)

@@ -1,0 +1,60 @@
+"""Online engine driver tests."""
+
+from typing import List, Tuple
+
+from repro import run_online
+from repro.online.base import OnlineAlgorithm
+
+from ..conftest import make_instance
+
+
+class Probe(OnlineAlgorithm):
+    """Records the exact hook call sequence."""
+
+    name = "probe"
+
+    def _setup(self):
+        self.calls: List[Tuple] = []
+        self.rec.copy_created(self.origin, self.t0, created_by="initial")
+
+    def advance(self, t):
+        self.calls.append(("advance", t))
+
+    def serve(self, i, t, server):
+        self.calls.append(("serve", i, t, server))
+
+
+class TestEngine:
+    def test_requests_delivered_in_order(self):
+        inst = make_instance([1.0, 2.0, 3.0], [1, 0, 1], m=2)
+        algo = Probe()
+        run_online(algo, inst)
+        serves = [c for c in algo.calls if c[0] == "serve"]
+        assert serves == [
+            ("serve", 1, 1.0, 1),
+            ("serve", 2, 2.0, 0),
+            ("serve", 3, 3.0, 1),
+        ]
+
+    def test_advance_precedes_each_serve(self):
+        inst = make_instance([1.0, 2.0], [0, 1], m=2)
+        algo = Probe()
+        run_online(algo, inst)
+        kinds = [c[0] for c in algo.calls]
+        assert kinds[:4] == ["advance", "serve", "advance", "serve"]
+
+    def test_final_advance_at_horizon(self):
+        inst = make_instance([1.0], [0], m=1)
+        algo = Probe()
+        run_online(algo, inst)
+        assert algo.calls[-1] == ("advance", 1.0)
+
+    def test_result_algorithm_name(self):
+        inst = make_instance([1.0], [0], m=1)
+        assert run_online(Probe(), inst).algorithm == "probe"
+
+    def test_algorithm_reusable_across_instances(self):
+        algo = Probe()
+        a = run_online(algo, make_instance([1.0], [0], m=1))
+        b = run_online(algo, make_instance([2.0], [0], m=1))
+        assert a.cost != b.cost  # fresh recorder per run

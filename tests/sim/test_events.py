@@ -1,0 +1,75 @@
+"""Event queue tests."""
+
+import pytest
+
+from repro.sim import Event, EventQueue
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.push(3.0, server=0)
+        q.push(1.0, server=1)
+        q.push(2.0, server=2)
+        assert [q.pop().time for _ in range(3)] == [1.0, 2.0, 3.0]
+
+    def test_fifo_among_equal_times(self):
+        q = EventQueue()
+        a = q.push(1.0, server=0)
+        b = q.push(1.0, server=1)
+        assert q.pop() is a and q.pop() is b
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(5.0)
+        assert q.peek_time() == 5.0
+
+    def test_len_and_clear(self):
+        q = EventQueue()
+        q.push(1.0)
+        q.push(2.0)
+        assert len(q) == 2
+        q.clear()
+        assert len(q) == 0
+
+
+class TestPopGroup:
+    def test_groups_simultaneous_events(self):
+        q = EventQueue()
+        q.push(1.0, server=0)
+        q.push(1.0, server=1)
+        q.push(2.0, server=2)
+        t, group = q.pop_group(5.0, lambda ev: True)
+        assert t == 1.0 and {ev.server for ev in group} == {0, 1}
+
+    def test_strictly_before_cutoff(self):
+        q = EventQueue()
+        q.push(2.0, server=0)
+        assert q.pop_group(2.0, lambda ev: True) is None
+        assert q.pop_group(2.0001, lambda ev: True) is not None
+
+    def test_lazy_invalidation_skips_stale(self):
+        q = EventQueue()
+        q.push(1.0, server=0)
+        q.push(3.0, server=1)
+        t, group = q.pop_group(10.0, lambda ev: ev.server == 1)
+        assert t == 3.0 and group[0].server == 1
+
+    def test_none_when_empty(self):
+        assert EventQueue().pop_group(10.0, lambda ev: True) is None
+
+    def test_stale_within_group_filtered(self):
+        q = EventQueue()
+        q.push(1.0, server=0)
+        q.push(1.0, server=1)
+        t, group = q.pop_group(2.0, lambda ev: ev.server == 0)
+        assert len(group) == 1 and group[0].server == 0
+
+
+class TestEvent:
+    def test_ordering_by_time_then_seq(self):
+        assert Event(1.0, 0) < Event(1.0, 1) < Event(2.0, 0)
+
+    def test_kind_and_server_not_compared(self):
+        assert Event(1.0, 0, kind="a", server=5) < Event(1.0, 1, kind="z", server=0)

@@ -1,0 +1,94 @@
+"""Run recorder tests."""
+
+import pytest
+
+from repro import CostModel
+from repro.sim import RunRecorder
+
+
+def recorder(m=3):
+    return RunRecorder(m, CostModel(mu=1.0, lam=1.0))
+
+
+class TestLifetimes:
+    def test_create_and_delete(self):
+        rec = recorder()
+        rec.copy_created(0, 0.0, created_by="initial")
+        rec.copy_deleted(0, 2.0)
+        life = rec.lifetimes[0]
+        assert life.start == 0.0 and life.end == 2.0
+        assert life.ended_by == "expire"
+
+    def test_double_create_rejected(self):
+        rec = recorder()
+        rec.copy_created(0, 0.0)
+        with pytest.raises(RuntimeError, match="already holds"):
+            rec.copy_created(0, 1.0)
+
+    def test_tail_accounting(self):
+        rec = recorder()
+        rec.copy_created(0, 0.0, created_by="initial")
+        rec.copy_refreshed(0, 1.5)
+        rec.copy_deleted(0, 2.5)
+        assert rec.lifetimes[0].tail() == pytest.approx(1.0)
+
+    def test_tail_of_alive_lifetime_raises(self):
+        rec = recorder()
+        life = rec.copy_created(0, 0.0)
+        with pytest.raises(ValueError, match="alive"):
+            life.tail()
+
+    def test_holds_copy_and_open_servers(self):
+        rec = recorder()
+        rec.copy_created(2, 0.0)
+        rec.copy_created(0, 0.5)
+        assert rec.holds_copy(2) and not rec.holds_copy(1)
+        assert rec.open_servers() == [0, 2]
+
+
+class TestTransfersAndFinalize:
+    def test_transfer_counter_and_index(self):
+        rec = recorder()
+        assert rec.transfer(0, 1, 1.0) == 0
+        assert rec.transfer(1, 2, 2.0) == 1
+        assert rec.counters["transfers"] == 2
+
+    def test_transfer_index_recorded_on_lifetime(self):
+        rec = recorder()
+        rec.transfer(0, 1, 1.0)
+        life = rec.copy_created(1, 1.0, created_by="transfer")
+        assert life.transfer_index == 0
+
+    def test_finalize_truncates_open_copies(self):
+        rec = recorder()
+        rec.copy_created(0, 0.0, created_by="initial")
+        result = rec.finalize(4.0, algorithm="x")
+        assert result.lifetimes[0].end == 4.0
+        assert result.lifetimes[0].ended_by == "truncate"
+        assert result.cost == pytest.approx(4.0)
+
+    def test_finalize_builds_schedule_and_cost(self):
+        rec = recorder()
+        rec.copy_created(0, 0.0, created_by="initial")
+        rec.transfer(0, 1, 1.0)
+        rec.copy_created(1, 1.0, created_by="transfer")
+        rec.copy_deleted(0, 2.0)
+        result = rec.finalize(3.0, algorithm="demo")
+        # caching: s0 [0,2] + s1 [1,3] = 4; transfers: 1.
+        assert result.cost == pytest.approx(5.0)
+        assert result.num_transfers == 1
+        assert result.algorithm == "demo"
+
+    def test_transfers_raw_preserves_creation_order(self):
+        rec = recorder()
+        rec.transfer(0, 2, 5.0)
+        rec.transfer(0, 1, 1.0)
+        rec.copy_created(0, 0.0, created_by="initial")
+        result = rec.finalize(6.0, algorithm="x")
+        assert result.transfers_raw() == [(5.0, 0, 2), (1.0, 0, 1)]
+
+    def test_repr(self):
+        rec = recorder()
+        rec.copy_created(0, 0.0, created_by="initial")
+        result = rec.finalize(1.0, algorithm="demo")
+        assert "demo" in repr(result)

@@ -1,0 +1,117 @@
+"""CLI tests (exercised in-process through ``repro.cli.main``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def trace(tmp_path):
+    path = tmp_path / "trace.csv"
+    assert main(["generate", str(path), "-n", "30", "-m", "4", "--seed", "1"]) == 0
+    return str(path)
+
+
+class TestGenerate:
+    def test_writes_trace(self, tmp_path, capsys):
+        out = tmp_path / "t.csv"
+        assert main(["generate", str(out), "-n", "10", "-m", "3"]) == 0
+        assert out.exists()
+        assert "wrote 10 requests" in capsys.readouterr().out
+
+
+class TestSolve:
+    def test_prints_optimal_cost(self, trace, capsys):
+        assert main(["solve", trace]) == 0
+        out = capsys.readouterr().out
+        assert "optimal cost" in out and "lower bound" in out
+
+    def test_diagram_flag(self, trace, capsys):
+        assert main(["solve", trace, "--diagram"]) == 0
+        assert "legend" in capsys.readouterr().out
+
+    def test_missing_file_is_error_exit(self, capsys):
+        assert main(["solve", "/nonexistent/trace.csv"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestOnline:
+    @pytest.mark.parametrize(
+        "policy",
+        ["sc", "always-transfer", "never-delete", "randomized-ttl", "predictive"],
+    )
+    def test_policies_run(self, trace, capsys, policy):
+        assert main(["online", trace, "--policy", policy]) == 0
+        out = capsys.readouterr().out
+        assert "ratio" in out
+
+    def test_epoch_flag(self, trace, capsys):
+        assert main(["online", trace, "--policy", "sc", "--epoch", "3"]) == 0
+        assert "epochs" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_table_lists_all_policies(self, trace, capsys):
+        assert main(["compare", trace]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "off-line optimal",
+            "speculative-caching",
+            "always-transfer",
+            "never-delete",
+        ):
+            assert name in out
+
+
+class TestPaper:
+    def test_reprints_worked_examples(self, capsys):
+        assert main(["paper"]) == 0
+        out = capsys.readouterr().out
+        assert "8.9" in out  # Fig 6 optimum
+        assert "7.2" in out  # Fig 2 decomposition
+
+
+class TestExperiment:
+    def test_listing(self, capsys):
+        assert main(["experiment"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "table1" in out
+
+    def test_run_fig2(self, capsys):
+        assert main(["experiment", "fig2"]) == 0
+        assert "7.2" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestSvg:
+    def test_writes_svg_file(self, trace, tmp_path, capsys):
+        out = tmp_path / "schedule.svg"
+        assert main(["svg", trace, str(out)]) == 0
+        text = out.read_text()
+        assert text.startswith("<svg") and text.rstrip().endswith("</svg>")
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestSensitivity:
+    def test_prints_table_and_breakpoints(self, trace, capsys):
+        assert main(
+            ["sensitivity", trace, "--lo", "0.2", "--hi", "4.0", "--points", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "optimal cost" in out
+        assert "breakpoint" in out or "no structure change" in out
+
+
+class TestParser:
+    def test_cost_flags_global(self, trace, capsys):
+        assert main(["--mu", "2.0", "--lam", "0.5", "solve", trace]) == 0
+
+    def test_parser_builds(self):
+        assert build_parser().prog == "repro-cache"
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,38 @@
+"""Every example script must run clean and print its story."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+EXPECTED_SNIPPETS = {
+    "quickstart": ["optimal service cost", "competitive ratio"],
+    "mobile_trajectory": ["predictability", "factor-3"],
+    "cost_explorer": ["transfer-cost sweep", "migrate-everywhere"],
+    "online_service": ["online policies, best first", "factor-3"],
+    "trace_mining": ["provisioning plan", "saves"],
+    "predictive_service": ["information ladder", "regret"],
+    "pricing_frontier": ["speculative window", "cost-latency frontier"],
+}
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.stem} printed nothing"
+    for snippet in EXPECTED_SNIPPETS.get(path.stem, []):
+        assert snippet in out, f"{path.stem} output lacks {snippet!r}"
+
+
+def test_all_examples_have_expectations():
+    names = {p.stem for p in EXAMPLES}
+    assert names == set(EXPECTED_SNIPPETS), (
+        "keep EXPECTED_SNIPPETS in sync with examples/"
+    )

@@ -1,0 +1,128 @@
+"""Chaos suite: every workload family × every solver × every policy.
+
+One battery of global invariants over a diverse instance zoo.  Anything
+that survives this plus the per-module property tests has earned its
+keep.  Kept deliberately moderate in size so the whole suite stays
+fast; crank ``ZOO_SEEDS`` locally for a deeper soak.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostModel,
+    RecedingHorizonPlanner,
+    SpeculativeCaching,
+    StreamingSolver,
+    double_transfer,
+    solve_exact,
+    solve_offline,
+    solve_offline_naive,
+    validate_schedule,
+)
+from repro.network import Cluster
+from repro.offline import solve_beam
+from repro.online import (
+    AlwaysTransfer,
+    MarkovPredictor,
+    NeverDelete,
+    OracleNextRequest,
+    PredictiveCaching,
+    RandomizedTTL,
+)
+from repro.schedule import is_standard_form, schedule_edge_cost
+from repro.workloads import (
+    MarkovMobility,
+    diurnal_instance,
+    flash_crowd_instance,
+    mmpp_instance,
+    poisson_zipf_instance,
+)
+
+ZOO_SEEDS = range(3)
+
+
+def zoo(seed):
+    """One instance per workload family, per seed."""
+    cost = CostModel(
+        mu=float(np.random.default_rng(seed).uniform(0.3, 2.0)),
+        lam=float(np.random.default_rng(seed + 1).uniform(0.3, 2.0)),
+    )
+    cluster = Cluster.grid(2, 2, cost=cost)
+    yield poisson_zipf_instance(35, 4, rate=1.0, zipf_s=1.0, cost=cost, rng=seed)
+    yield mmpp_instance(35, 4, cost=cost, rng=seed)
+    yield MarkovMobility(cluster, locality=0.8, request_rate=1.0).instance(
+        2, 20.0, cost=cost, rng=seed
+    )
+    yield diurnal_instance(30.0, 4, base_rate=1.5, cost=cost, rng=seed)
+    yield flash_crowd_instance(35, 4, cost=cost, rng=seed)
+
+
+def policies():
+    yield SpeculativeCaching()
+    yield SpeculativeCaching(epoch_size=4)
+    yield SpeculativeCaching(window_factor=0.5)
+    yield AlwaysTransfer()
+    yield NeverDelete()
+    yield RandomizedTTL(seed=0)
+    yield PredictiveCaching(MarkovPredictor())
+    yield PredictiveCaching(OracleNextRequest(horizon=3))
+    yield RecedingHorizonPlanner(horizon=2)
+
+
+@pytest.mark.parametrize("seed", ZOO_SEEDS)
+def test_offline_solver_concordance(seed):
+    for inst in zoo(seed):
+        fast = solve_offline(inst)
+        assert fast.agrees_with(solve_offline_naive(inst))
+        exact = solve_exact(inst, build_schedule=False).optimal_cost
+        assert fast.optimal_cost == pytest.approx(exact, rel=1e-9, abs=1e-9)
+        assert solve_beam(inst, width=128, build_schedule=False).cost == (
+            pytest.approx(exact, rel=1e-9, abs=1e-9)
+        )
+        ss = StreamingSolver(
+            inst.num_servers, cost=inst.cost, origin=inst.origin,
+            start_time=float(inst.t[0]),
+        )
+        ss.extend(zip(inst.t[1:].tolist(), inst.srv[1:].tolist()))
+        assert ss.optimal_cost == pytest.approx(fast.optimal_cost)
+
+
+@pytest.mark.parametrize("seed", ZOO_SEEDS)
+def test_reconstruction_invariants(seed):
+    for inst in zoo(seed):
+        res = solve_offline(inst)
+        sched = res.schedule()
+        validate_schedule(sched, inst, require_standard_form=True)
+        assert is_standard_form(sched, inst)
+        assert schedule_edge_cost(sched, inst) == pytest.approx(
+            res.optimal_cost, rel=1e-9, abs=1e-9
+        )
+        assert inst.running_bound() <= res.optimal_cost + 1e-9
+
+
+@pytest.mark.parametrize("seed", ZOO_SEEDS)
+def test_every_policy_feasible_and_never_beats_opt(seed):
+    for inst in zoo(seed):
+        opt = solve_offline(inst).optimal_cost
+        for policy in policies():
+            run = policy.run(inst)
+            validate_schedule(run.schedule, inst)
+            assert run.cost >= opt - 1e-6, (policy.name, inst)
+
+
+@pytest.mark.parametrize("seed", ZOO_SEEDS)
+def test_sc_theorem_chain_across_the_zoo(seed):
+    from repro.online import verify_theorem3
+
+    for inst in zoo(seed):
+        rep = verify_theorem3(inst)
+        assert rep.holds(), (rep, inst)
+
+
+@pytest.mark.parametrize("seed", ZOO_SEEDS)
+def test_dt_identity_across_the_zoo(seed):
+    for inst in zoo(seed):
+        run = SpeculativeCaching().run(inst)
+        dt = double_transfer(run, inst)
+        assert dt.total_cost == pytest.approx(run.cost)

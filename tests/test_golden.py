@@ -1,0 +1,74 @@
+"""Golden regression tests: pinned outputs for the paper's examples.
+
+If any of these change, either a solver regressed or an intentional
+behaviour change needs the goldens (and EXPERIMENTS.md) updated in the
+same commit.
+"""
+
+import json
+
+import pytest
+
+from repro import solve_offline
+from repro.online import SpeculativeCaching
+from repro.paperdata import fig2_instance, fig6_instance, fig7_instance
+from repro.schedule import schedule_to_dict
+
+FIG6_GOLDEN_SCHEDULE = {
+    "version": 1,
+    "intervals": [
+        {"server": 0, "start": 0.0, "end": 1.4},
+        {"server": 1, "start": 0.5, "end": 4.0},
+    ],
+    "transfers": [
+        {"time": 0.5, "src": 0, "dst": 1},
+        {"time": 0.8, "src": 0, "dst": 2},
+        {"time": 1.1, "src": 0, "dst": 3},
+        {"time": 4.0, "src": 1, "dst": 2},
+    ],
+}
+
+FIG2_GOLDEN_COSTS = {"caching": 3.2, "transfer": 4.0, "total": 7.2}
+
+FIG7_GOLDEN_COUNTERS = {
+    "transfers": 5,
+    "local_hits": 1,
+    "expirations": 3,
+    "extensions": 2,
+    "epochs": 1,
+}
+
+
+class TestGoldens:
+    def test_fig6_schedule_atoms(self):
+        sched = solve_offline(fig6_instance()).schedule()
+        got = schedule_to_dict(sched)
+        assert got == FIG6_GOLDEN_SCHEDULE
+
+    def test_fig6_schedule_json_stable(self):
+        from repro.schedule import schedule_to_json
+
+        sched = solve_offline(fig6_instance()).schedule()
+        # JSON form is sorted-keys deterministic.
+        assert json.loads(schedule_to_json(sched)) == FIG6_GOLDEN_SCHEDULE
+
+    def test_fig2_costs(self):
+        inst = fig2_instance()
+        sched = solve_offline(inst).schedule()
+        assert sched.caching_cost(inst.cost) == pytest.approx(
+            FIG2_GOLDEN_COSTS["caching"]
+        )
+        assert sched.transfer_cost(inst.cost) == pytest.approx(
+            FIG2_GOLDEN_COSTS["transfer"]
+        )
+        assert sched.total_cost(inst.cost) == pytest.approx(
+            FIG2_GOLDEN_COSTS["total"]
+        )
+
+    def test_fig7_counters(self):
+        run = SpeculativeCaching(epoch_size=5).run(fig7_instance())
+        assert run.counters == FIG7_GOLDEN_COUNTERS
+
+    def test_fig7_cost(self):
+        run = SpeculativeCaching(epoch_size=5).run(fig7_instance())
+        assert run.cost == pytest.approx(13.0)

@@ -1,0 +1,120 @@
+"""Cross-module integration tests: workload -> solvers -> analysis."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostModel,
+    double_transfer,
+    solve_exact,
+    solve_offline,
+    validate_schedule,
+)
+from repro.analysis import empirical_ratio, format_table
+from repro.network import Cluster
+from repro.online import (
+    AlwaysTransfer,
+    NeverDelete,
+    SpeculativeCaching,
+    verify_theorem3,
+)
+from repro.schedule import migration_only_cost, render_schedule
+from repro.workloads import (
+    MarkovMobility,
+    lz_entropy_rate,
+    max_predictability,
+    mine_instance,
+    poisson_zipf_instance,
+    write_trace,
+    TraceRecord,
+)
+
+
+class TestWorkloadToSolvers:
+    def test_poisson_zipf_end_to_end(self):
+        inst = poisson_zipf_instance(80, 6, zipf_s=1.2, rng=0)
+        res = solve_offline(inst)
+        sched = res.schedule()
+        validate_schedule(sched, inst, require_standard_form=True)
+        run = SpeculativeCaching().run(inst)
+        validate_schedule(run.schedule, inst)
+        assert res.optimal_cost <= run.cost <= 3 * res.optimal_cost + 1e-6
+
+    def test_trajectory_end_to_end(self):
+        cluster = Cluster.grid(2, 3, cost=CostModel(mu=1.0, lam=2.0))
+        mm = MarkovMobility(cluster, locality=0.9, request_rate=1.5)
+        inst = mm.instance(num_users=2, duration=40.0, cost=cluster.cost, rng=1)
+        rep = verify_theorem3(inst)
+        assert rep.holds()
+
+    def test_trace_roundtrip_to_solution(self, tmp_path):
+        inst = poisson_zipf_instance(40, 4, rng=2)
+        path = tmp_path / "t.csv"
+        write_trace(
+            [
+                TraceRecord(float(inst.t[i]), int(inst.srv[i]))
+                for i in range(1, inst.n + 1)
+            ],
+            path,
+        )
+        mined = mine_instance(path, num_servers=4, cost=inst.cost)
+        assert solve_offline(mined).optimal_cost == pytest.approx(
+            solve_offline(inst).optimal_cost
+        )
+
+
+class TestCostOrderings:
+    def test_policy_sandwich(self):
+        # OPT <= SC <= 3 OPT and OPT <= baselines, across workloads.
+        for seed in range(5):
+            inst = poisson_zipf_instance(60, 5, rate=1.5, rng=seed)
+            opt = solve_offline(inst).optimal_cost
+            for algo in (SpeculativeCaching(), AlwaysTransfer(), NeverDelete()):
+                cost = algo.run(inst).cost
+                assert cost >= opt - 1e-6
+            assert SpeculativeCaching().run(inst).cost <= 3 * opt + 1e-6
+
+    def test_exact_oracle_agrees_on_trajectory_workload(self):
+        cluster = Cluster.grid(2, 2)
+        mm = MarkovMobility(cluster, locality=0.8, request_rate=0.5)
+        inst = mm.instance(num_users=1, duration=25.0, rng=3)
+        if inst.n <= 18:
+            assert solve_exact(inst, build_schedule=False).optimal_cost == (
+                pytest.approx(solve_offline(inst).optimal_cost)
+            )
+
+    def test_migration_only_vs_always_transfer_identity(self):
+        inst = poisson_zipf_instance(50, 4, rng=4)
+        assert AlwaysTransfer().run(inst).cost == pytest.approx(
+            migration_only_cost(inst)
+        )
+
+
+class TestAnalysisPipeline:
+    def test_dt_chain_on_generated_workload(self):
+        inst = poisson_zipf_instance(50, 4, rng=5)
+        run = SpeculativeCaching().run(inst)
+        dt = double_transfer(run, inst)
+        assert dt.total_cost == pytest.approx(run.cost)
+
+    def test_predictability_pipeline(self):
+        cluster = Cluster.grid(2, 2)
+        mm = MarkovMobility(cluster, locality=0.95, request_rate=2.0)
+        inst = mm.instance(num_users=1, duration=120.0, rng=6)
+        S = lz_entropy_rate(inst.srv[1:].tolist())
+        assert max_predictability(S, cluster.num_servers) > 0.6
+
+    def test_reporting_pipeline(self):
+        inst = poisson_zipf_instance(30, 4, rng=7)
+        rows = [
+            {"policy": "sc", "ratio": empirical_ratio(inst)},
+            {"policy": "at", "ratio": empirical_ratio(inst, AlwaysTransfer())},
+        ]
+        table = format_table(rows)
+        assert "policy" in table
+
+    def test_diagram_of_everything(self):
+        inst = poisson_zipf_instance(15, 3, rng=8)
+        res = solve_offline(inst)
+        out = render_schedule(res.schedule(), inst, title="opt")
+        assert out.startswith("opt")

@@ -1,0 +1,70 @@
+"""Sanity of the pinned paper fixtures themselves."""
+
+import numpy as np
+import pytest
+
+from repro.paperdata import (
+    FIG2_EXPECTED,
+    FIG2_REQUESTS,
+    FIG6_EXPECTED,
+    FIG6_REQUESTS,
+    FIG7_REQUESTS,
+    fig2_instance,
+    fig6_instance,
+    fig7_instance,
+)
+
+
+class TestFig6Fixture:
+    def test_shape(self):
+        inst = fig6_instance()
+        assert inst.n == len(FIG6_REQUESTS) == 7
+        assert inst.num_servers == 4
+        assert inst.cost.mu == inst.cost.lam == 1.0
+
+    def test_expected_tables_are_consistent(self):
+        # B must be the prefix sum of b within the pinned constants.
+        b = FIG6_EXPECTED["b"]
+        B = FIG6_EXPECTED["B"]
+        assert np.allclose(np.cumsum(b), B)
+
+    def test_expected_C_matches_optimal_claim(self):
+        assert FIG6_EXPECTED["C"][-1] == FIG6_EXPECTED["optimal_cost"]
+
+    def test_min_D7_candidate_is_D7(self):
+        assert min(FIG6_EXPECTED["D7_candidates"]) == FIG6_EXPECTED[
+            "D_finite"
+        ][7]
+
+    def test_pivot_intervals_reference_real_requests(self):
+        inst = fig6_instance()
+        times = set(float(t) for t in inst.t)
+        for lo, hi in FIG6_EXPECTED["pivot_intervals_at_t_p7"].values():
+            assert lo in times and hi in times
+
+
+class TestFig2Fixture:
+    def test_decomposition_adds_up(self):
+        assert FIG2_EXPECTED["caching_cost"] + FIG2_EXPECTED[
+            "transfer_cost"
+        ] == pytest.approx(FIG2_EXPECTED["optimal_cost"])
+
+    def test_shape(self):
+        inst = fig2_instance()
+        assert inst.n == len(FIG2_REQUESTS)
+        assert inst.num_servers == 3
+
+
+class TestFig7Fixture:
+    def test_shape(self):
+        inst = fig7_instance()
+        assert inst.n == len(FIG7_REQUESTS)
+        assert inst.num_servers == 4
+
+    def test_contains_window_hit_and_long_gap(self):
+        # The walkthrough needs: one gap under the unit window on a
+        # revisited server, and one gap long enough to expire everything.
+        inst = fig7_instance()
+        gaps = np.diff(inst.t)
+        assert gaps.min() < 1.0
+        assert gaps.max() > 2.0

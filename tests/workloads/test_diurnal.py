@@ -1,0 +1,78 @@
+"""Diurnal workload generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import diurnal_instance, diurnal_rate
+
+
+class TestDiurnalRate:
+    def test_mean_is_base_rate(self):
+        t = np.linspace(0, 24, 1000)
+        assert diurnal_rate(t, base_rate=2.0).mean() == pytest.approx(2.0, rel=0.01)
+
+    def test_peak_and_trough(self):
+        assert diurnal_rate(6.0, base_rate=1.0, amplitude=0.8) == pytest.approx(1.8)
+        assert diurnal_rate(18.0, base_rate=1.0, amplitude=0.8) == pytest.approx(
+            0.2, abs=1e-9
+        )
+
+    def test_phase_shifts_peak(self):
+        assert diurnal_rate(0.0, phase=6.0) == pytest.approx(
+            diurnal_rate(6.0, phase=0.0)
+        )
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            diurnal_rate(0.0, base_rate=0.0)
+        with pytest.raises(ValueError):
+            diurnal_rate(0.0, amplitude=1.5)
+        with pytest.raises(ValueError):
+            diurnal_rate(0.0, period=0.0)
+
+
+class TestDiurnalInstance:
+    def test_generates_valid_instance(self):
+        inst = diurnal_instance(96.0, 6, base_rate=2.0, rng=0)
+        assert inst.num_servers == 6
+        assert inst.n > 50
+        assert np.all(np.diff(inst.t) > 0)
+
+    def test_day_concentration(self):
+        # Requests should pile into the high-rate half of each cycle.
+        inst = diurnal_instance(240.0, 4, base_rate=2.0, amplitude=1.0, rng=1)
+        phase = np.sin(2 * np.pi * inst.t[1:] / 24.0)
+        assert np.mean(phase > 0) > 0.7
+
+    def test_commuter_split(self):
+        inst = diurnal_instance(
+            240.0,
+            6,
+            base_rate=2.0,
+            day_servers=[0, 1, 2],
+            night_servers=[3, 4, 5],
+            rng=2,
+        )
+        phase = np.sin(2 * np.pi * inst.t[1:] / 24.0)
+        day_mask = phase >= 0
+        assert np.all(inst.srv[1:][day_mask] <= 2)
+        assert np.all(inst.srv[1:][~day_mask] >= 3)
+
+    def test_split_requires_both_sides(self):
+        with pytest.raises(ValueError, match="both"):
+            diurnal_instance(24.0, 4, day_servers=[0, 1], rng=3)
+
+    def test_empty_sides_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            diurnal_instance(
+                24.0, 4, day_servers=[], night_servers=[1], rng=4
+            )
+
+    def test_deterministic(self):
+        a = diurnal_instance(48.0, 4, rng=5)
+        b = diurnal_instance(48.0, 4, rng=5)
+        assert a == b
+
+    def test_duration_validated(self):
+        with pytest.raises(ValueError):
+            diurnal_instance(0.0, 4)

@@ -1,0 +1,56 @@
+"""Flash-crowd workload tests."""
+
+import numpy as np
+import pytest
+
+from repro import solve_offline
+from repro.online import SpeculativeCaching
+from repro.workloads import flash_crowd_instance
+
+
+class TestGeneration:
+    def test_shape_and_ordering(self):
+        inst = flash_crowd_instance(200, 5, rng=0)
+        assert inst.n == 200 and inst.num_servers == 5
+        assert np.all(np.diff(inst.t) > 0)
+
+    def test_hotspot_concentration(self):
+        inst = flash_crowd_instance(400, 6, dwell=50.0, leak=0.05, rng=1)
+        counts = np.bincount(inst.srv[1:], minlength=6)
+        # With long dwells and low leak, the top servers dominate.
+        assert counts.max() / inst.n > 0.3
+
+    def test_zero_leak_pure_hotspots(self):
+        inst = flash_crowd_instance(300, 4, leak=0.0, dwell=5.0, rng=2)
+        # Runs of identical servers with occasional jumps.
+        changes = int((inst.srv[2:] != inst.srv[1:-1]).sum())
+        assert changes < inst.n * 0.5
+
+    def test_deterministic(self):
+        a = flash_crowd_instance(100, 4, rng=3)
+        b = flash_crowd_instance(100, 4, rng=3)
+        assert a == b
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            flash_crowd_instance(10, 1)
+        with pytest.raises(ValueError):
+            flash_crowd_instance(10, 3, leak=1.0)
+        with pytest.raises(ValueError):
+            flash_crowd_instance(10, 3, dwell=0.0)
+
+
+class TestPolicyBehaviour:
+    def test_sc_within_bound(self):
+        for seed in range(5):
+            inst = flash_crowd_instance(150, 5, rng=seed)
+            opt = solve_offline(inst).optimal_cost
+            assert SpeculativeCaching().run(inst).cost <= 3 * opt + 1e-6
+
+    def test_optimal_parks_at_hotspots(self):
+        inst = flash_crowd_instance(200, 4, dwell=30.0, leak=0.05, rng=7)
+        sched = solve_offline(inst).schedule()
+        # Parked copies mean long intervals: mean merged-interval length
+        # far exceeds the mean request gap.
+        durations = [iv.duration for iv in sched.canonical().intervals]
+        assert np.mean(durations) > 3 * np.mean(np.diff(inst.t))

@@ -1,0 +1,79 @@
+"""Predictability estimator tests (Song et al. motivation)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.network import Cluster
+from repro.workloads import (
+    MarkovMobility,
+    empirical_entropy,
+    lz_entropy_rate,
+    max_predictability,
+)
+
+
+class TestEntropyEstimators:
+    def test_constant_sequence_zero_entropy(self):
+        assert lz_entropy_rate([3] * 50) == 0.0
+        assert empirical_entropy([3] * 50) == 0.0
+
+    def test_alternating_sequence_low_lz_entropy(self):
+        seq = [0, 1] * 100
+        lz = lz_entropy_rate(seq)
+        zeroth = empirical_entropy(seq)
+        assert zeroth == pytest.approx(1.0)
+        assert lz < 0.5  # structure detected far below frequency entropy
+
+    def test_random_sequence_near_log2N(self, rng):
+        seq = rng.integers(0, 4, size=400).tolist()
+        lz = lz_entropy_rate(seq)
+        assert 1.0 < lz  # well above any deterministic structure
+
+    def test_short_inputs_degenerate(self):
+        assert lz_entropy_rate([1]) == 0.0
+        assert lz_entropy_rate([]) == 0.0
+
+    def test_empirical_entropy_uniform(self):
+        seq = list(range(8)) * 50
+        assert empirical_entropy(seq) == pytest.approx(3.0)
+
+
+class TestMaxPredictability:
+    def test_zero_entropy_fully_predictable(self):
+        assert max_predictability(0.0, 5) == 1.0
+
+    def test_uniform_entropy_floor(self):
+        assert max_predictability(math.log2(6), 6) == pytest.approx(1 / 6)
+
+    def test_monotone_decreasing_in_entropy(self):
+        vals = [max_predictability(s, 8) for s in (0.5, 1.0, 2.0, 2.9)]
+        assert all(a > b for a, b in zip(vals, vals[1:]))
+
+    def test_fano_equation_satisfied(self):
+        N, S = 10, 1.5
+        pi = max_predictability(S, N)
+        h = -pi * math.log2(pi) - (1 - pi) * math.log2(1 - pi)
+        assert h + (1 - pi) * math.log2(N - 1) == pytest.approx(S, abs=1e-6)
+
+    def test_single_symbol_alphabet(self):
+        assert max_predictability(0.0, 1) == 1.0
+
+
+class TestPaperPremise:
+    def test_high_locality_trajectories_are_highly_predictable(self):
+        # The paper's premise: mobile trajectories are ~93% predictable.
+        # A high-locality Markov walker should land in that regime.
+        c = Cluster.grid(3, 3)
+        mm = MarkovMobility(c, locality=0.93, request_rate=2.0)
+        _, servers = mm.user_stream(duration=250.0, start_server=4, rng=0)
+        S = lz_entropy_rate(servers.tolist())
+        pi = max_predictability(S, c.num_servers)
+        assert pi > 0.85
+
+    def test_uniform_hopping_is_unpredictable(self, rng):
+        servers = rng.integers(0, 9, size=400).tolist()
+        S = lz_entropy_rate(servers)
+        pi = max_predictability(S, 9)
+        assert pi < 0.6

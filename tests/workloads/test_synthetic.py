@@ -1,0 +1,121 @@
+"""Synthetic workload generator tests."""
+
+import numpy as np
+import pytest
+
+from repro import CostModel
+from repro.workloads import (
+    arrival_gaps,
+    choose_servers,
+    mmpp_instance,
+    poisson_zipf_instance,
+    random_instance,
+    renewal_instance,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        assert zipf_weights(7, 1.2).sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        w = zipf_weights(10, 1.0)
+        assert np.all(np.diff(w) < 0)
+
+    def test_zero_skew_is_uniform(self):
+        assert np.allclose(zipf_weights(5, 0.0), 0.2)
+
+    def test_requires_positive_m(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+
+class TestArrivalGaps:
+    @pytest.mark.parametrize("process", ["poisson", "pareto", "lognormal", "constant"])
+    def test_positive_gaps(self, process):
+        gaps = arrival_gaps(500, process, rate=2.0, rng=0)
+        assert gaps.shape == (500,)
+        assert np.all(gaps > 0)
+
+    @pytest.mark.parametrize("process", ["poisson", "pareto", "lognormal", "constant"])
+    def test_mean_close_to_inverse_rate(self, process):
+        gaps = arrival_gaps(20000, process, rate=2.0, rng=1)
+        assert gaps.mean() == pytest.approx(0.5, rel=0.15)
+
+    def test_pareto_heavier_tail_than_poisson(self):
+        pareto = arrival_gaps(20000, "pareto", rng=2, pareto_alpha=1.3)
+        poisson = arrival_gaps(20000, "poisson", rng=2)
+        assert pareto.max() > poisson.max()
+
+    def test_unknown_process_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            arrival_gaps(10, "weibull")
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            arrival_gaps(10, rate=0.0)
+
+    def test_pareto_alpha_validated(self):
+        with pytest.raises(ValueError, match="alpha"):
+            arrival_gaps(10, "pareto", pareto_alpha=0.9)
+
+
+class TestChooseServers:
+    def test_in_range(self):
+        srv = choose_servers(1000, 6, rng=3)
+        assert srv.min() >= 0 and srv.max() < 6
+
+    def test_zipf_concentrates_on_rank_zero(self):
+        srv = choose_servers(5000, 6, popularity="zipf", zipf_s=2.0, rng=4)
+        counts = np.bincount(srv, minlength=6)
+        assert counts[0] == counts.max()
+
+    def test_explicit_weights(self):
+        srv = choose_servers(500, 3, popularity=[0.0, 1.0, 0.0], rng=5)
+        assert set(srv.tolist()) == {1}
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ValueError):
+            choose_servers(10, 3, popularity=[1.0, 2.0])
+
+    def test_unknown_popularity_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            choose_servers(10, 3, popularity="powerlaw")
+
+
+class TestInstanceFactories:
+    def test_poisson_zipf_shape(self):
+        inst = poisson_zipf_instance(100, 8, rng=6)
+        assert inst.n == 100 and inst.num_servers == 8
+
+    def test_deterministic_given_seed(self):
+        a = poisson_zipf_instance(50, 4, rng=7)
+        b = poisson_zipf_instance(50, 4, rng=7)
+        assert a == b
+
+    def test_cost_model_passed_through(self):
+        inst = poisson_zipf_instance(10, 3, cost=CostModel(mu=2.0, lam=3.0), rng=8)
+        assert inst.cost == CostModel(mu=2.0, lam=3.0)
+
+    def test_renewal_with_pareto(self):
+        inst = renewal_instance(60, 5, process="pareto", rng=9)
+        assert inst.n == 60
+
+    def test_mmpp_produces_bursts(self):
+        inst = mmpp_instance(
+            600, 4, rate_low=0.1, rate_high=20.0, switch_prob=0.05, rng=10
+        )
+        gaps = np.diff(inst.t)
+        # Bursty: the gap distribution must be much wider than its median.
+        assert gaps.max() / np.median(gaps) > 10
+
+    def test_mmpp_switch_prob_validated(self):
+        with pytest.raises(ValueError):
+            mmpp_instance(10, 2, switch_prob=1.5)
+
+    def test_random_instance_fuzzer(self):
+        for seed in range(10):
+            inst = random_instance(seed)
+            assert 1 <= inst.num_servers <= 6
+            assert 1 <= inst.n <= 40

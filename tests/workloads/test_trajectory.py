@@ -1,0 +1,101 @@
+"""Mobility trajectory workload tests."""
+
+import numpy as np
+import pytest
+
+from repro.network import Cluster
+from repro.workloads import MarkovMobility, RandomWaypoint, merge_streams
+
+
+class TestMerge:
+    def test_streams_merged_in_time_order(self):
+        a = (np.array([1.0, 3.0]), np.array([0, 1]))
+        b = (np.array([2.0]), np.array([2]))
+        inst = merge_streams([a, b], m=3)
+        assert list(inst.srv[1:]) == [0, 2, 1]
+
+    def test_simultaneous_requests_jittered(self):
+        a = (np.array([1.0]), np.array([0]))
+        b = (np.array([1.0]), np.array([1]))
+        inst = merge_streams([a, b], m=2)
+        assert inst.n == 2
+        assert inst.t[2] > inst.t[1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_streams([], m=2)
+
+
+class TestMarkovMobility:
+    def cluster(self):
+        return Cluster.grid(2, 2)
+
+    def test_high_locality_produces_runs(self):
+        mm = MarkovMobility(self.cluster(), locality=0.95, request_rate=2.0)
+        t, s = mm.user_stream(duration=200.0, start_server=0, rng=0)
+        stays = np.mean(s[1:] == s[:-1])
+        assert stays > 0.8
+
+    def test_zero_locality_moves_every_step(self):
+        mm = MarkovMobility(self.cluster(), locality=0.0, request_rate=2.0)
+        t, s = mm.user_stream(duration=100.0, start_server=0, rng=1)
+        assert np.mean(s[1:] == s[:-1]) < 0.2
+
+    def test_layout_moves_are_neighbours(self):
+        c = Cluster.grid(1, 4, spacing=1.0)
+        mm = MarkovMobility(c, locality=0.0, request_rate=2.0, neighbors=1)
+        t, s = mm.user_stream(duration=100.0, start_server=0, rng=2)
+        for a, b in zip(s, s[1:]):
+            if a != b:
+                assert abs(int(a) - int(b)) == 1  # nearest site only
+
+    def test_instance_merges_users(self):
+        mm = MarkovMobility(self.cluster(), request_rate=1.0)
+        inst = mm.instance(num_users=3, duration=30.0, rng=3)
+        assert inst.num_servers == 4
+        assert inst.n > 10
+
+    def test_locality_validated(self):
+        with pytest.raises(ValueError):
+            MarkovMobility(self.cluster(), locality=1.5)
+
+    def test_rate_validated(self):
+        with pytest.raises(ValueError):
+            MarkovMobility(self.cluster(), request_rate=0.0)
+
+    def test_no_layout_falls_back_to_uniform_moves(self):
+        c = Cluster(5)
+        mm = MarkovMobility(c, locality=0.0, request_rate=1.0)
+        t, s = mm.user_stream(duration=100.0, start_server=0, rng=4)
+        assert len(set(s.tolist())) > 2
+
+
+class TestRandomWaypoint:
+    def cluster(self):
+        return Cluster.grid(3, 3, spacing=2.0)
+
+    def test_requires_layout(self):
+        with pytest.raises(ValueError, match="layout"):
+            RandomWaypoint(Cluster(4))
+
+    def test_stream_serves_valid_servers(self):
+        rw = RandomWaypoint(self.cluster(), speed=1.0, request_rate=1.0)
+        t, s = rw.user_stream(duration=50.0, rng=5)
+        assert t.shape == s.shape
+        assert np.all((0 <= s) & (s < 9))
+        assert np.all(np.diff(t) > 0)
+
+    def test_slow_walker_stays_local(self):
+        rw = RandomWaypoint(self.cluster(), speed=0.01, request_rate=5.0)
+        t, s = rw.user_stream(duration=20.0, rng=6)
+        # A nearly static user should hit very few distinct servers.
+        assert len(set(s.tolist())) <= 3
+
+    def test_instance_builds(self):
+        rw = RandomWaypoint(self.cluster(), request_rate=0.5)
+        inst = rw.instance(num_users=4, duration=40.0, rng=7)
+        assert inst.num_servers == 9 and inst.n > 5
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint(self.cluster(), speed=0.0)
