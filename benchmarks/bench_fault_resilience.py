@@ -1,0 +1,120 @@
+"""Fault-resilience sweep — SC-R cost and availability under chaos.
+
+Sweeps crash rate x replica count ``k`` over seeded fault plans and
+reports, per cell, the mean total-cost ratio against fault-free SC on
+the same instances and the blackout frequency (fraction of scenarios
+with at least one zero-copy window).  Expected shape:
+
+* k=1 sees blackouts as soon as crashes land on the lone copy; k>=2
+  drives blackout frequency to (near) zero until outages overlap,
+* resilience is paid for: the cost ratio grows with both k (replica
+  rent) and the crash rate (repairs, re-seeds, penalties),
+* with no faults the k=1 row is exactly ratio 1.0 — SC-R degenerates
+  to plain SC.
+"""
+
+import numpy as np
+import pytest
+
+from repro import FaultPlan, SpeculativeCaching, run_online, run_online_faulty
+from repro.analysis import format_table
+from repro.online import SpeculativeCachingResilient
+from repro.workloads import poisson_zipf_instance
+
+from _util import emit
+
+CRASH_RATES = [0.0, 0.5, 1.0, 2.0]
+REPLICAS = [1, 2, 3]
+SEEDS = range(5)
+
+
+def instances():
+    return [
+        poisson_zipf_instance(100, 5, rate=1.0, zipf_s=0.8, rng=s)
+        for s in SEEDS
+    ]
+
+
+def test_fault_resilience(benchmark):
+    insts = instances()
+    base_costs = [run_online(SpeculativeCaching(), i).cost for i in insts]
+
+    rows = []
+    cells = {}
+    for crash_rate in CRASH_RATES:
+        row = {"crash rate": crash_rate}
+        for k in REPLICAS:
+            ratios, blackout_hits, dropped, reseeds = [], 0, 0, 0
+            for seed, (inst, base) in enumerate(zip(insts, base_costs)):
+                t0, tn = float(inst.t[0]), float(inst.t[-1])
+                if crash_rate == 0.0:
+                    plan = FaultPlan()
+                else:
+                    plan = FaultPlan.generate(
+                        seed=seed,
+                        num_servers=inst.num_servers,
+                        start=t0,
+                        end=tn,
+                        crash_rate=crash_rate,
+                        mean_outage=0.05 * (tn - t0),
+                    )
+                res = run_online_faulty(
+                    SpeculativeCachingResilient(replicas=k, max_retries=3),
+                    inst,
+                    plan,
+                )
+                ratios.append(res.total_cost / base)
+                blackout_hits += bool(res.blackouts)
+                dropped += res.counters["dropped_requests"]
+                reseeds += res.counters["reseeds"]
+            cell = {
+                "ratio": float(np.mean(ratios)),
+                "blackout_freq": blackout_hits / len(insts),
+                "dropped": dropped,
+                "reseeds": reseeds,
+            }
+            cells[(crash_rate, k)] = cell
+            row[f"k={k} ratio"] = cell["ratio"]
+            row[f"k={k} blk"] = cell["blackout_freq"]
+            row[f"k={k} rsd"] = cell["reseeds"]
+        rows.append(row)
+
+    emit(
+        "fault_resilience",
+        format_table(rows, precision=3),
+        header=(
+            "Fault resilience: mean total-cost ratio vs fault-free SC, "
+            "blackout frequency and origin\nre-seeds, by crash rate "
+            "(outages/server/horizon) and replica floor k\n"
+            "(5 seeds x 100 reqs x 5 servers)"
+        ),
+    )
+
+    # Fault-free k=1 is exact parity with plain SC.
+    assert cells[(0.0, 1)]["ratio"] == pytest.approx(1.0)
+    assert cells[(0.0, 1)]["blackout_freq"] == 0.0
+    # Resilience costs replica rent: fault-free cost grows with k.
+    assert cells[(0.0, 2)]["ratio"] >= cells[(0.0, 1)]["ratio"]
+    # Replication buys availability: at every faulty rate, k=2 suffers
+    # no more blackout scenarios and no more origin re-seeds than k=1
+    # (a lone copy dies with its server; a spare keeps custody alive).
+    for cr in CRASH_RATES[1:]:
+        assert (
+            cells[(cr, 2)]["blackout_freq"] <= cells[(cr, 1)]["blackout_freq"]
+        )
+        assert cells[(cr, 2)]["reseeds"] <= cells[(cr, 1)]["reseeds"]
+
+    inst = insts[0]
+    plan = FaultPlan.generate(
+        seed=0,
+        num_servers=inst.num_servers,
+        start=float(inst.t[0]),
+        end=float(inst.t[-1]),
+        crash_rate=1.0,
+        mean_outage=0.05 * (float(inst.t[-1]) - float(inst.t[0])),
+    )
+    benchmark(
+        lambda: run_online_faulty(
+            SpeculativeCachingResilient(replicas=2), inst, plan
+        )
+    )

@@ -38,6 +38,7 @@ from .offline import (
     solve_offline_naive,
 )
 from .emulator import EmulationReport, LatencyModel, emulate
+from .faults import FaultContext, FaultPlan, FaultyRunResult, Outage
 from .offline import StreamingSolver
 from .online import (
     AlwaysTransfer,
@@ -48,6 +49,7 @@ from .online import (
     RandomizedTTL,
     RecedingHorizonPlanner,
     SpeculativeCaching,
+    SpeculativeCachingResilient,
     double_transfer,
     verify_theorem3,
 )
@@ -62,7 +64,7 @@ from .schedule import (
     render_schedule,
     validate_schedule,
 )
-from .sim import OnlineRunResult, run_online
+from .sim import OnlineRunResult, run_online, run_online_faulty
 
 __version__ = "1.0.0"
 
@@ -72,6 +74,9 @@ __all__ = [
     "CostModel",
     "InvalidInstanceError",
     "EmulationReport",
+    "FaultContext",
+    "FaultPlan",
+    "FaultyRunResult",
     "InvalidScheduleError",
     "LatencyModel",
     "MarkovPredictor",
@@ -81,6 +86,7 @@ __all__ = [
     "OfflineResult",
     "OnlineRunResult",
     "OracleNextRequest",
+    "Outage",
     "PredictiveCaching",
     "ProblemInstance",
     "RandomizedTTL",
@@ -88,6 +94,7 @@ __all__ = [
     "Request",
     "Schedule",
     "SpeculativeCaching",
+    "SpeculativeCachingResilient",
     "StreamingSolver",
     "Transfer",
     "multi_item_workload",
@@ -98,6 +105,7 @@ __all__ = [
     "reconstruct_schedule",
     "render_schedule",
     "run_online",
+    "run_online_faulty",
     "solve_exact",
     "solve_offline",
     "solve_offline_bisect",

@@ -41,17 +41,39 @@ class LatencyModel:
         Extra latency when the item had to come from outside any cache
         (only used for infeasible/uncovered requests in diagnostics; a
         feasible schedule never pays it).
+    retry_base:
+        First-retry backoff delay after a failed transfer attempt; each
+        further attempt doubles it (exponential backoff, see
+        :meth:`retry_backoff`).  Used by the fault-injection layer.
     """
 
     hit: float = 2.0
     fetch_base: float = 20.0
     fetch_per_distance: float = 0.0
     miss_penalty: float = 200.0
+    retry_base: float = 5.0
 
     def __post_init__(self) -> None:
-        for name in ("hit", "fetch_base", "fetch_per_distance", "miss_penalty"):
+        for name in (
+            "hit",
+            "fetch_base",
+            "fetch_per_distance",
+            "miss_penalty",
+            "retry_base",
+        ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")
+
+    def retry_backoff(self, attempt: int) -> float:
+        """Backoff delay charged after failed attempt number ``attempt``.
+
+        Exponential: ``retry_base * 2**(attempt - 1)``.  The fault
+        context accrues this into the retry-latency ledger between
+        attempts of one logical transfer.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt numbers start at 1, got {attempt}")
+        return self.retry_base * (2.0 ** (attempt - 1))
 
     def fetch(
         self,

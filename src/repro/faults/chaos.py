@@ -1,0 +1,233 @@
+"""Chaos harness: seeded fault-scenario sweeps with invariant checks.
+
+The harness generates a family of deterministic
+:class:`~repro.faults.plan.FaultPlan` scenarios from a base seed, drives
+a fault-aware policy through each, and checks the resilience invariants
+a serving stack actually cares about:
+
+* **Determinism** — re-running a scenario yields a bit-identical result
+  and fault log (``same seed ⇒ same everything``).
+* **Exact accounting** — the reported schedule cost equals the realised
+  schedule's cost under the instance's cost model, and the penalty
+  ledger equals (reseeds × reseed cost + drops × drop cost).
+* **Bounded recovery** — nonzero-width blackouts happen only while
+  *every* server is down, and coverage is restored no later than the
+  first recovery that follows (the re-seed path is prompt).
+* **Feasibility modulo blackouts** — the realised schedule validates
+  against the instance once the observed blackout windows are declared.
+
+``run_chaos_suite`` raises :class:`ChaosInvariantError` on the first
+violation, naming the seed so the scenario can be replayed exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core.instance import ProblemInstance
+from ..core.types import InvalidScheduleError
+from ..online.base import OnlineAlgorithm
+from ..schedule.validate import validate_schedule
+from ..sim.engine import run_online_faulty
+from .injector import FaultyRunResult
+from .plan import FaultPlan
+
+__all__ = [
+    "ChaosInvariantError",
+    "ChaosOutcome",
+    "chaos_report",
+    "run_chaos_suite",
+    "scenario_plans",
+]
+
+#: Time tolerance when matching blackout edges to plan events.
+_TOL = 1e-9
+
+
+class ChaosInvariantError(AssertionError):
+    """A chaos invariant failed; the message names the scenario seed."""
+
+
+@dataclass
+class ChaosOutcome:
+    """Per-scenario summary collected by :func:`run_chaos_suite`."""
+
+    seed: int
+    result: FaultyRunResult
+    crashes: int
+    cost: float
+    penalty: float
+    total_cost: float
+    blackouts: int
+    blackout_time: float
+    dropped: int
+    reseeds: int
+
+    def row(self) -> dict:
+        """Table row for :func:`chaos_report`."""
+        return {
+            "seed": self.seed,
+            "crashes": self.crashes,
+            "cost": self.cost,
+            "penalty": self.penalty,
+            "total": self.total_cost,
+            "blackouts": self.blackouts,
+            "blackout-time": self.blackout_time,
+            "dropped": self.dropped,
+            "reseeds": self.reseeds,
+        }
+
+
+def scenario_plans(
+    instance: ProblemInstance,
+    scenarios: int,
+    base_seed: int = 0,
+    crash_rate: float = 1.0,
+    mean_outage: float = 0.05,
+    loss_rate: float = 0.05,
+    spare_server: Optional[int] = None,
+) -> List[FaultPlan]:
+    """One deterministic plan per scenario seed ``base_seed + i``."""
+    t0, tn = float(instance.t[0]), float(instance.t[-1])
+    return [
+        FaultPlan.generate(
+            seed=base_seed + i,
+            num_servers=instance.num_servers,
+            start=t0,
+            end=tn,
+            crash_rate=crash_rate,
+            mean_outage=mean_outage,
+            loss_rate=loss_rate,
+            spare_server=spare_server,
+        )
+        for i in range(scenarios)
+    ]
+
+
+def _results_equal(a: FaultyRunResult, b: FaultyRunResult) -> bool:
+    return (
+        a.cost == b.cost
+        and a.counters == b.counters
+        and a.schedule == b.schedule
+        and a.transfers == b.transfers
+        and a.blackouts == b.blackouts
+        and a.reseeds == b.reseeds
+        and a.penalties == b.penalties
+        and a.fault_log == b.fault_log
+        and a.retry_latency == b.retry_latency
+    )
+
+
+def _check_invariants(
+    instance: ProblemInstance, plan: FaultPlan, res: FaultyRunResult
+) -> None:
+    seed = plan.seed
+    # Exact accounting: Π is the realised schedule's cost ...
+    recomputed = res.schedule.total_cost(instance.cost)
+    if abs(recomputed - res.cost) > 1e-9 * max(1.0, abs(res.cost)):
+        raise ChaosInvariantError(
+            f"seed {seed}: reported cost {res.cost} != schedule cost "
+            f"{recomputed}"
+        )
+    # ... and the penalty ledger matches the counted degradations.
+    lam = instance.cost.lam
+    expected = {}
+    if res.counters.get("reseeds"):
+        expected["reseed"] = lam * res.counters["reseeds"]
+    if res.counters.get("dropped_requests"):
+        expected["dropped"] = lam * res.counters["dropped_requests"]
+    if res.penalties != expected:
+        raise ChaosInvariantError(
+            f"seed {seed}: penalty ledger {res.penalties} != expected "
+            f"{expected} from counters"
+        )
+    # Bounded recovery: nonzero blackouts only inside all-down windows.
+    t0, tn = float(instance.t[0]), float(instance.t[-1])
+    all_down = plan.down_intervals_all(instance.num_servers, t0, tn)
+    for a, b in res.blackouts:
+        if b - a <= _TOL:
+            continue
+        inside = any(lo - _TOL <= a and b <= hi + _TOL for lo, hi in all_down)
+        if not inside:
+            raise ChaosInvariantError(
+                f"seed {seed}: blackout ({a:.6g}, {b:.6g}) while some "
+                f"server was up (all-down windows: {all_down})"
+            )
+    # The realised schedule's own gaps must all be declared blackouts.
+    for a, b in res.schedule.gaps(t0, tn):
+        if b - a <= _TOL:
+            continue
+        declared = any(
+            ga - _TOL <= a and b <= gb + _TOL for ga, gb in res.blackouts
+        )
+        if not declared:
+            raise ChaosInvariantError(
+                f"seed {seed}: undeclared coverage gap ({a:.6g}, {b:.6g})"
+            )
+    # Feasibility modulo the declared blackouts.
+    try:
+        validate_schedule(
+            res.schedule, instance, allowed_gaps=res.allowed_gaps()
+        )
+    except InvalidScheduleError as exc:
+        raise ChaosInvariantError(
+            f"seed {seed}: schedule infeasible even with blackout "
+            f"exemptions: {exc}"
+        ) from exc
+
+
+def run_chaos_suite(
+    instance: ProblemInstance,
+    plans: Sequence[FaultPlan],
+    algorithm_factory: Callable[[], OnlineAlgorithm],
+    check_determinism: bool = True,
+) -> List[ChaosOutcome]:
+    """Drive every plan, checking invariants; returns per-scenario rows.
+
+    ``algorithm_factory`` must build a fresh fault-aware policy per call
+    (scenarios must not share mutable state).
+    """
+    outcomes: List[ChaosOutcome] = []
+    for plan in plans:
+        res = run_online_faulty(algorithm_factory(), instance, plan)
+        if check_determinism:
+            replay = run_online_faulty(algorithm_factory(), instance, plan)
+            if not _results_equal(res, replay):
+                raise ChaosInvariantError(
+                    f"seed {plan.seed}: replay diverged from first run "
+                    f"(same plan, same instance)"
+                )
+        _check_invariants(instance, plan, res)
+        outcomes.append(
+            ChaosOutcome(
+                seed=plan.seed,
+                result=res,
+                crashes=len(plan.outages),
+                cost=res.cost,
+                penalty=res.penalty_cost,
+                total_cost=res.total_cost,
+                blackouts=len(res.blackouts),
+                blackout_time=sum(b - a for a, b in res.blackouts),
+                dropped=res.counters.get("dropped_requests", 0),
+                reseeds=res.counters.get("reseeds", 0),
+            )
+        )
+    return outcomes
+
+
+def chaos_report(
+    outcomes: Sequence[ChaosOutcome], title: Optional[str] = None
+) -> str:
+    """ASCII summary table of a chaos sweep."""
+    from ..analysis.tables import format_table
+
+    rows = [o.row() for o in outcomes]
+    table = format_table(rows, precision=4, title=title)
+    total_blackouts = sum(o.blackouts for o in outcomes)
+    total_dropped = sum(o.dropped for o in outcomes)
+    footer = (
+        f"{len(outcomes)} scenarios, {total_blackouts} blackouts, "
+        f"{total_dropped} dropped requests"
+    )
+    return f"{table}\n{footer}"

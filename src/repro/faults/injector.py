@@ -1,0 +1,209 @@
+"""Runtime fault injection: attempt draws, penalty ledger, event log.
+
+A :class:`FaultContext` is created per run by
+:func:`repro.sim.engine.run_online_faulty` and handed to the algorithm
+before ``begin``.  It owns everything mutable about a faulty run:
+
+* the *liveness view* — which servers are currently up, updated by the
+  engine as it delivers crash/recover events in time order;
+* the seeded attempt stream — every transfer attempt draws loss/slowness
+  from one ``random.Random(plan.seed)`` sequence, so a fixed plan replayed
+  over a fixed instance is bit-identical;
+* the *fault log* — a flat list of tuples recording every delivered
+  fault event and every transfer attempt outcome (the determinism
+  oracle of the chaos suite compares these wholesale);
+* the penalty ledger — graceful-degradation charges (blackout re-seeds,
+  dropped requests) accounted separately from the schedule cost ``Π``;
+* the retry-latency ledger — emulator-style milliseconds accrued by
+  backoff between retries and by slow transfers.
+
+The context never mutates algorithm state; algorithms query it
+(``is_up``, ``transfer_with_retries``) and report to it (``charge``,
+``note_reseed``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..emulator.latency import LatencyModel
+from ..sim.recorder import OnlineRunResult
+from .plan import FaultPlan
+
+__all__ = ["FaultContext", "FaultyRunResult"]
+
+
+class FaultContext:
+    """Mutable runtime state of one fault-injected run."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        num_servers: int,
+        latency: Optional[LatencyModel] = None,
+    ):
+        self.plan = plan
+        self.num_servers = num_servers
+        self.latency = latency if latency is not None else LatencyModel()
+        self._rng = random.Random(plan.seed)
+        self._down: set = set()
+        self.log: List[tuple] = []
+        self.penalties: Dict[str, float] = {}
+        self.retry_latency: float = 0.0
+        self.reseeds: List[Tuple[float, int]] = []
+        self._blackout_start: Optional[float] = None
+        self.blackouts: List[Tuple[float, float]] = []
+
+    # -- liveness (engine-updated) ---------------------------------------------
+
+    def mark_down(self, server: int, t: float) -> None:
+        """Engine hook: ``server`` crashed at ``t``."""
+        self._down.add(server)
+        self.log.append(("crash", t, server))
+
+    def mark_up(self, server: int, t: float) -> None:
+        """Engine hook: ``server`` recovered at ``t``."""
+        self._down.discard(server)
+        self.log.append(("recover", t, server))
+
+    def is_up(self, server: int) -> bool:
+        """True iff ``server`` is currently live."""
+        return server not in self._down
+
+    def up_servers(self) -> List[int]:
+        """Sorted ids of currently-live servers."""
+        return [s for s in range(self.num_servers) if s not in self._down]
+
+    # -- transfer attempts ----------------------------------------------------------
+
+    def transfer_with_retries(
+        self,
+        src: int,
+        dst: int,
+        t: float,
+        retries: int = 0,
+        need_dst_up: bool = True,
+    ) -> bool:
+        """Attempt ``src -> dst`` at ``t``, redrawing up to ``retries`` times.
+
+        Infrastructure failures (a down endpoint) fail immediately —
+        retrying a dead endpoint at the same instant cannot help.  Remote
+        reads pass ``need_dst_up=False``: the user at a crashed edge
+        server fetches from the source directly, so only the source must
+        be live.  Random loss is redrawn per attempt; each retry accrues
+        exponential backoff in the latency ledger.  Returns True on
+        success.
+        """
+        if not self.is_up(src) or (need_dst_up and not self.is_up(dst)):
+            self.log.append(("xfer-down", t, src, dst, 1))
+            return False
+        for attempt in range(1, retries + 2):
+            lost = (
+                self.plan.loss_rate > 0.0
+                and self._rng.random() < self.plan.loss_rate
+            )
+            if lost:
+                self.log.append(("xfer-lost", t, src, dst, attempt))
+                self.retry_latency += self.latency.retry_backoff(attempt)
+                continue
+            if (
+                self.plan.slow_rate > 0.0
+                and self._rng.random() < self.plan.slow_rate
+            ):
+                self.retry_latency += self.plan.slow_latency
+                self.log.append(("xfer-slow", t, src, dst, attempt))
+            else:
+                self.log.append(("xfer-ok", t, src, dst, attempt))
+            return True
+        return False
+
+    # -- degradation accounting ------------------------------------------------------
+
+    def charge(self, kind: str, amount: float) -> None:
+        """Add a graceful-degradation penalty to the ledger."""
+        self.penalties[kind] = self.penalties.get(kind, 0.0) + amount
+
+    @property
+    def penalty_cost(self) -> float:
+        """Total accounted penalty across all kinds."""
+        return sum(self.penalties.values())
+
+    def note_reseed(self, t: float, server: int) -> None:
+        """Record a blackout re-seed (copy conjured from the origin store)."""
+        self.reseeds.append((t, server))
+        self.log.append(("reseed", t, server))
+
+    def note_drop(self, t: float, server: int) -> None:
+        """Record a request dropped for lack of any reachable copy."""
+        self.log.append(("drop", t, server))
+
+    # -- blackout observation (engine-driven) ------------------------------------------
+
+    def observe_copies(self, live_copies: int, t: float) -> None:
+        """Engine hook after each delivered event/request.
+
+        Tracks contiguous zero-copy periods as they are *observed*;
+        hand-over-hand repairs inside an event handler (crash → re-seed at
+        the same instant) never surface here, which is exactly the point:
+        blackout is the observable outage, not the transient.
+        """
+        if live_copies == 0 and self._blackout_start is None:
+            self._blackout_start = t
+        elif live_copies > 0 and self._blackout_start is not None:
+            self.blackouts.append((self._blackout_start, t))
+            self.log.append(("blackout", self._blackout_start, t))
+            self._blackout_start = None
+
+    def close(self, t_end: float) -> None:
+        """Finish observation at the horizon (close an open blackout)."""
+        if self._blackout_start is not None:
+            self.blackouts.append((self._blackout_start, t_end))
+            self.log.append(("blackout", self._blackout_start, t_end))
+            self._blackout_start = None
+
+
+@dataclass
+class FaultyRunResult(OnlineRunResult):
+    """Outcome of a fault-injected online run.
+
+    Extends :class:`~repro.sim.recorder.OnlineRunResult` with the fault
+    ledger.  ``cost`` remains the schedule cost ``Π``; the end-to-end
+    figure a resilience comparison should use is :attr:`total_cost`,
+    which adds the accounted degradation penalties.
+    """
+
+    blackouts: List[Tuple[float, float]] = field(default_factory=list)
+    reseeds: List[Tuple[float, int]] = field(default_factory=list)
+    penalties: Dict[str, float] = field(default_factory=dict)
+    fault_log: List[tuple] = field(default_factory=list)
+    retry_latency: float = 0.0
+
+    @property
+    def penalty_cost(self) -> float:
+        """Sum of the degradation penalty ledger."""
+        return sum(self.penalties.values())
+
+    @property
+    def total_cost(self) -> float:
+        """Schedule cost plus accounted degradation penalties."""
+        return self.cost + self.penalty_cost
+
+    def allowed_gaps(self) -> List[Tuple[float, float]]:
+        """Coverage exemptions for the schedule validator.
+
+        Blackout windows excuse missing coverage; re-seed instants are
+        zero-width exemptions that re-ground custody chains (a re-seeded
+        interval starts with no incoming transfer).
+        """
+        gaps = list(self.blackouts)
+        gaps.extend((t, t) for t, _ in self.reseeds)
+        return sorted(gaps)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultyRunResult(algorithm={self.algorithm!r}, "
+            f"cost={self.cost:.6g}, penalty={self.penalty_cost:.6g}, "
+            f"transfers={self.num_transfers}, blackouts={len(self.blackouts)})"
+        )

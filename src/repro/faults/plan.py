@@ -1,0 +1,254 @@
+"""Deterministic fault plans: who fails, when, and how badly.
+
+The paper's model (Section III) assumes servers never fail and every
+transfer ``Tr(s_j, s_k, t)`` succeeds instantaneously.  A
+:class:`FaultPlan` is the counterfactual: a *fixed, seeded* schedule of
+server outage windows plus per-transfer loss/slowness rates.  Plans are
+plain data — they carry no clock and no mutable state — so the same plan
+replayed twice produces byte-identical fault event streams; the runtime
+side (attempt draws, retry latency, penalty ledger) lives in
+:class:`~repro.faults.injector.FaultContext`.
+
+Conventions
+-----------
+* An outage ``[start, end)`` is half-open: the server is down at
+  ``start`` and up again at ``end`` (the recovery instant).
+* Overlapping or touching outages on one server are merged at
+  construction, so ``events()`` always emits alternating crash/recover
+  pairs per server.
+* At equal times, recoveries sort before crashes — a replica target that
+  comes back at the same instant another server dies is usable
+  immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Outage", "FaultEvent", "FaultPlan"]
+
+
+@dataclass(frozen=True, order=True)
+class Outage:
+    """One crash/recovery window ``[start, end)`` on one server."""
+
+    server: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.server < 0:
+            raise ValueError(f"server id must be non-negative, got {self.server}")
+        if not self.end >= self.start:
+            raise ValueError(
+                f"outage end {self.end} precedes start {self.start} "
+                f"on server {self.server}"
+            )
+
+    def covers(self, t: float) -> bool:
+        """True iff the server is down at instant ``t`` (half-open)."""
+        return self.start <= t < self.end
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """A delivered fault occurrence (``kind`` is "crash" or "recover")."""
+
+    time: float
+    kind: str
+    server: int
+
+    #: Sort key: recoveries before crashes at equal instants.
+    _KIND_ORDER = {"recover": 0, "crash": 1}
+
+    def sort_key(self) -> Tuple[float, int, int]:
+        return (self.time, self._KIND_ORDER.get(self.kind, 2), self.server)
+
+
+def _merge_outages(outages: Iterable[Outage]) -> Tuple[Outage, ...]:
+    """Merge overlapping/touching windows per server; sorted output."""
+    per_server: Dict[int, List[Outage]] = {}
+    for o in sorted(outages, key=lambda o: (o.server, o.start, o.end)):
+        bucket = per_server.setdefault(o.server, [])
+        if bucket and o.start <= bucket[-1].end:
+            if o.end > bucket[-1].end:
+                bucket[-1] = Outage(o.server, bucket[-1].start, o.end)
+        else:
+            bucket.append(o)
+    merged: List[Outage] = []
+    for server in sorted(per_server):
+        merged.extend(per_server[server])
+    return tuple(merged)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic fault scenario.
+
+    Parameters
+    ----------
+    outages:
+        Server crash/recovery windows (merged per server on construction).
+    loss_rate:
+        Probability in ``[0, 1)`` that any single transfer *attempt* is
+        lost (the caller may retry; each attempt redraws).
+    slow_rate, slow_latency:
+        Probability that a successful attempt is slow, and the extra
+        latency it then accrues in the context's latency ledger.
+    seed:
+        Seed of the attempt-draw stream (loss/slow decisions).  Two runs
+        of the same plan over the same instance are bit-identical.
+    """
+
+    outages: Tuple[Outage, ...] = ()
+    loss_rate: float = 0.0
+    slow_rate: float = 0.0
+    slow_latency: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss_rate must lie in [0, 1), got {self.loss_rate}")
+        if not 0.0 <= self.slow_rate <= 1.0:
+            raise ValueError(f"slow_rate must lie in [0, 1], got {self.slow_rate}")
+        if self.slow_latency < 0:
+            raise ValueError(f"slow_latency must be non-negative")
+        object.__setattr__(
+            self, "outages", _merge_outages(self.outages)
+        )
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def empty(self) -> bool:
+        """True iff the plan injects nothing at all."""
+        return (
+            not self.outages and self.loss_rate == 0.0 and self.slow_rate == 0.0
+        )
+
+    def is_up(self, server: int, t: float) -> bool:
+        """True iff ``server`` is outside every outage window at ``t``."""
+        return not any(o.server == server and o.covers(t) for o in self.outages)
+
+    def outages_on(self, server: int) -> List[Outage]:
+        """Merged outage windows for one server, sorted by start."""
+        return [o for o in self.outages if o.server == server]
+
+    def events(
+        self, start: Optional[float] = None, end: Optional[float] = None
+    ) -> List[FaultEvent]:
+        """Crash/recover events clipped to ``[start, end]``, delivery order.
+
+        An outage straddling ``start`` emits its crash at ``start`` (the
+        engine delivers it before the first request); an outage running
+        past ``end`` emits no recovery (the run finishes with the server
+        down).  Zero-width clipped windows are dropped.
+        """
+        out: List[FaultEvent] = []
+        for o in self.outages:
+            s = o.start if start is None else max(o.start, start)
+            e = o.end
+            if end is not None and s > end:
+                continue
+            if e <= s:
+                continue
+            out.append(FaultEvent(s, "crash", o.server))
+            if end is None or e <= end:
+                out.append(FaultEvent(e, "recover", o.server))
+        return sorted(out, key=FaultEvent.sort_key)
+
+    def down_intervals_all(
+        self, num_servers: int, start: float, end: float
+    ) -> List[Tuple[float, float]]:
+        """Sub-intervals of ``[start, end]`` where *every* server is down.
+
+        These are the only windows in which a resilient policy is
+        physically unable to keep a copy anywhere — the expected location
+        of nonzero-width blackouts.
+        """
+        per = []
+        for j in range(num_servers):
+            spans = [
+                (max(o.start, start), min(o.end, end))
+                for o in self.outages_on(j)
+            ]
+            per.append([(a, b) for a, b in spans if b > a])
+        if not per or any(not spans for spans in per):
+            return []
+        # Intersect server 0's down-spans with each subsequent server's.
+        acc = per[0]
+        for spans in per[1:]:
+            nxt: List[Tuple[float, float]] = []
+            for a1, b1 in acc:
+                for a2, b2 in spans:
+                    lo, hi = max(a1, a2), min(b1, b2)
+                    if hi > lo:
+                        nxt.append((lo, hi))
+            acc = nxt
+            if not acc:
+                break
+        return sorted(acc)
+
+    # -- generation ----------------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        num_servers: int,
+        start: float,
+        end: float,
+        crash_rate: float = 1.0,
+        mean_outage: float = 0.05,
+        loss_rate: float = 0.0,
+        slow_rate: float = 0.0,
+        slow_latency: float = 0.0,
+        spare_server: Optional[int] = None,
+    ) -> "FaultPlan":
+        """Draw a random-but-reproducible plan over horizon ``[start, end]``.
+
+        Parameters
+        ----------
+        crash_rate:
+            Expected number of outages *per server* over the horizon
+            (Poisson count per server).
+        mean_outage:
+            Mean outage duration as a *fraction* of the horizon
+            (exponential draw).
+        spare_server:
+            Optionally keep one server outage-free — handy for scenarios
+            that must never reach a full cluster blackout.
+        """
+        if end <= start:
+            raise ValueError(f"empty horizon [{start}, {end}]")
+        rng = np.random.default_rng(seed)
+        horizon = end - start
+        outages: List[Outage] = []
+        for server in range(num_servers):
+            if server == spare_server:
+                continue
+            count = int(rng.poisson(crash_rate))
+            for _ in range(count):
+                s = start + float(rng.uniform(0.0, horizon))
+                d = float(rng.exponential(mean_outage * horizon))
+                outages.append(Outage(server, s, min(s + d, end)))
+        return cls(
+            outages=tuple(outages),
+            loss_rate=loss_rate,
+            slow_rate=slow_rate,
+            slow_latency=slow_latency,
+            seed=seed,
+        )
+
+    def describe(self) -> str:
+        """Human-readable multi-line listing."""
+        lines = [
+            f"FaultPlan(seed={self.seed}, loss_rate={self.loss_rate:g}, "
+            f"slow_rate={self.slow_rate:g}, outages={len(self.outages)})"
+        ]
+        for o in self.outages:
+            lines.append(f"  down s{o.server}: [{o.start:.4g}, {o.end:.4g})")
+        return "\n".join(lines)

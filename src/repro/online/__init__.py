@@ -6,6 +6,8 @@
   (Definition 10).
 * :mod:`~repro.online.reductions` — V-/H-reductions, Lemma 5/6 checkers
   and the Theorem-3 verification chain.
+* :class:`SpeculativeCachingResilient` — SC-R, the fault-tolerant
+  ``k``-replica variant for the :mod:`repro.faults` fault model.
 * Baselines: :class:`AlwaysTransfer`, :class:`NeverDelete`,
   :class:`RandomizedTTL`.
 """
@@ -30,6 +32,7 @@ from .reductions import (
     short_request_set,
     verify_theorem3,
 )
+from .resilient import SpeculativeCachingResilient
 from .speculative import SpeculativeCaching
 from .trusted import NoisyOracle, TrustedPredictionCaching
 from .workfunction import WorkFunctionCaching
@@ -48,6 +51,7 @@ __all__ = [
     "RecedingHorizonPlanner",
     "ReductionReport",
     "SpeculativeCaching",
+    "SpeculativeCachingResilient",
     "TrustedPredictionCaching",
     "WorkFunctionCaching",
     "check_short_windows_cached",

@@ -1,0 +1,298 @@
+"""SC-R: fault-tolerant Speculative Caching (``k``-replica SC).
+
+The paper's SC (Section V) is built around never losing the last copy —
+but its model has no way to *lose* one.  SC-R is the same per-epoch
+state machine hardened for the fault model of :mod:`repro.faults`:
+
+* **Replication floor** — it maintains ``k ≥ 2`` live replicas (capped
+  by the live-server count): the never-drop-the-last-copy rule becomes
+  a never-drop-below-``k`` rule (see
+  :meth:`SpeculativeCaching.advance`'s copy floor), and after every
+  request or fault event missing replicas are re-created from the
+  freshest surviving copy.
+* **Retry with backoff** — every transfer goes through the fault
+  context; lost attempts are retried up to ``max_retries`` times with
+  exponential backoff accounted in the latency ledger, then the next
+  freshest source is tried.
+* **Blackout re-seed** — when a crash destroys the last live copy, the
+  item is re-fetched from the designated origin store onto the origin
+  server (or the lowest-id live server) with an accounted penalty cost.
+  While *every* server is down the run degrades gracefully: requests
+  are dropped with a penalty instead of crashing the simulation, and
+  the zero-copy window surfaces as a blackout on the run result.
+
+With ``k = 1`` and no faults attached, SC-R's behaviour — schedule,
+cost, every transfer — is exactly plain SC's; the test suite pins this
+on the golden instances.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, List, Optional
+
+from .speculative import SpeculativeCaching
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.injector import FaultContext
+
+__all__ = ["SpeculativeCachingResilient"]
+
+
+class SpeculativeCachingResilient(SpeculativeCaching):
+    """Fault-tolerant SC with a ``k``-replica floor (SC-R).
+
+    Parameters
+    ----------
+    replicas:
+        Replica target ``k`` (``1`` = plain SC behaviour).
+    max_retries:
+        Retries per source after a lost transfer attempt.
+    reseed_cost:
+        Penalty charged per blackout re-seed from the origin store
+        (``None`` = one transfer cost ``λ``).
+    drop_cost:
+        Penalty charged per request dropped during a full blackout
+        (``None`` = one transfer cost ``λ``).
+    window_factor, epoch_size:
+        As in :class:`SpeculativeCaching`.
+    """
+
+    name = "sc-r"
+
+    def __init__(
+        self,
+        replicas: int = 2,
+        max_retries: int = 3,
+        reseed_cost: Optional[float] = None,
+        drop_cost: Optional[float] = None,
+        window_factor: float = 1.0,
+        epoch_size: Optional[int] = None,
+    ):
+        super().__init__(window_factor=window_factor, epoch_size=epoch_size)
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.replicas = replicas
+        self.max_retries = max_retries
+        self._reseed_cost_param = reseed_cost
+        self._drop_cost_param = drop_cost
+        self.faults: Optional["FaultContext"] = None
+        self.name = f"sc-r(k={replicas})"
+
+    # -- fault protocol (engine-driven) ----------------------------------------
+
+    def attach_faults(self, ctx: Optional["FaultContext"]) -> None:
+        """Engine hook: install (or clear) the run's fault context."""
+        self.faults = ctx
+
+    def on_server_crash(self, server: int, t: float) -> None:
+        """Engine hook: ``server`` crashed — its cached copy is lost."""
+        if self.rec.holds_copy(server):
+            self.expiry[server] = -math.inf
+            self.c -= 1
+            self._cause.pop(server, None)
+            self.rec.counters["crash_losses"] += 1
+            self.rec.copy_deleted(server, t, ended_by="crash")
+        if self.c == 0:
+            self._reseed(t)
+        else:
+            self._maintain_replicas(t)
+
+    def on_server_recover(self, server: int, t: float) -> None:
+        """Engine hook: ``server`` is live again (holds no copy)."""
+        if self.c == 0:
+            self._reseed(t)
+        else:
+            self._maintain_replicas(t)
+
+    # -- liveness helpers ----------------------------------------------------------
+
+    def _is_up(self, server: int) -> bool:
+        return self.faults is None or self.faults.is_up(server)
+
+    def _up_servers(self) -> List[int]:
+        if self.faults is None:
+            return list(range(self.num_servers))
+        return self.faults.up_servers()
+
+    def _attempt(
+        self, src: int, dst: int, t: float, need_dst_up: bool = True
+    ) -> bool:
+        """One logical transfer (with retries); always succeeds fault-free."""
+        if self.faults is None:
+            return True
+        return self.faults.transfer_with_retries(
+            src, dst, t, retries=self.max_retries, need_dst_up=need_dst_up
+        )
+
+    # -- state ------------------------------------------------------------------
+
+    def _setup(self) -> None:
+        super()._setup()
+        for key in (
+            "crash_losses",
+            "reseeds",
+            "dropped_requests",
+            "remote_reads",
+            "replications",
+            "replication_failures",
+        ):
+            self.rec.counters[key] = 0
+        self._reseed_cost = (
+            self._reseed_cost_param
+            if self._reseed_cost_param is not None
+            else self.model.lam
+        )
+        self._drop_cost = (
+            self._drop_cost_param
+            if self._drop_cost_param is not None
+            else self.model.lam
+        )
+        self._maintain_replicas(self.t0)
+
+    def _copy_floor(self) -> int:
+        """Expirations may not drop below ``min(k, live servers)``."""
+        if self.replicas == 1:
+            return 1
+        return max(1, min(self.replicas, len(self._up_servers())))
+
+    # -- request handling --------------------------------------------------------
+
+    def serve(self, i: int, t: float, server: int) -> None:
+        """Serve ``r_i`` under faults; identical to SC when none strike."""
+        if self._is_up(server):
+            if self.expiry[server] >= t:
+                # Local hit — same bookkeeping as SC.
+                self.rec.counters["local_hits"] += 1
+                self.rec.copy_refreshed(server, t)
+                self._cause[server] = ("local", t)
+                self._arm(server, t)
+            else:
+                src = self._acquire(t, server)
+                if src is None:
+                    self._drop(t, server)
+                else:
+                    self.rec.transfer(src, server, t)
+                    self.rec.copy_created(server, t, created_by="transfer")
+                    self.c += 1
+                    self._cause[server] = ("dst", t)
+                    self._arm(server, t)
+                    self.rec.copy_refreshed(src, t)
+                    self._cause[src] = ("src", t)
+                    self._arm(src, t)
+                    self.r += 1
+                    if self.epoch_size is not None and self.r >= self.epoch_size:
+                        self._epoch_reset(server, t)
+        else:
+            # The requester's edge server is down: serve by a remote read
+            # from a live copy — a transfer with no local copy created.
+            src = self._acquire(t, server, need_dst_up=False)
+            if src is None:
+                self._drop(t, server)
+            else:
+                self.rec.transfer(src, server, t)
+                self.rec.counters["remote_reads"] += 1
+                self.rec.copy_refreshed(src, t)
+                self._cause[src] = ("src", t)
+                self._arm(src, t)
+        self.last_request_server = server
+        self._maintain_replicas(t)
+
+    def _acquire(
+        self, t: float, server: int, need_dst_up: bool = True
+    ) -> Optional[int]:
+        """Find a source and get a transfer through, or ``None``.
+
+        Sources are tried in SC's preference order — the previous
+        request's server first (Observation 4), then surviving copies
+        freshest-first — each with the full retry budget.
+        """
+        order: List[int] = []
+        preferred = self.last_request_server
+        if (
+            preferred != server
+            and self.expiry[preferred] >= t
+            and self._is_up(preferred)
+        ):
+            order.append(preferred)
+        else:
+            self.rec.counters["source_fallbacks"] = (
+                self.rec.counters.get("source_fallbacks", 0) + 1
+            )
+        fallbacks = [
+            s
+            for s in self._up_servers()
+            if s != server and s not in order and self.expiry[s] >= t
+        ]
+        fallbacks.sort(key=lambda s: (-self.expiry[s], s))
+        order.extend(fallbacks)
+        for src in order:
+            if self._attempt(src, server, t, need_dst_up=need_dst_up):
+                return src
+        return None
+
+    def _drop(self, t: float, server: int) -> None:
+        """Degrade gracefully: the request goes unserved, penalised."""
+        self.rec.counters["dropped_requests"] += 1
+        if self.faults is not None:
+            self.faults.charge("dropped", self._drop_cost)
+            self.faults.note_drop(t, server)
+
+    # -- replication & re-seeding ---------------------------------------------------
+
+    def _maintain_replicas(self, t: float) -> None:
+        """Top the live-copy count back up to ``min(k, live servers)``.
+
+        Replication transfers pay ``λ`` like any transfer but do not
+        advance the epoch counter ``r`` (epochs count request-serving
+        transfers, as in the paper).
+        """
+        if self.replicas <= 1:
+            return
+        while True:
+            up = self._up_servers()
+            target = min(self.replicas, len(up))
+            if self.c >= target:
+                return
+            holders = [s for s in up if self.expiry[s] >= t]
+            spares = [s for s in up if self.expiry[s] < t]
+            if not holders or not spares:
+                return
+            dst = self.origin if self.origin in spares else min(spares)
+            src = max(holders, key=lambda s: (self.expiry[s], -s))
+            if not self._attempt(src, dst, t):
+                self.rec.counters["replication_failures"] += 1
+                return
+            self.rec.transfer(src, dst, t)
+            self.rec.copy_created(dst, t, created_by="transfer")
+            self.c += 1
+            self._cause[dst] = ("dst", t)
+            self._arm(dst, t)
+            self.rec.copy_refreshed(src, t)
+            self._cause[src] = ("src", t)
+            self._arm(src, t)
+            self.rec.counters["replications"] += 1
+
+    def _reseed(self, t: float) -> None:
+        """Blackout recovery: re-fetch the item from the origin store.
+
+        Lands on the origin server when it is live, else the lowest-id
+        live server; charged as an accounted penalty, not a transfer.
+        While no server is up the blackout persists — the next recovery
+        triggers the re-seed.
+        """
+        up = self._up_servers()
+        if not up:
+            return
+        dst = self.origin if self.origin in up else up[0]
+        self.rec.copy_created(dst, t, created_by="reseed")
+        self.c += 1
+        self._cause[dst] = ("reseed", t)
+        self._arm(dst, t, flat=True)
+        self.rec.counters["reseeds"] += 1
+        if self.faults is not None:
+            self.faults.charge("reseed", self._reseed_cost)
+            self.faults.note_reseed(t, dst)
+        self._maintain_replicas(t)

@@ -118,8 +118,24 @@ class SpeculativeCaching(OnlineAlgorithm):
 
     # -- expiration machinery (step 4) --------------------------------------------
 
+    def _copy_floor(self) -> int:
+        """Minimum live-copy count expirations may not cross.
+
+        SC's never-drop-the-last-copy rule is the ``1`` case; the
+        fault-tolerant SC-R variant raises it to its replica target
+        ``k`` (capped by the live-server count).
+        """
+        return 1
+
     def advance(self, t: float) -> None:
-        """Process expiration events due strictly before ``t``."""
+        """Process expiration events due strictly before ``t``.
+
+        Expirations never take the live-copy count below
+        :meth:`_copy_floor`: when a simultaneous group would, enough of
+        its members survive with extended leases (paper step 4 — the
+        lone-copy extension and the source/target tie are the two
+        floor-1 shapes).
+        """
         while True:
             group = self.queue.pop_group(t, self._valid)
             if group is None:
@@ -129,24 +145,38 @@ class SpeculativeCaching(OnlineAlgorithm):
             # zero-width informed windows) leaves duplicate queue entries
             # that all pass the staleness check — deduplicate by server.
             servers = list(dict.fromkeys(ev.server for ev in events))
-            if self.c > len(servers):
-                # Other copies remain: delete every expiring copy.
+            deletable = self.c - self._copy_floor()
+            if deletable >= len(servers):
+                # The floor holds even if every expiring copy goes.
                 for s in servers:
                     self._delete(s, e)
-            elif len(servers) == 1:
-                # Lone copy: never drop the last copy — extend its lease.
-                self.rec.counters["extensions"] += 1
-                self._arm(servers[0], e, flat=True)
             else:
-                # The last c copies expire together (a transfer's source
-                # and target, refreshed at the same instant): keep the
-                # target, delete the rest.
-                keep = self._tie_survivor(servers)
+                keep = self._extension_survivors(
+                    servers, len(servers) - max(deletable, 0)
+                )
                 for s in servers:
-                    if s != keep:
+                    if s not in keep:
                         self._delete(s, e)
                 self.rec.counters["extensions"] += 1
-                self._arm(keep, e, flat=True)
+                for s in keep:
+                    self._arm(s, e, flat=True)
+
+    def _extension_survivors(self, servers: List[int], count: int) -> List[int]:
+        """Pick ``count`` survivors among simultaneously-expiring copies.
+
+        Survivors are chosen by repeated application of the paper's tie
+        rule (transfer targets outrank sources), so the ``count = 1``
+        case is exactly SC's step 4.
+        """
+        if count >= len(servers):
+            return list(servers)
+        remaining = list(servers)
+        keep: List[int] = []
+        for _ in range(count):
+            s = self._tie_survivor(remaining)
+            keep.append(s)
+            remaining.remove(s)
+        return keep
 
     def _tie_survivor(self, servers: List[int]) -> int:
         """Pick the survivor among simultaneously-expiring last copies."""

@@ -120,6 +120,16 @@ class Schedule:
         pos = bisect.bisect_right([iv.start for iv in ivs], t) - 1
         return pos >= 0 and ivs[pos].covers(t)
 
+    def gaps(self, start: float, end: float) -> List[Tuple[float, float]]:
+        """Uncovered sub-intervals of ``[start, end]`` (no copy anywhere).
+
+        The single source of truth for "is some server holding the item":
+        the feasibility validator uses it for coverage (condition 1 of
+        the problem statement) and the fault-injection engine uses it to
+        detect *blackouts* — windows where every copy was lost.
+        """
+        return coverage_gaps(merge_intervals(self.intervals), start, end)
+
     def span(self) -> Tuple[float, float]:
         """Earliest interval start and latest interval end."""
         if not self.intervals:

@@ -15,15 +15,22 @@ sanity:
 
 Optionally, **standard form** (Observation 1: transfers end on requests)
 and **minimality** (no dead-end caches) can be enforced.
+
+Fault-injected runs relax the obligations through ``allowed_gaps``:
+inside a declared *blackout* window (every copy lost to crashes) there is
+legitimately no coverage, a request may go unserved (it was dropped with
+an accounted penalty), and a copy re-seeded from the origin store at the
+gap's edge starts a fresh custody chain.  Outside the allowed gaps the
+full obligations apply unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.instance import ProblemInstance
 from ..core.types import CacheInterval, InvalidScheduleError, Transfer
-from .schedule import Schedule, coverage_gaps
+from .schedule import Schedule
 
 __all__ = ["validate_schedule", "is_standard_form"]
 
@@ -42,6 +49,7 @@ def validate_schedule(
     instance: ProblemInstance,
     require_standard_form: bool = False,
     require_minimal: bool = False,
+    allowed_gaps: Optional[Sequence[Tuple[float, float]]] = None,
 ) -> None:
     """Raise :class:`InvalidScheduleError` unless ``schedule`` is feasible.
 
@@ -57,20 +65,39 @@ def validate_schedule(
         Also require no dead-end caches: each merged interval must end at a
         request on its server, at an outgoing-transfer instant, or at
         ``t_n``.
+    allowed_gaps:
+        Declared blackout windows ``(a, b)`` (``a == b`` marks a bare
+        re-seed instant).  Coverage gaps contained in a window are
+        excused, requests inside one may be unserved, and intervals
+        starting inside one are custody-grounded (re-seeded from the
+        origin store).
     """
     canon = schedule.canonical()
     intervals = canon.intervals
     transfers = canon.transfers
     t0, tn = float(instance.t[0]), float(instance.t[-1])
+    allowed = sorted(allowed_gaps) if allowed_gaps else []
 
     _check_bounds(intervals, transfers, instance)
-    _check_coverage(intervals, t0, tn)
-    grounded = _check_custody(intervals, transfers, instance)
-    _check_service(canon, instance, grounded)
+    _check_coverage(canon, t0, tn, allowed)
+    grounded = _check_custody(intervals, transfers, instance, allowed)
+    _check_service(canon, instance, grounded, allowed)
     if require_standard_form and not is_standard_form(canon, instance):
         raise InvalidScheduleError("schedule is not in standard form")
     if require_minimal:
         _check_minimal(intervals, transfers, instance)
+
+
+def _in_allowed_gap(t: float, allowed: List[Tuple[float, float]]) -> bool:
+    """True iff ``t`` lies inside some declared gap (closed, with tol)."""
+    return any(a - _TOL <= t <= b + _TOL for a, b in allowed)
+
+
+def _gap_excused(
+    a: float, b: float, allowed: List[Tuple[float, float]]
+) -> bool:
+    """True iff uncovered ``(a, b)`` is contained in a declared gap."""
+    return any(ga - _TOL <= a and b <= gb + _TOL for ga, gb in allowed)
 
 
 def _check_bounds(
@@ -87,9 +114,18 @@ def _check_bounds(
             raise InvalidScheduleError(f"transfer touches unknown server: {tr}")
 
 
-def _check_coverage(intervals: List[CacheInterval], t0: float, tn: float) -> None:
-    gaps = coverage_gaps(intervals, t0, tn)
-    real = [(a, b) for a, b in gaps if b - a > _TOL]
+def _check_coverage(
+    canon: Schedule,
+    t0: float,
+    tn: float,
+    allowed: List[Tuple[float, float]],
+) -> None:
+    gaps = canon.gaps(t0, tn)
+    real = [
+        (a, b)
+        for a, b in gaps
+        if b - a > _TOL and not _gap_excused(a, b, allowed)
+    ]
     if real:
         raise InvalidScheduleError(
             f"no live copy during {real[:3]}{'...' if len(real) > 3 else ''}"
@@ -100,6 +136,7 @@ def _check_custody(
     intervals: List[CacheInterval],
     transfers: List[Transfer],
     instance: ProblemInstance,
+    allowed: Optional[List[Tuple[float, float]]] = None,
 ) -> Dict[Tuple[int, float], CacheInterval]:
     """Ground every interval; returns map ``(server, start) -> interval``.
 
@@ -108,7 +145,12 @@ def _check_custody(
     holds a *grounded* interval covering the transfer instant.  Transfers
     are replayed in time order, iterating same-instant groups to a
     fixpoint so chains ``A->B->C`` at one instant pass but cycles fail.
+
+    Intervals starting inside an ``allowed`` blackout gap are seeded as
+    grounded too: they model a copy re-fetched from the origin store
+    after every cached copy was lost.
     """
+    allowed = allowed or []
     per_server: Dict[int, List[CacheInterval]] = {}
     for iv in intervals:
         per_server.setdefault(iv.server, []).append(iv)
@@ -134,6 +176,12 @@ def _check_custody(
     seeded = False
     for iv in per_server.get(instance.origin, []):
         if _near(iv.start, t0):
+            grounded[(iv.server, iv.start)] = iv
+            seeded = True
+    # Re-seeded copies: an interval starting inside a declared blackout
+    # gap was re-fetched from the origin store and roots a fresh chain.
+    for iv in intervals:
+        if _in_allowed_gap(iv.start, allowed):
             grounded[(iv.server, iv.start)] = iv
             seeded = True
     if not seeded and intervals:
@@ -183,7 +231,9 @@ def _check_service(
     schedule: Schedule,
     instance: ProblemInstance,
     grounded: Dict[Tuple[int, float], CacheInterval],
+    allowed: Optional[List[Tuple[float, float]]] = None,
 ) -> None:
+    allowed = allowed or []
     transfers_by_dst: Dict[int, List[Transfer]] = {}
     for tr in schedule.transfers:
         transfers_by_dst.setdefault(tr.dst, []).append(tr)
@@ -192,6 +242,9 @@ def _check_service(
         if schedule.covers(s, t):
             continue
         if any(_near(tr.time, t) for tr in transfers_by_dst.get(s, [])):
+            continue
+        if _in_allowed_gap(t, allowed):
+            # Dropped during a declared blackout — penalised, not served.
             continue
         raise InvalidScheduleError(
             f"request r_{i} = (s{s}, t={t:.6g}) is not served"

@@ -1,6 +1,6 @@
 """Discrete-event simulation substrate for the online algorithms."""
 
-from .engine import run_online
+from .engine import run_online, run_online_faulty
 from .events import Event, EventQueue
 from .recorder import CopyLifetime, OnlineRunResult, RunRecorder
 
@@ -11,4 +11,5 @@ __all__ = [
     "OnlineRunResult",
     "RunRecorder",
     "run_online",
+    "run_online_faulty",
 ]

@@ -1,4 +1,4 @@
-"""Generic driver for online caching algorithms.
+"""Generic drivers for online caching algorithms.
 
 The engine replays an instance's requests in time order against any
 :class:`~repro.online.base.OnlineAlgorithm`: before each request it lets
@@ -9,19 +9,60 @@ truncates the run at the service horizon ``t_n`` and collects the
 
 Online algorithms see requests one at a time and nothing else — the
 engine enforces the information model of Section V (no lookahead).
+
+:func:`run_online_faulty` extends the replay with a
+:class:`~repro.faults.plan.FaultPlan`: crash/recover events are delivered
+to the algorithm interleaved with requests in time order (at equal
+instants, fault events strike first — a crash at a request time beats the
+request), a crashed server's cached copy is lost, and *blackout* (no live
+copy anywhere) is a first-class observed outcome rather than a crash of
+the simulation.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
 
 from ..core.instance import ProblemInstance
 from .recorder import OnlineRunResult
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..emulator.latency import LatencyModel
+    from ..faults.injector import FaultyRunResult
+    from ..faults.plan import FaultPlan
     from ..online.base import OnlineAlgorithm
 
-__all__ = ["run_online"]
+__all__ = ["run_online", "run_online_faulty"]
+
+#: Hooks an algorithm must expose to run under fault injection.
+_FAULT_HOOKS = ("attach_faults", "on_server_crash", "on_server_recover")
+
+
+def _check_time_order(instance: ProblemInstance) -> None:
+    """Reject out-of-order request streams before any state is touched.
+
+    :class:`~repro.core.instance.ProblemInstance` construction already
+    enforces strictly increasing times, but the engine also accepts
+    duck-typed instances (trace adapters, test probes); replaying a
+    decreasing timestamp would silently corrupt algorithm timer state,
+    so fail loudly instead.
+    """
+    t = np.asarray(instance.t, dtype=np.float64)
+    if t.ndim != 1 or t.shape[0] != instance.n + 1:
+        raise ValueError(
+            f"instance.t must be a flat array of n+1={instance.n + 1} "
+            f"timestamps, got shape {t.shape}"
+        )
+    bad = np.flatnonzero(np.diff(t) < 0)
+    if bad.size:
+        i = int(bad[0])
+        raise ValueError(
+            f"request timestamps must be non-decreasing: t[{i + 1}]="
+            f"{t[i + 1]} < t[{i}]={t[i]}; refusing to replay an "
+            f"out-of-order stream"
+        )
 
 
 def run_online(
@@ -33,9 +74,97 @@ def run_online(
     can be reused across instances; runs are deterministic given the
     algorithm's own RNG seeding.
     """
+    _check_time_order(instance)
     algorithm.begin(instance)
     for i in range(1, instance.n + 1):
         t = float(instance.t[i])
         algorithm.advance(t)
         algorithm.serve(i, t, int(instance.srv[i]))
     return algorithm.end(float(instance.t[-1]))
+
+
+def run_online_faulty(
+    algorithm: "OnlineAlgorithm",
+    instance: ProblemInstance,
+    plan: "FaultPlan",
+    latency: Optional["LatencyModel"] = None,
+) -> "FaultyRunResult":
+    """Drive a fault-aware algorithm over ``instance`` under ``plan``.
+
+    The algorithm must implement the fault hooks (``attach_faults``,
+    ``on_server_crash``, ``on_server_recover``) —
+    :class:`~repro.online.resilient.SpeculativeCachingResilient` is the
+    reference implementation.  Delivery contract:
+
+    * crash/recover events and requests are interleaved in time order;
+      at equal instants fault events are delivered first (recoveries
+      before crashes, so a returning replica target is usable at once);
+    * before each fault event and each request, ``advance`` processes
+      the algorithm's own timers strictly up to that instant;
+    * after every delivery the engine observes the live-copy count, so
+      zero-copy periods surface as *blackout* windows on the result
+      instead of crashing the run.
+
+    Determinism: a fixed ``(algorithm config, instance, plan)`` triple
+    yields a bit-identical :class:`~repro.faults.injector.FaultyRunResult`
+    including its fault log.
+    """
+    from ..faults.injector import FaultContext, FaultyRunResult
+
+    missing = [h for h in _FAULT_HOOKS if not hasattr(algorithm, h)]
+    if missing:
+        raise TypeError(
+            f"{type(algorithm).__name__} is not fault-aware: missing "
+            f"hook(s) {missing}; use SpeculativeCachingResilient or "
+            f"implement the fault protocol"
+        )
+    _check_time_order(instance)
+
+    t0, t_end = float(instance.t[0]), float(instance.t[-1])
+    ctx = FaultContext(plan, instance.num_servers, latency=latency)
+    algorithm.attach_faults(ctx)
+    try:
+        algorithm.begin(instance)
+        ctx.observe_copies(len(algorithm.rec.open_servers()), t0)
+        events = plan.events(start=t0, end=t_end)
+        e = 0
+
+        def deliver_until(t: float) -> None:
+            nonlocal e
+            while e < len(events) and events[e].time <= t:
+                ev = events[e]
+                e += 1
+                algorithm.advance(ev.time)
+                if ev.kind == "crash":
+                    ctx.mark_down(ev.server, ev.time)
+                    algorithm.on_server_crash(ev.server, ev.time)
+                else:
+                    ctx.mark_up(ev.server, ev.time)
+                    algorithm.on_server_recover(ev.server, ev.time)
+                ctx.observe_copies(len(algorithm.rec.open_servers()), ev.time)
+
+        for i in range(1, instance.n + 1):
+            t = float(instance.t[i])
+            deliver_until(t)
+            algorithm.advance(t)
+            algorithm.serve(i, t, int(instance.srv[i]))
+            ctx.observe_copies(len(algorithm.rec.open_servers()), t)
+        deliver_until(t_end)
+        base = algorithm.end(t_end)
+        ctx.close(t_end)
+    finally:
+        algorithm.attach_faults(None)
+
+    return FaultyRunResult(
+        schedule=base.schedule,
+        cost=base.cost,
+        counters=base.counters,
+        lifetimes=base.lifetimes,
+        algorithm=base.algorithm,
+        transfers=base.transfers,
+        blackouts=list(ctx.blackouts),
+        reseeds=list(ctx.reseeds),
+        penalties=dict(ctx.penalties),
+        fault_log=list(ctx.log),
+        retry_latency=ctx.retry_latency,
+    )

@@ -1,0 +1,114 @@
+"""Chaos harness: sweep seeded fault scenarios, assert invariants."""
+
+import pytest
+
+from repro import FaultPlan, Outage, SpeculativeCachingResilient, run_online_faulty
+from repro.faults.chaos import (
+    ChaosInvariantError,
+    chaos_report,
+    run_chaos_suite,
+    scenario_plans,
+)
+from repro.workloads import poisson_zipf_instance
+
+from ..conftest import make_instance
+
+
+@pytest.fixture(scope="module")
+def chaos_instance():
+    return poisson_zipf_instance(n=120, m=6, rate=2.0, zipf_s=0.8, rng=77)
+
+
+def factory(**kwargs):
+    defaults = dict(replicas=2, max_retries=3)
+    defaults.update(kwargs)
+    return lambda: SpeculativeCachingResilient(**defaults)
+
+
+class TestSuite:
+    def test_twenty_seeded_scenarios_hold_invariants(self, chaos_instance):
+        plans = scenario_plans(chaos_instance, scenarios=20, base_seed=0)
+        assert len(plans) == 20
+        outcomes = run_chaos_suite(chaos_instance, plans, factory())
+        assert len(outcomes) == 20
+        # The sweep must actually exercise faults, not vacuously pass.
+        assert sum(o.crashes for o in outcomes) > 0
+
+    def test_suite_is_reproducible(self, chaos_instance):
+        plans = scenario_plans(chaos_instance, scenarios=5, base_seed=3)
+        a = run_chaos_suite(chaos_instance, plans, factory())
+        b = run_chaos_suite(chaos_instance, plans, factory())
+        assert [o.row() for o in a] == [o.row() for o in b]
+
+    def test_determinism_check_catches_nondeterminism(self, chaos_instance):
+        class Flaky(SpeculativeCachingResilient):
+            _tick = [0]
+
+            def _setup(self):
+                super()._setup()
+                self._tick[0] += 1
+                # Perturb the speculative window on every other run.
+                if self._tick[0] % 2 == 0:
+                    self.window_factor *= 1.5
+
+        plans = scenario_plans(chaos_instance, scenarios=1, base_seed=0)
+        with pytest.raises(ChaosInvariantError, match="replay diverged"):
+            run_chaos_suite(chaos_instance, plans, lambda: Flaky(replicas=2))
+
+    def test_invariants_catch_bad_penalty_ledger(self, chaos_instance):
+        class Cheater(SpeculativeCachingResilient):
+            def _drop(self, t, server):
+                # Forget to charge the drop penalty.
+                self.rec.counters["dropped_requests"] += 1
+                if self.faults is not None:
+                    self.faults.note_drop(t, server)
+
+        # All-down window over a request guarantees a drop.
+        t = float(chaos_instance.t[10])
+        plan = FaultPlan(
+            outages=tuple(
+                Outage(s, t - 0.01, t + 0.5)
+                for s in range(chaos_instance.num_servers)
+            )
+        )
+        with pytest.raises(ChaosInvariantError, match="penalt"):
+            run_chaos_suite(
+                chaos_instance, [plan], lambda: Cheater(replicas=2)
+            )
+
+
+class TestBlackoutScenarios:
+    def test_explicit_all_down_plan_reports_blackout(self):
+        inst = make_instance(
+            [1.0, 2.0, 3.0, 4.0, 5.0], [0, 1, 2, 0, 1], m=3
+        )
+        plan = FaultPlan(
+            outages=tuple(Outage(s, 2.2, 2.8) for s in range(3))
+        )
+        outcomes = run_chaos_suite(inst, [plan], factory())
+        assert outcomes[0].blackouts == 1
+        assert outcomes[0].blackout_time == pytest.approx(0.6)
+
+    def test_spare_server_scenarios_never_blackout(self, chaos_instance):
+        plans = scenario_plans(
+            chaos_instance,
+            scenarios=8,
+            base_seed=11,
+            crash_rate=2.0,
+            spare_server=0,
+        )
+        outcomes = run_chaos_suite(chaos_instance, plans, factory())
+        assert all(o.blackouts == 0 for o in outcomes)
+        assert all(o.dropped == 0 for o in outcomes)
+
+
+class TestReport:
+    def test_report_renders_one_row_per_scenario(self, chaos_instance):
+        plans = scenario_plans(chaos_instance, scenarios=3, base_seed=5)
+        outcomes = run_chaos_suite(
+            chaos_instance, plans, factory(), check_determinism=False
+        )
+        text = chaos_report(outcomes)
+        assert text.count("\n") >= 4  # header + rule + 3 rows
+        for o in outcomes:
+            assert str(o.seed) in text

@@ -1,0 +1,258 @@
+"""Fault-aware engine + SC-R behaviour under injected failures."""
+
+import pytest
+
+from repro import (
+    FaultPlan,
+    Outage,
+    SpeculativeCaching,
+    SpeculativeCachingResilient,
+    run_online,
+    run_online_faulty,
+)
+from repro.paperdata import fig2_instance, fig6_instance, fig7_instance
+from repro.schedule import validate_schedule
+
+from ..conftest import make_instance
+
+
+def scr(**kwargs):
+    return SpeculativeCachingResilient(**kwargs)
+
+
+class TestFaultFreeEquivalence:
+    """Empty plan + k=1 must reproduce plain SC exactly (acceptance)."""
+
+    @pytest.mark.parametrize(
+        "instance_factory", [fig2_instance, fig6_instance, fig7_instance]
+    )
+    def test_schedule_and_cost_match_sc_on_goldens(self, instance_factory):
+        inst = instance_factory()
+        plain = run_online(SpeculativeCaching(), inst)
+        faulty = run_online_faulty(scr(replicas=1), inst, FaultPlan())
+        assert faulty.schedule == plain.schedule
+        assert faulty.cost == plain.cost
+        assert faulty.transfers == plain.transfers
+
+    def test_fig7_epoch_variant_matches_too(self):
+        inst = fig7_instance()
+        plain = run_online(SpeculativeCaching(epoch_size=5), inst)
+        faulty = run_online_faulty(
+            scr(replicas=1, epoch_size=5), inst, FaultPlan()
+        )
+        assert faulty.schedule == plain.schedule
+        assert faulty.cost == plain.cost
+
+    def test_no_fault_artifacts_on_empty_plan(self):
+        res = run_online_faulty(scr(replicas=1), fig6_instance(), FaultPlan())
+        assert res.blackouts == []
+        assert res.reseeds == []
+        assert res.penalty_cost == 0.0
+        assert res.total_cost == res.cost
+        assert all(e[0] == "xfer-ok" for e in res.fault_log)
+
+    def test_scr_runs_on_plain_engine_too(self):
+        # SC-R is a regular OnlineAlgorithm; without a fault context it
+        # simply replicates eagerly.
+        inst = fig6_instance()
+        res = run_online(scr(replicas=2), inst)
+        assert res.counters["replications"] >= 1
+        validate_schedule(res.schedule, inst)
+
+
+class TestEngineContract:
+    def test_rejects_non_fault_aware_algorithm(self):
+        with pytest.raises(TypeError, match="not fault-aware"):
+            run_online_faulty(
+                SpeculativeCaching(), fig6_instance(), FaultPlan()
+            )
+
+    def test_crash_closes_lifetime_with_crash_marker(self):
+        inst = make_instance([1.0, 5.0], [0, 0], m=2)
+        plan = FaultPlan(outages=(Outage(0, 2.0, 3.0),))
+        res = run_online_faulty(scr(replicas=1), inst, plan)
+        crashed = [l for l in res.lifetimes if l.ended_by == "crash"]
+        assert len(crashed) == 1
+        assert crashed[0].server == 0
+        assert crashed[0].end == 2.0
+
+    def test_crash_at_request_time_strikes_first(self):
+        # Crash on the requested server exactly at the request instant:
+        # the copy is gone, so the request cannot be a local hit.
+        inst = make_instance([1.0, 1.5], [0, 0], m=2)
+        plan = FaultPlan(outages=(Outage(0, 1.5, 2.0),))
+        res = run_online_faulty(scr(replicas=1), inst, plan)
+        assert res.counters["crash_losses"] == 1
+        # The t=1.5 request was served by a remote read (server down).
+        assert res.counters["remote_reads"] == 1
+
+    def test_fault_log_records_engine_delivered_events(self):
+        inst = make_instance([1.0, 5.0], [0, 1], m=2)
+        plan = FaultPlan(outages=(Outage(1, 2.0, 3.0),))
+        res = run_online_faulty(scr(replicas=1), inst, plan)
+        assert ("crash", 2.0, 1) in res.fault_log
+        assert ("recover", 3.0, 1) in res.fault_log
+
+    def test_context_detached_after_run(self):
+        algo = scr(replicas=1)
+        run_online_faulty(algo, fig6_instance(), FaultPlan())
+        assert algo.faults is None
+
+
+class TestCrashRecovery:
+    def test_single_crash_with_k2_repairs_replica(self):
+        inst = make_instance([1.0, 2.0, 3.0, 4.0], [0, 1, 0, 1], m=3)
+        plan = FaultPlan(outages=(Outage(1, 2.5, 3.5),))
+        res = run_online_faulty(scr(replicas=2), inst, plan)
+        assert res.blackouts == []
+        assert res.counters["crash_losses"] >= 1
+        assert res.counters["replications"] >= 1
+        validate_schedule(res.schedule, inst, allowed_gaps=res.allowed_gaps())
+
+    def test_reseed_after_total_blackout(self):
+        inst = make_instance([1.0, 2.0, 3.0], [0, 1, 0], m=2)
+        plan = FaultPlan(
+            outages=(Outage(0, 1.2, 1.6), Outage(1, 1.2, 1.8))
+        )
+        res = run_online_faulty(scr(replicas=2), inst, plan)
+        assert len(res.blackouts) == 1
+        a, b = res.blackouts[0]
+        assert a == pytest.approx(1.2)
+        assert b == pytest.approx(1.6)  # first recovery re-seeds
+        assert res.counters["reseeds"] == 1
+        assert res.penalties["reseed"] == pytest.approx(1.0)
+        validate_schedule(res.schedule, inst, allowed_gaps=res.allowed_gaps())
+
+    def test_request_during_total_blackout_is_dropped_with_penalty(self):
+        inst = make_instance([1.0, 1.5, 3.0], [0, 1, 0], m=2)
+        plan = FaultPlan(
+            outages=(Outage(0, 1.2, 2.0), Outage(1, 1.2, 2.0))
+        )
+        res = run_online_faulty(scr(replicas=2), inst, plan)
+        assert res.counters["dropped_requests"] == 1
+        assert res.penalties["dropped"] == pytest.approx(1.0)
+        assert res.total_cost == pytest.approx(res.cost + res.penalty_cost)
+        validate_schedule(res.schedule, inst, allowed_gaps=res.allowed_gaps())
+
+    def test_blackout_is_outcome_not_crash(self):
+        # Plain SC would raise RuntimeError on losing every copy; the
+        # fault-aware stack records the window and carries on.
+        inst = make_instance([1.0, 2.0, 3.0], [0, 1, 0], m=2)
+        plan = FaultPlan(
+            outages=(Outage(0, 0.5, 2.5), Outage(1, 1.5, 2.5))
+        )
+        res = run_online_faulty(scr(replicas=2), inst, plan)
+        assert res.blackouts  # observed, not raised
+        validate_schedule(res.schedule, inst, allowed_gaps=res.allowed_gaps())
+
+
+class TestNeverBlackoutUnderSingleCrash:
+    """Acceptance: k=2 SC-R survives any single-server crash schedule."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_sequential_single_crashes_never_blackout(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n, m = 60, 5
+        times = np.cumsum(rng.exponential(1.0, size=n)) + 1.0
+        servers = rng.integers(0, m, size=n)
+        inst = make_instance(times, servers, m=m)
+        t0, tn = 0.0, float(times[-1])
+        # One server down at a time: chop the horizon into disjoint
+        # slices, each assigned to a random victim.
+        cuts = np.sort(rng.uniform(t0, tn, size=6))
+        edges = [t0] + list(cuts) + [tn]
+        outages = []
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            victim = int(rng.integers(0, m))
+            outages.append(Outage(victim, float(lo), float(hi)))
+        plan = FaultPlan(outages=tuple(outages), seed=seed)
+        res = run_online_faulty(scr(replicas=2), inst, plan)
+        assert res.blackouts == []
+        assert res.schedule.gaps(t0, tn) == []
+        assert res.counters["dropped_requests"] == 0
+        validate_schedule(res.schedule, inst, allowed_gaps=res.allowed_gaps())
+
+    def test_alternating_victims_with_transfer_loss(self):
+        inst = make_instance(
+            [float(i) for i in range(1, 21)],
+            [i % 3 for i in range(20)],
+            m=3,
+        )
+        outages = tuple(
+            Outage(i % 3, 0.5 + i, 1.4 + i) for i in range(0, 18, 2)
+        )
+        plan = FaultPlan(outages=outages, loss_rate=0.3, seed=9)
+        res = run_online_faulty(scr(replicas=2, max_retries=8), inst, plan)
+        assert res.blackouts == []
+        assert res.schedule.gaps(0.0, 20.0) == []
+
+
+class TestRetryAccounting:
+    def test_lost_attempts_accrue_backoff_latency(self):
+        inst = make_instance([1.0, 2.0, 3.0, 4.0], [1, 0, 1, 0], m=2)
+        plan = FaultPlan(loss_rate=0.6, seed=4)
+        res = run_online_faulty(scr(replicas=1, max_retries=10), inst, plan)
+        lost = [e for e in res.fault_log if e[0] == "xfer-lost"]
+        assert lost, "seed 4 at loss 0.6 must lose some attempt"
+        expected = sum(5.0 * 2 ** (e[4] - 1) for e in lost)
+        assert res.retry_latency == pytest.approx(expected)
+
+    def test_retry_budget_exhaustion_falls_back_or_drops(self):
+        # Extreme loss with no retries: transfers keep failing; the run
+        # must still terminate with exact accounting.
+        inst = make_instance([1.0, 2.0, 3.0], [1, 2, 1], m=3)
+        plan = FaultPlan(loss_rate=0.97, seed=2)
+        res = run_online_faulty(scr(replicas=1, max_retries=0), inst, plan)
+        dropped = res.counters["dropped_requests"]
+        assert res.penalties.get("dropped", 0.0) == pytest.approx(
+            1.0 * dropped
+        )
+        assert res.total_cost == pytest.approx(res.cost + res.penalty_cost)
+
+
+class TestDeterminism:
+    def test_same_seed_identical_everything(self):
+        inst = fig6_instance()
+        plan = FaultPlan(
+            outages=(Outage(0, 0.6, 2.0), Outage(2, 1.0, 1.5)),
+            loss_rate=0.2,
+            seed=13,
+        )
+        a = run_online_faulty(scr(replicas=2), inst, plan)
+        b = run_online_faulty(scr(replicas=2), inst, plan)
+        assert a.fault_log == b.fault_log
+        assert a.schedule == b.schedule
+        assert a.cost == b.cost
+        assert a.counters == b.counters
+        assert a.penalties == b.penalties
+        assert a.blackouts == b.blackouts
+        assert a.retry_latency == b.retry_latency
+
+    def test_different_seed_changes_loss_pattern(self):
+        inst = make_instance(
+            [float(i) * 0.7 for i in range(1, 30)],
+            [i % 4 for i in range(29)],
+            m=4,
+        )
+        a = run_online_faulty(
+            scr(replicas=2, max_retries=1), inst, FaultPlan(loss_rate=0.5, seed=1)
+        )
+        b = run_online_faulty(
+            scr(replicas=2, max_retries=1), inst, FaultPlan(loss_rate=0.5, seed=2)
+        )
+        assert a.fault_log != b.fault_log
+
+
+class TestParameterValidation:
+    def test_bad_replicas_rejected(self):
+        with pytest.raises(ValueError):
+            scr(replicas=0)
+
+    def test_bad_retries_rejected(self):
+        with pytest.raises(ValueError):
+            scr(max_retries=-1)
+
+    def test_name_reflects_k(self):
+        assert scr(replicas=3).name == "sc-r(k=3)"

@@ -1,0 +1,125 @@
+"""FaultContext runtime behaviour: draws, ledgers, observation."""
+
+from repro.emulator import LatencyModel
+from repro.faults import FaultContext, FaultPlan, Outage
+
+
+def ctx(plan=None, m=4, latency=None):
+    return FaultContext(plan or FaultPlan(), num_servers=m, latency=latency)
+
+
+class TestLiveness:
+    def test_mark_down_up_roundtrip(self):
+        c = ctx()
+        assert c.is_up(1)
+        c.mark_down(1, 0.5)
+        assert not c.is_up(1)
+        assert c.up_servers() == [0, 2, 3]
+        c.mark_up(1, 1.5)
+        assert c.is_up(1)
+        assert c.up_servers() == [0, 1, 2, 3]
+
+    def test_events_logged(self):
+        c = ctx()
+        c.mark_down(2, 0.5)
+        c.mark_up(2, 1.0)
+        assert c.log == [("crash", 0.5, 2), ("recover", 1.0, 2)]
+
+
+class TestTransferAttempts:
+    def test_lossless_plan_always_succeeds_first_try(self):
+        c = ctx()
+        for _ in range(50):
+            assert c.transfer_with_retries(0, 1, 1.0)
+        assert all(entry[0] == "xfer-ok" for entry in c.log)
+        assert all(entry[4] == 1 for entry in c.log)
+
+    def test_down_source_fails_immediately(self):
+        c = ctx()
+        c.mark_down(0, 0.5)
+        assert not c.transfer_with_retries(0, 1, 1.0, retries=5)
+        assert c.log[-1][0] == "xfer-down"
+
+    def test_down_destination_fails_unless_remote_read(self):
+        c = ctx()
+        c.mark_down(1, 0.5)
+        assert not c.transfer_with_retries(0, 1, 1.0, retries=5)
+        assert c.transfer_with_retries(0, 1, 1.0, retries=5, need_dst_up=False)
+
+    def test_loss_draws_deterministic_per_seed(self):
+        plan = FaultPlan(loss_rate=0.5, seed=42)
+        a, b = ctx(plan), ctx(plan)
+        outcomes_a = [a.transfer_with_retries(0, 1, float(t)) for t in range(40)]
+        outcomes_b = [b.transfer_with_retries(0, 1, float(t)) for t in range(40)]
+        assert outcomes_a == outcomes_b
+        assert a.log == b.log
+        assert a.retry_latency == b.retry_latency
+
+    def test_retries_redraw_and_accrue_backoff(self):
+        # loss_rate 0.9: with 8 retries most transfers eventually succeed,
+        # and every lost attempt charges exponential backoff latency.
+        plan = FaultPlan(loss_rate=0.9, seed=1)
+        c = ctx(plan, latency=LatencyModel(retry_base=5.0))
+        c.transfer_with_retries(0, 1, 1.0, retries=50)
+        lost = [e for e in c.log if e[0] == "xfer-lost"]
+        assert lost, "seed 1 at loss 0.9 must lose at least one attempt"
+        expected = sum(5.0 * 2 ** (e[4] - 1) for e in lost)
+        assert c.retry_latency == expected
+
+    def test_exhausted_retries_fail(self):
+        # With retries=0 and loss_rate 0.99 the first lost draw is final.
+        plan = FaultPlan(loss_rate=0.99, seed=3)
+        c = ctx(plan)
+        results = [c.transfer_with_retries(0, 1, 1.0, retries=0) for _ in range(30)]
+        assert not all(results)
+
+    def test_slow_transfers_accrue_latency(self):
+        plan = FaultPlan(slow_rate=1.0, slow_latency=7.0, seed=0)
+        c = ctx(plan)
+        assert c.transfer_with_retries(0, 1, 1.0)
+        assert c.retry_latency == 7.0
+        assert c.log[-1][0] == "xfer-slow"
+
+
+class TestLedgers:
+    def test_charge_accumulates_by_kind(self):
+        c = ctx()
+        c.charge("reseed", 1.0)
+        c.charge("reseed", 1.0)
+        c.charge("dropped", 2.5)
+        assert c.penalties == {"reseed": 2.0, "dropped": 2.5}
+        assert c.penalty_cost == 4.5
+
+    def test_blackout_observation_windows(self):
+        c = ctx()
+        c.observe_copies(1, 0.0)
+        c.observe_copies(0, 1.0)
+        c.observe_copies(0, 1.5)
+        c.observe_copies(2, 2.0)
+        c.observe_copies(0, 3.0)
+        c.close(4.0)
+        assert c.blackouts == [(1.0, 2.0), (3.0, 4.0)]
+        assert ("blackout", 1.0, 2.0) in c.log
+        assert ("blackout", 3.0, 4.0) in c.log
+
+    def test_reseed_and_drop_notes(self):
+        c = ctx()
+        c.note_reseed(1.0, 0)
+        c.note_drop(2.0, 3)
+        assert c.reseeds == [(1.0, 0)]
+        assert ("reseed", 1.0, 0) in c.log
+        assert ("drop", 2.0, 3) in c.log
+
+
+class TestRetryBackoffModel:
+    def test_exponential_schedule(self):
+        m = LatencyModel(retry_base=5.0)
+        assert m.retry_backoff(1) == 5.0
+        assert m.retry_backoff(2) == 10.0
+        assert m.retry_backoff(4) == 40.0
+
+    def test_attempt_numbers_start_at_one(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            LatencyModel().retry_backoff(0)

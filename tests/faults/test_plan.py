@@ -1,0 +1,141 @@
+"""FaultPlan construction, normalisation and event emission."""
+
+import pytest
+
+from repro.faults import FaultEvent, FaultPlan, Outage
+
+
+class TestOutage:
+    def test_half_open_coverage(self):
+        o = Outage(0, 1.0, 2.0)
+        assert o.covers(1.0)
+        assert o.covers(1.5)
+        assert not o.covers(2.0)  # recovery instant: up again
+        assert not o.covers(0.5)
+
+    def test_rejects_negative_server(self):
+        with pytest.raises(ValueError):
+            Outage(-1, 0.0, 1.0)
+
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ValueError):
+            Outage(0, 2.0, 1.0)
+
+
+class TestPlanNormalisation:
+    def test_overlapping_outages_merge(self):
+        plan = FaultPlan(
+            outages=(Outage(0, 0.0, 2.0), Outage(0, 1.0, 3.0))
+        )
+        assert plan.outages == (Outage(0, 0.0, 3.0),)
+
+    def test_touching_outages_merge(self):
+        plan = FaultPlan(
+            outages=(Outage(1, 0.0, 1.0), Outage(1, 1.0, 2.0))
+        )
+        assert plan.outages == (Outage(1, 0.0, 2.0),)
+
+    def test_distinct_servers_stay_separate(self):
+        plan = FaultPlan(
+            outages=(Outage(0, 0.0, 1.0), Outage(1, 0.0, 1.0))
+        )
+        assert len(plan.outages) == 2
+
+    def test_empty_flag(self):
+        assert FaultPlan().empty
+        assert not FaultPlan(outages=(Outage(0, 0.0, 1.0),)).empty
+        assert not FaultPlan(loss_rate=0.1).empty
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            FaultPlan(loss_rate=1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(loss_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(slow_latency=-1.0)
+
+
+class TestLiveness:
+    def test_is_up(self):
+        plan = FaultPlan(outages=(Outage(0, 1.0, 2.0),))
+        assert plan.is_up(0, 0.5)
+        assert not plan.is_up(0, 1.0)
+        assert not plan.is_up(0, 1.9)
+        assert plan.is_up(0, 2.0)
+        assert plan.is_up(1, 1.5)
+
+
+class TestEvents:
+    def test_alternating_pairs_in_time_order(self):
+        plan = FaultPlan(
+            outages=(Outage(0, 1.0, 2.0), Outage(1, 0.5, 3.0))
+        )
+        evs = plan.events(0.0, 10.0)
+        assert [(e.time, e.kind, e.server) for e in evs] == [
+            (0.5, "crash", 1),
+            (1.0, "crash", 0),
+            (2.0, "recover", 0),
+            (3.0, "recover", 1),
+        ]
+
+    def test_recover_sorts_before_crash_at_equal_instant(self):
+        plan = FaultPlan(
+            outages=(Outage(0, 0.5, 1.0), Outage(1, 1.0, 2.0))
+        )
+        evs = plan.events(0.0, 10.0)
+        kinds_at_1 = [e.kind for e in evs if e.time == 1.0]
+        assert kinds_at_1 == ["recover", "crash"]
+
+    def test_straddling_start_clips_crash_time(self):
+        plan = FaultPlan(outages=(Outage(0, -1.0, 2.0),))
+        evs = plan.events(0.0, 10.0)
+        assert evs[0] == FaultEvent(0.0, "crash", 0)
+
+    def test_outage_past_end_emits_no_recovery(self):
+        plan = FaultPlan(outages=(Outage(0, 1.0, 99.0),))
+        evs = plan.events(0.0, 10.0)
+        assert [e.kind for e in evs] == ["crash"]
+
+    def test_outage_entirely_outside_horizon_dropped(self):
+        plan = FaultPlan(outages=(Outage(0, 20.0, 30.0),))
+        assert plan.events(0.0, 10.0) == []
+
+
+class TestAllDownWindows:
+    def test_intersection_of_all_servers(self):
+        plan = FaultPlan(
+            outages=(Outage(0, 0.0, 2.0), Outage(1, 1.0, 3.0))
+        )
+        assert plan.down_intervals_all(2, 0.0, 10.0) == [(1.0, 2.0)]
+
+    def test_no_window_when_one_server_never_fails(self):
+        plan = FaultPlan(outages=(Outage(0, 0.0, 10.0),))
+        assert plan.down_intervals_all(2, 0.0, 10.0) == []
+
+
+class TestGenerate:
+    def test_deterministic_per_seed(self):
+        a = FaultPlan.generate(7, num_servers=5, start=0.0, end=10.0)
+        b = FaultPlan.generate(7, num_servers=5, start=0.0, end=10.0)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan.generate(1, 5, 0.0, 10.0, crash_rate=3.0)
+        b = FaultPlan.generate(2, 5, 0.0, 10.0, crash_rate=3.0)
+        assert a != b
+
+    def test_outages_clipped_to_horizon(self):
+        plan = FaultPlan.generate(3, 4, 0.0, 10.0, crash_rate=4.0, mean_outage=0.5)
+        for o in plan.outages:
+            assert 0.0 <= o.start <= 10.0
+            assert o.end <= 10.0
+
+    def test_spare_server_never_fails(self):
+        plan = FaultPlan.generate(
+            11, 4, 0.0, 10.0, crash_rate=5.0, spare_server=2
+        )
+        assert all(o.server != 2 for o in plan.outages)
+
+    def test_rejects_empty_horizon(self):
+        with pytest.raises(ValueError):
+            FaultPlan.generate(0, 2, 5.0, 5.0)

@@ -163,3 +163,33 @@ class TestCoverageGaps:
 
     def test_empty_interval_list(self):
         assert coverage_gaps([], 0.0, 1.0) == [(0.0, 1.0)]
+
+
+class TestScheduleGaps:
+    """Schedule.gaps is the shared coverage/blackout detector."""
+
+    def test_gapless_schedule(self):
+        s = Schedule().hold(0, 0.0, 5.0)
+        assert s.gaps(0.0, 5.0) == []
+
+    def test_cross_server_coverage_fuses(self):
+        # Gaps are about *any* live copy, not per-server coverage.
+        s = Schedule().hold(0, 0.0, 2.0).hold(1, 2.0, 5.0)
+        assert s.gaps(0.0, 5.0) == []
+
+    def test_reports_zero_copy_windows(self):
+        s = Schedule().hold(0, 0.0, 1.0).hold(1, 3.0, 5.0)
+        assert s.gaps(0.0, 5.0) == [(1.0, 3.0)]
+
+    def test_window_narrower_than_span(self):
+        s = Schedule().hold(0, 0.0, 1.0).hold(1, 3.0, 5.0)
+        assert s.gaps(2.0, 2.5) == [(2.0, 2.5)]
+
+    def test_matches_free_function_on_merged_intervals(self):
+        s = Schedule().hold(0, 0.0, 2.0).hold(0, 1.0, 3.0).hold(1, 4.0, 5.0)
+        assert s.gaps(0.0, 5.0) == coverage_gaps(
+            merge_intervals(s.intervals), 0.0, 5.0
+        )
+
+    def test_empty_schedule_is_one_big_gap(self):
+        assert Schedule().gaps(0.0, 4.0) == [(0.0, 4.0)]

@@ -147,3 +147,62 @@ class TestStandardForm:
         inst = tiny_instance()
         s = Schedule().hold(0, 0.0, 2.0).transfer(0, 1, 0.25)
         assert not is_standard_form(s, inst)
+
+
+class TestAllowedGaps:
+    """Blackout relaxation: declared gaps excuse coverage, custody and
+    service violations — anything undeclared still fails."""
+
+    def gappy_instance(self):
+        # r1 on s1 at t=1 falls inside the declared blackout; r2 on s0
+        # at t=3 is served normally after re-seeding.
+        return make_instance([1.0, 3.0], [1, 0], m=2)
+
+    def gappy_schedule(self):
+        # Coverage hole (0.5, 2.5); the post-gap interval starts from a
+        # re-seed, not from a transfer.
+        return Schedule().hold(0, 0.0, 0.5).hold(0, 2.5, 3.0)
+
+    def test_rejected_without_declaration(self):
+        with pytest.raises(InvalidScheduleError):
+            validate_schedule(self.gappy_schedule(), self.gappy_instance())
+
+    def test_accepted_with_declared_blackout(self):
+        validate_schedule(
+            self.gappy_schedule(),
+            self.gappy_instance(),
+            allowed_gaps=[(0.5, 2.5)],
+        )
+
+    def test_partial_declaration_still_rejected(self):
+        # Declared window only covers part of the hole.
+        with pytest.raises(InvalidScheduleError, match="no live copy"):
+            validate_schedule(
+                self.gappy_schedule(),
+                self.gappy_instance(),
+                allowed_gaps=[(0.5, 1.5)],
+            )
+
+    def test_unserved_request_outside_gap_still_rejected(self):
+        # Same schedule, but the blackout declaration misses r1's instant
+        # while covering the coverage hole exactly (r1 at t=1.0 is inside
+        # the hole, so shrink the declared service excuse window).
+        inst = make_instance([3.0], [1], m=2)  # r on s1 at t=3, no copy
+        s = Schedule().hold(0, 0.0, 3.0)
+        with pytest.raises(InvalidScheduleError, match="[Ss]erve"):
+            validate_schedule(s, inst, allowed_gaps=[(0.5, 1.5)])
+
+    def test_zero_width_gap_regrounds_custody(self):
+        # A re-seed at a single instant: interval pops into existence at
+        # t=2.0 with no transfer feeding it.
+        inst = make_instance([3.0], [1], m=2)
+        s = (
+            Schedule()
+            .hold(0, 0.0, 2.0)
+            .hold(1, 2.0, 3.0)
+        )
+        # s1's interval has no custody chain: rejected plain...
+        with pytest.raises(InvalidScheduleError):
+            validate_schedule(s, inst)
+        # ...but a declared re-seed instant grounds it.
+        validate_schedule(s, inst, allowed_gaps=[(2.0, 2.0)])

@@ -1,6 +1,9 @@
 """Online engine driver tests."""
 
+from types import SimpleNamespace
 from typing import List, Tuple
+
+import pytest
 
 from repro import run_online
 from repro.online.base import OnlineAlgorithm
@@ -58,3 +61,42 @@ class TestEngine:
         a = run_online(algo, make_instance([1.0], [0], m=1))
         b = run_online(algo, make_instance([2.0], [0], m=1))
         assert a.cost != b.cost  # fresh recorder per run
+
+
+class TestTimestampValidation:
+    """The engine rejects out-of-order streams before touching state.
+
+    ``ProblemInstance`` construction already enforces increasing times,
+    so these use duck-typed instances — the path a trace adapter or test
+    probe would take.
+    """
+
+    def test_decreasing_timestamps_rejected(self):
+        bogus = SimpleNamespace(t=[0.0, 1.0, 0.5, 2.0], n=3)
+        algo = Probe()
+        with pytest.raises(ValueError, match=r"non-decreasing.*t\[2\]=0\.5"):
+            run_online(algo, bogus)
+        # Rejected before begin(): no recorder was created.
+        assert not hasattr(algo, "calls")
+
+    def test_equal_timestamps_allowed(self):
+        # Non-decreasing, not strictly increasing: a duck-typed trace
+        # with simultaneous requests must replay fine (ProblemInstance
+        # itself is stricter, but adapters need not be).
+        base = make_instance([1.0, 2.0, 3.0], [0, 1, 0], m=2)
+        dup = SimpleNamespace(
+            t=[0.0, 1.0, 1.0, 2.0],
+            srv=[0, 0, 1, 0],
+            n=3,
+            cost=base.cost,
+            num_servers=2,
+            origin=0,
+        )
+        algo = Probe()
+        run_online(algo, dup)
+        assert len([c for c in algo.calls if c[0] == "serve"]) == 3
+
+    def test_wrong_shape_rejected(self):
+        bogus = SimpleNamespace(t=[[0.0, 1.0]], n=1)
+        with pytest.raises(ValueError, match="flat array"):
+            run_online(Probe(), bogus)
