@@ -64,7 +64,8 @@ from .schedule import (
     render_schedule,
     validate_schedule,
 )
-from .sim import OnlineRunResult, run_online, run_online_faulty
+from .runtime import RunBudget, RunJournal, RunSnapshot, SupervisedRun, Supervisor
+from .sim import OnlineRunResult, ReplayDriver, run_online, run_online_faulty
 
 __version__ = "1.0.0"
 
@@ -91,8 +92,14 @@ __all__ = [
     "ProblemInstance",
     "RandomizedTTL",
     "RecedingHorizonPlanner",
+    "ReplayDriver",
     "Request",
+    "RunBudget",
+    "RunJournal",
+    "RunSnapshot",
     "Schedule",
+    "SupervisedRun",
+    "Supervisor",
     "SpeculativeCaching",
     "SpeculativeCachingResilient",
     "StreamingSolver",

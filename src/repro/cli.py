@@ -15,6 +15,21 @@ Subcommands
 ``chaos``
     Sweep seeded fault scenarios (server crashes, transfer loss) through
     the fault-tolerant SC-R policy and report resilience invariants.
+    All scenarios are always swept; failures are collected and reported
+    per seed.
+``supervise``
+    Crash-safe replay under a deadline budget with a write-ahead journal
+    and periodic checkpoints; ``--resume`` continues a killed run from
+    ``snapshot + journal tail``.
+
+Exit-code contract (stable; scripts and CI may rely on it):
+
+* ``0`` — success; for ``chaos``, every scenario passed every invariant.
+* ``1`` — invariant violation: at least one chaos scenario failed its
+  assertions (each failure is listed per seed on stdout/stderr).
+* ``2`` — usage or environment error (bad trace path, bad arguments).
+* ``3`` — ``supervise`` only: the deadline budget expired and a valid
+  *partial* result was produced (resume later with ``--resume``).
 
 Traces use the CSV format of :mod:`repro.workloads.traces`.
 """
@@ -116,6 +131,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ch.add_argument("-k", "--replicas", type=int, default=2, help="SC-R replica target")
     ch.add_argument("--retries", type=int, default=3, help="retries per source")
+    ch.add_argument(
+        "--kill-runner", action="store_true",
+        help="also kill the runner at a seeded event boundary per scenario "
+        "and assert kill/resume equivalence",
+    )
+
+    sv = sub.add_parser(
+        "supervise",
+        help="crash-safe replay: journal, checkpoints, deadline budget",
+    )
+    sv.add_argument(
+        "trace", nargs="?", default=None,
+        help="CSV trace path (omit for a synthetic Poisson/Zipf workload)",
+    )
+    sv.add_argument("--item", default=None)
+    sv.add_argument("--servers", type=int, default=None)
+    sv.add_argument("-n", type=int, default=200, help="synthetic request count")
+    sv.add_argument("-m", type=int, default=8, help="synthetic fleet size")
+    sv.add_argument(
+        "--policy", choices=sorted(_POLICIES), default="sc-r", help="online policy"
+    )
+    sv.add_argument("--seed", type=int, default=0, help="workload/fault seed")
+    sv.add_argument(
+        "--crash-rate", type=float, default=0.0,
+        help="fault plan: expected outages per server (0 = no faults)",
+    )
+    sv.add_argument(
+        "--mean-outage", type=float, default=0.05,
+        help="fault plan: mean outage duration as a horizon fraction",
+    )
+    sv.add_argument(
+        "--loss", type=float, default=0.0,
+        help="fault plan: per-attempt transfer loss rate",
+    )
+    sv.add_argument("--journal", default=None, help="write-ahead journal path (JSONL)")
+    sv.add_argument("--snapshot", default=None, help="checkpoint path")
+    sv.add_argument(
+        "--snapshot-every", type=int, default=64, help="checkpoint cadence (events)"
+    )
+    sv.add_argument(
+        "--deadline-events", type=int, default=None,
+        help="pause after this many delivered events (absolute)",
+    )
+    sv.add_argument(
+        "--deadline-seconds", type=float, default=None,
+        help="wall-clock budget for this invocation",
+    )
+    sv.add_argument(
+        "--resume", action="store_true",
+        help="continue from --snapshot + --journal instead of starting fresh",
+    )
 
     ep = sub.add_parser(
         "experiment", help="regenerate a DESIGN.md experiment table"
@@ -276,21 +342,111 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     factory = lambda: SpeculativeCachingResilient(
         replicas=args.replicas, max_retries=args.retries
     )
-    try:
-        outcomes = chaos.run_chaos_suite(inst, plans, factory)
-    except chaos.ChaosInvariantError as exc:
-        print(f"INVARIANT VIOLATION: {exc}", file=sys.stderr)
-        return 1
+    # Collect-all mode: every scenario is swept even after a failure, so
+    # the report names every bad seed; the exit code then reflects the
+    # sweep as a whole (0 = all held, 1 = at least one violation).
+    outcomes = chaos.run_chaos_suite(
+        inst, plans, factory, fail_fast=False, kill_runner=args.kill_runner
+    )
     print(f"instance: {inst}")
     print(
         chaos.chaos_report(
             outcomes,
             title=f"chaos sweep: SC-R(k={args.replicas}), "
             f"{args.scenarios} scenarios, crash-rate {args.crash_rate:g}, "
-            f"loss {args.loss:g}",
+            f"loss {args.loss:g}"
+            + (", runner kills on" if args.kill_runner else ""),
         )
     )
-    print("all invariants held (determinism, accounting, bounded recovery)")
+    failed = [o for o in outcomes if not o.ok]
+    if failed:
+        for o in failed:
+            for msg in o.violations:
+                print(f"INVARIANT VIOLATION: {msg}", file=sys.stderr)
+        print(
+            f"{len(failed)}/{len(outcomes)} scenarios FAILED", file=sys.stderr
+        )
+        return 1
+    checks = "determinism, accounting, bounded recovery"
+    if args.kill_runner:
+        checks += ", kill/resume equivalence"
+    print(f"all invariants held ({checks})")
+    return 0
+
+
+def _cmd_supervise(args: argparse.Namespace) -> int:
+    from .faults.plan import FaultPlan
+    from .runtime import RunBudget, Supervisor
+
+    if args.trace is not None:
+        inst = _load(args)
+    else:
+        inst = poisson_zipf_instance(
+            n=args.n,
+            m=args.servers if args.servers is not None else args.m,
+            cost=CostModel(mu=args.mu, lam=args.lam),
+            origin=args.origin,
+            rng=args.seed,
+        )
+    plan = None
+    if args.crash_rate > 0 or args.loss > 0:
+        plan = FaultPlan.generate(
+            seed=args.seed,
+            num_servers=inst.num_servers,
+            start=float(inst.t[0]),
+            end=float(inst.t[-1]),
+            crash_rate=args.crash_rate,
+            mean_outage=args.mean_outage,
+            loss_rate=args.loss,
+        )
+    if args.resume and (args.snapshot is None or args.journal is None):
+        print("error: --resume requires --snapshot and --journal", file=sys.stderr)
+        return 2
+    if plan is not None and args.policy != "sc-r":
+        print(
+            f"error: policy {args.policy!r} is not fault-aware; "
+            f"use --policy sc-r with --crash-rate/--loss",
+            file=sys.stderr,
+        )
+        return 2
+    factory = _POLICIES[args.policy]
+    supervisor = Supervisor(
+        factory,
+        inst,
+        plan=plan,
+        journal_path=args.journal,
+        snapshot_path=args.snapshot,
+        snapshot_every=args.snapshot_every,
+    )
+    budget = RunBudget(
+        max_events=args.deadline_events, max_seconds=args.deadline_seconds
+    )
+    run = supervisor.resume(budget) if args.resume else supervisor.run(budget)
+    res = run.result
+    status = "COMPLETE" if run.completed else "PARTIAL"
+    print(f"instance: {inst}")
+    print(
+        f"{status}: {run.events_delivered}/{run.events_total} events "
+        f"(completion {run.completion_fraction:.1%}), "
+        f"schedule valid up to t={run.last_time:.6g}"
+    )
+    print(f"policy {res.algorithm}: cost = {res.cost:.6g}")
+    if plan is not None:
+        print(
+            f"  penalties = {res.penalty_cost:.6g}, "
+            f"blackouts = {len(res.blackouts)}, "
+            f"fault log = {len(res.fault_log)} entries"
+        )
+    if args.journal:
+        print(f"  journal: {args.journal} ({run.last_seq + 1} records)")
+    if args.snapshot:
+        print(f"  snapshot: {args.snapshot}")
+    if not run.completed:
+        print(
+            "deadline budget exhausted; resume with --resume "
+            "(same --journal/--snapshot)",
+        )
+        return 3
     return 0
 
 
@@ -360,6 +516,7 @@ _DISPATCH = {
     "generate": _cmd_generate,
     "paper": _cmd_paper,
     "chaos": _cmd_chaos,
+    "supervise": _cmd_supervise,
     "experiment": _cmd_experiment,
     "svg": _cmd_svg,
     "sensitivity": _cmd_sensitivity,

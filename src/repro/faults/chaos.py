@@ -16,20 +16,30 @@ a serving stack actually cares about:
 * **Feasibility modulo blackouts** — the realised schedule validates
   against the instance once the observed blackout windows are declared.
 
+* **Runner-kill equivalence** (``kill_runner=True``) — chaos can kill
+  the *runner* itself, not just the modelled servers: each scenario is
+  additionally executed under a :class:`~repro.runtime.Supervisor`,
+  interrupted at a seed-derived event boundary, and resumed; the
+  degraded partial must validate over its prefix and the resumed run
+  must be bit-identical to the uninterrupted one at every journaled
+  state digest.
+
 ``run_chaos_suite`` raises :class:`ChaosInvariantError` on the first
-violation, naming the seed so the scenario can be replayed exactly.
+violation, naming the seed so the scenario can be replayed exactly; with
+``fail_fast=False`` it instead records violations per scenario and keeps
+sweeping (the CLI uses this to report every failure and exit non-zero).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..core.instance import ProblemInstance
 from ..core.types import InvalidScheduleError
 from ..online.base import OnlineAlgorithm
 from ..schedule.validate import validate_schedule
-from ..sim.engine import run_online_faulty
+from ..sim.engine import merged_event_stream, run_online_faulty
 from .injector import FaultyRunResult
 from .plan import FaultPlan
 
@@ -37,6 +47,7 @@ __all__ = [
     "ChaosInvariantError",
     "ChaosOutcome",
     "chaos_report",
+    "check_kill_resume",
     "run_chaos_suite",
     "scenario_plans",
 ]
@@ -63,10 +74,19 @@ class ChaosOutcome:
     blackout_time: float
     dropped: int
     reseeds: int
+    #: Invariant-violation messages (empty = scenario passed).
+    violations: List[str] = field(default_factory=list)
+    #: Event boundary the runner was killed at (``None`` = no kill ran).
+    kill_seq: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        """True iff every invariant held for this scenario."""
+        return not self.violations
 
     def row(self) -> dict:
         """Table row for :func:`chaos_report`."""
-        return {
+        row = {
             "seed": self.seed,
             "crashes": self.crashes,
             "cost": self.cost,
@@ -77,6 +97,10 @@ class ChaosOutcome:
             "dropped": self.dropped,
             "reseeds": self.reseeds,
         }
+        if self.kill_seq is not None:
+            row["kill-seq"] = self.kill_seq
+        row["status"] = "ok" if self.ok else "FAIL"
+        return row
 
 
 def scenario_plans(
@@ -177,28 +201,122 @@ def _check_invariants(
         ) from exc
 
 
+def check_kill_resume(
+    instance: ProblemInstance,
+    plan: FaultPlan,
+    algorithm_factory: Callable[[], OnlineAlgorithm],
+    kill_seq: int,
+    reference: Optional[FaultyRunResult] = None,
+) -> None:
+    """Kill the runner at event ``kill_seq``, resume, assert equivalence.
+
+    The scenario is executed under a :class:`~repro.runtime.Supervisor`
+    with an event-count deadline at ``kill_seq``; the degraded partial
+    result must validate over its completed prefix, and the resumed run
+    must match ``reference`` (computed fresh when omitted) on cost,
+    schedule, fault log, blackouts and penalty ledger.  Raises
+    :class:`ChaosInvariantError` on any discrepancy.
+    """
+    from ..runtime import RunBudget, Supervisor
+
+    if reference is None:
+        reference = run_online_faulty(algorithm_factory(), instance, plan)
+    seed = plan.seed
+    supervisor = Supervisor(algorithm_factory, instance, plan=plan)
+    partial = supervisor.run(RunBudget(max_events=kill_seq))
+    if partial.completed:
+        raise ChaosInvariantError(
+            f"seed {seed}: kill at seq {kill_seq} did not interrupt the "
+            f"run ({partial.events_total} events total)"
+        )
+    try:
+        validate_schedule(
+            partial.result.schedule,
+            instance,
+            allowed_gaps=partial.result.allowed_gaps(),
+            upto=partial.last_time,
+            upto_request=partial.requests_delivered,
+        )
+    except InvalidScheduleError as exc:
+        raise ChaosInvariantError(
+            f"seed {seed}: degraded partial at kill seq {kill_seq} is "
+            f"infeasible over its prefix: {exc}"
+        ) from exc
+    resumed = supervisor.resume()
+    if not resumed.completed:
+        raise ChaosInvariantError(
+            f"seed {seed}: resume after kill at seq {kill_seq} did not "
+            f"run to completion"
+        )
+    if not _results_equal(resumed.result, reference):
+        raise ChaosInvariantError(
+            f"seed {seed}: resumed run after kill at seq {kill_seq} "
+            f"diverged from the uninterrupted run"
+        )
+
+
+def _kill_point(plan: FaultPlan, total_events: int) -> int:
+    """Seed-derived runner-kill boundary in ``[1, total_events - 1]``."""
+    if total_events < 2:
+        return 1
+    # Knuth multiplicative hash of the seed: deterministic, spread out.
+    return 1 + (plan.seed * 2654435761 % (total_events - 1))
+
+
 def run_chaos_suite(
     instance: ProblemInstance,
     plans: Sequence[FaultPlan],
     algorithm_factory: Callable[[], OnlineAlgorithm],
     check_determinism: bool = True,
+    fail_fast: bool = True,
+    kill_runner: bool = False,
 ) -> List[ChaosOutcome]:
     """Drive every plan, checking invariants; returns per-scenario rows.
 
     ``algorithm_factory`` must build a fresh fault-aware policy per call
-    (scenarios must not share mutable state).
+    (scenarios must not share mutable state).  With ``fail_fast=False``
+    violations are collected on each scenario's
+    :attr:`ChaosOutcome.violations` instead of raising, so one bad seed
+    does not hide the rest of the sweep.  ``kill_runner=True`` adds the
+    runner-kill/resume-equivalence invariant per scenario.
     """
     outcomes: List[ChaosOutcome] = []
     for plan in plans:
+        violations: List[str] = []
+
+        def check(fn, *args) -> None:
+            try:
+                fn(*args)
+            except ChaosInvariantError as exc:
+                if fail_fast:
+                    raise
+                violations.append(str(exc))
+
         res = run_online_faulty(algorithm_factory(), instance, plan)
         if check_determinism:
             replay = run_online_faulty(algorithm_factory(), instance, plan)
-            if not _results_equal(res, replay):
-                raise ChaosInvariantError(
-                    f"seed {plan.seed}: replay diverged from first run "
-                    f"(same plan, same instance)"
-                )
-        _check_invariants(instance, plan, res)
+
+            def determinism_check() -> None:
+                if not _results_equal(res, replay):
+                    raise ChaosInvariantError(
+                        f"seed {plan.seed}: replay diverged from first run "
+                        f"(same plan, same instance)"
+                    )
+
+            check(determinism_check)
+        check(_check_invariants, instance, plan, res)
+        kill_seq: Optional[int] = None
+        if kill_runner:
+            total = len(merged_event_stream(instance, plan))
+            kill_seq = _kill_point(plan, total)
+            check(
+                check_kill_resume,
+                instance,
+                plan,
+                algorithm_factory,
+                kill_seq,
+                res,
+            )
         outcomes.append(
             ChaosOutcome(
                 seed=plan.seed,
@@ -211,6 +329,8 @@ def run_chaos_suite(
                 blackout_time=sum(b - a for a, b in res.blackouts),
                 dropped=res.counters.get("dropped_requests", 0),
                 reseeds=res.counters.get("reseeds", 0),
+                violations=violations,
+                kill_seq=kill_seq,
             )
         )
     return outcomes
@@ -226,8 +346,13 @@ def chaos_report(
     table = format_table(rows, precision=4, title=title)
     total_blackouts = sum(o.blackouts for o in outcomes)
     total_dropped = sum(o.dropped for o in outcomes)
+    failed = [o for o in outcomes if not o.ok]
     footer = (
         f"{len(outcomes)} scenarios, {total_blackouts} blackouts, "
-        f"{total_dropped} dropped requests"
+        f"{total_dropped} dropped requests, {len(failed)} failed"
     )
-    return f"{table}\n{footer}"
+    lines = [table, footer]
+    for o in failed:
+        for msg in o.violations:
+            lines.append(f"  seed {o.seed}: {msg}")
+    return "\n".join(lines)

@@ -76,6 +76,29 @@ class FaultContext:
         """Sorted ids of currently-live servers."""
         return [s for s in range(self.num_servers) if s not in self._down]
 
+    # -- introspection ----------------------------------------------------------
+
+    def state_summary(self) -> dict:
+        """Canonical plain-data view of the run's fault state for digests.
+
+        The RNG state is included verbatim (as the tuple from
+        ``random.Random.getstate()`` flattened to lists): a resumed run
+        that restored everything *except* the attempt stream would agree
+        on every other field and still diverge at the next loss draw, so
+        the digest must see it.
+        """
+        version, internal, gauss = self._rng.getstate()
+        return {
+            "rng": [version, list(internal), gauss],
+            "down": sorted(self._down),
+            "log": [list(entry) for entry in self.log],
+            "penalties": dict(self.penalties),
+            "retry_latency": self.retry_latency,
+            "reseeds": [list(r) for r in self.reseeds],
+            "blackouts": [list(b) for b in self.blackouts],
+            "blackout_open": self._blackout_start,
+        }
+
     # -- transfer attempts ----------------------------------------------------------
 
     def transfer_with_retries(

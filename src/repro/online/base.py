@@ -73,6 +73,27 @@ class OnlineAlgorithm(abc.ABC):
         self.advance(t_end)
         return self.rec.finalize(t_end, algorithm=self.name)
 
+    def state_summary(self) -> dict:
+        """Canonical plain-data view of mutable state for state digests.
+
+        The base implementation covers the recorder ledger (everything
+        that reaches the schedule) plus :meth:`_extra_state`; algorithms
+        with private timers or RNGs override ``_extra_state`` so the
+        :mod:`repro.runtime` digest distinguishes any two states that
+        could diverge later.  Snapshot/restore itself does not rely on
+        this — it pickles the object wholesale — so an incomplete
+        summary weakens divergence *detection*, never resume fidelity.
+        """
+        return {
+            "algorithm": self.name,
+            "recorder": self.rec.state_summary() if self.rec is not None else None,
+            "extra": self._extra_state(),
+        }
+
+    def _extra_state(self) -> dict:
+        """Algorithm-specific mutable state folded into the digest."""
+        return {}
+
     def run(self, instance: ProblemInstance) -> OnlineRunResult:
         """Convenience: drive this algorithm with the standard engine."""
         from ..sim.engine import run_online

@@ -107,6 +107,15 @@ class SpeculativeCachingResilient(SpeculativeCaching):
         else:
             self._maintain_replicas(t)
 
+    def _extra_state(self) -> dict:
+        """SC state plus the resilience knobs resolved at ``_setup``."""
+        extra = super()._extra_state()
+        extra["replicas"] = self.replicas
+        extra["max_retries"] = self.max_retries
+        extra["reseed_cost"] = getattr(self, "_reseed_cost", None)
+        extra["drop_cost"] = getattr(self, "_drop_cost", None)
+        return extra
+
     # -- liveness helpers ----------------------------------------------------------
 
     def _is_up(self, server: int) -> bool:

@@ -93,6 +93,23 @@ class SpeculativeCaching(OnlineAlgorithm):
         self.rec.copy_created(self.origin, self.t0, created_by="initial")
         self._arm(self.origin, self.t0)
 
+    def _extra_state(self) -> dict:
+        """Expose the SC state machine to the runtime state digest.
+
+        Everything that steers future decisions is here: the counter
+        array ``C`` (``expiry``), live/epoch counters, the last
+        requester, refresh causes, and the full expiration queue
+        (including its tie-break counter — pop order matters).
+        """
+        return {
+            "expiry": list(self.expiry),
+            "c": self.c,
+            "r": self.r,
+            "last_request_server": self.last_request_server,
+            "cause": {str(s): list(v) for s, v in sorted(self._cause.items())},
+            "queue": self.queue.state_summary(),
+        }
+
     def _window_for(self, server: int, now: float) -> float:
         """Window granted to ``server``'s copy at a refresh instant.
 

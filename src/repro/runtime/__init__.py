@@ -1,0 +1,41 @@
+"""repro.runtime — crash-safe, supervised execution of engine runs.
+
+The paper's engine is an event-ordered replay; this package makes any
+such run *killable, resumable and deadline-bounded*:
+
+* :mod:`~repro.runtime.journal` — a write-ahead JSONL event journal
+  (monotone sequence numbers, per-event state digests, torn-tail
+  recovery);
+* :mod:`~repro.runtime.snapshot` — atomic checkpoints of the full
+  engine + policy + fault-context state, including RNG streams and open
+  cache intervals;
+* :mod:`~repro.runtime.supervisor` — drives a run under wall-clock /
+  event-count budgets, pauses into a first-class degraded partial
+  result, and resumes from ``snapshot + journal tail`` bit-identically;
+* :mod:`~repro.runtime.digest` — the canonical state digests the other
+  three agree on.
+"""
+
+from .digest import canonical_json, digest_value, state_digest
+from .journal import JournalCorruptError, RunJournal
+from .snapshot import RunSnapshot, SnapshotIntegrityError
+from .supervisor import (
+    ResumeDivergenceError,
+    RunBudget,
+    SupervisedRun,
+    Supervisor,
+)
+
+__all__ = [
+    "JournalCorruptError",
+    "ResumeDivergenceError",
+    "RunBudget",
+    "RunJournal",
+    "RunSnapshot",
+    "SnapshotIntegrityError",
+    "SupervisedRun",
+    "Supervisor",
+    "canonical_json",
+    "digest_value",
+    "state_digest",
+]

@@ -1,0 +1,106 @@
+"""Checkpoints: full engine + policy + fault-context state snapshots.
+
+A :class:`RunSnapshot` captures a :class:`~repro.sim.engine.ReplayDriver`
+wholesale — algorithm timers and event queue, recorder ledger (including
+*open* cache intervals), fault context with its live RNG stream, retry
+and penalty ledgers, and the driver's stream position — by pickling the
+driver object graph.  Restoring the pickle in a fresh process yields a
+driver that continues the run bit-identically; the recorded state digest
+lets the restorer verify integrity before trusting it.
+
+Snapshots are written atomically (temp file + ``os.replace``) so a kill
+during checkpointing can never destroy the previous good snapshot.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+
+from ..sim.engine import ReplayDriver
+from .digest import state_digest
+
+__all__ = ["RunSnapshot", "SnapshotIntegrityError"]
+
+#: Format marker so a future layout change fails loudly, not weirdly.
+_FORMAT = "repro-runtime-snapshot-v1"
+
+
+class SnapshotIntegrityError(RuntimeError):
+    """A restored snapshot does not reproduce its recorded digest."""
+
+
+@dataclass
+class RunSnapshot:
+    """One durable checkpoint of a run.
+
+    Attributes
+    ----------
+    seq:
+        Sequence number (events delivered) at capture time.
+    digest:
+        State digest at capture time.
+    blob:
+        Pickled driver.
+    """
+
+    seq: int
+    digest: str
+    blob: bytes
+
+    @classmethod
+    def capture(cls, driver: ReplayDriver) -> "RunSnapshot":
+        """Snapshot ``driver`` between two steps."""
+        if driver.finished:
+            raise RuntimeError("cannot snapshot a finalised run")
+        return cls(
+            seq=driver.pos,
+            digest=state_digest(driver),
+            blob=pickle.dumps(driver, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    def restore(self) -> ReplayDriver:
+        """Rebuild the driver and verify it against the recorded digest."""
+        driver = pickle.loads(self.blob)
+        got = state_digest(driver)
+        if got != self.digest or driver.pos != self.seq:
+            raise SnapshotIntegrityError(
+                f"restored state digest {got} at seq {driver.pos} does not "
+                f"match snapshot ({self.digest} at seq {self.seq})"
+            )
+        return driver
+
+    # -- persistence ----------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Atomically write the snapshot to ``path``."""
+        payload = {
+            "format": _FORMAT,
+            "seq": self.seq,
+            "digest": self.digest,
+            "blob": self.blob,
+        }
+        tmp = f"{path}.tmp"
+        with open(tmp, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path: str) -> "RunSnapshot":
+        """Read a snapshot written by :meth:`save`."""
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+            raise SnapshotIntegrityError(
+                f"{path}: not a {_FORMAT} file"
+            )
+        return cls(
+            seq=payload["seq"], digest=payload["digest"], blob=payload["blob"]
+        )
+
+    def size_bytes(self) -> int:
+        """Pickled payload size (diagnostics)."""
+        return len(self.blob)

@@ -50,6 +50,8 @@ def validate_schedule(
     require_standard_form: bool = False,
     require_minimal: bool = False,
     allowed_gaps: Optional[Sequence[Tuple[float, float]]] = None,
+    upto: Optional[float] = None,
+    upto_request: Optional[int] = None,
 ) -> None:
     """Raise :class:`InvalidScheduleError` unless ``schedule`` is feasible.
 
@@ -71,17 +73,39 @@ def validate_schedule(
         excused, requests inside one may be unserved, and intervals
         starting inside one are custody-grounded (re-seeded from the
         origin store).
+    upto:
+        Validate only the run prefix up to this instant: coverage is
+        required over ``[t_0, upto]`` and only requests with
+        ``t_i <= upto`` must be served.  This is how degraded partial
+        results from deadline-exhausted supervised runs
+        (:mod:`repro.runtime`) are checked — the completed prefix obeys
+        the full obligations, the unexecuted suffix imposes none.
+    upto_request:
+        Validate service only for requests ``r_1..r_{upto_request}``.
+        A time horizon alone cannot express a run killed *between*
+        equal-instant events (e.g. a recovery and a request sharing
+        ``t_n``): the undelivered request sits exactly at ``upto``, so
+        the engine reports the delivered-request count and partials are
+        checked against it.
     """
     canon = schedule.canonical()
     intervals = canon.intervals
     transfers = canon.transfers
     t0, tn = float(instance.t[0]), float(instance.t[-1])
+    if upto is not None:
+        if upto < t0 - _TOL:
+            raise InvalidScheduleError(
+                f"prefix horizon upto={upto} precedes t_0={t0}"
+            )
+        tn = min(tn, upto)
     allowed = sorted(allowed_gaps) if allowed_gaps else []
 
     _check_bounds(intervals, transfers, instance)
     _check_coverage(canon, t0, tn, allowed)
     grounded = _check_custody(intervals, transfers, instance, allowed)
-    _check_service(canon, instance, grounded, allowed)
+    _check_service(
+        canon, instance, grounded, allowed, upto=upto, upto_request=upto_request
+    )
     if require_standard_form and not is_standard_form(canon, instance):
         raise InvalidScheduleError("schedule is not in standard form")
     if require_minimal:
@@ -232,6 +256,8 @@ def _check_service(
     instance: ProblemInstance,
     grounded: Dict[Tuple[int, float], CacheInterval],
     allowed: Optional[List[Tuple[float, float]]] = None,
+    upto: Optional[float] = None,
+    upto_request: Optional[int] = None,
 ) -> None:
     allowed = allowed or []
     transfers_by_dst: Dict[int, List[Transfer]] = {}
@@ -239,6 +265,10 @@ def _check_service(
         transfers_by_dst.setdefault(tr.dst, []).append(tr)
     for i in range(1, instance.n + 1):
         s, t = int(instance.srv[i]), float(instance.t[i])
+        if upto_request is not None and i > upto_request:
+            continue  # never delivered to the algorithm: no obligation
+        if upto is not None and t > upto + _TOL:
+            continue  # past the validated prefix: no obligation
         if schedule.covers(s, t):
             continue
         if any(_near(tr.time, t) for tr in transfers_by_dst.get(s, [])):

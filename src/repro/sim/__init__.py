@@ -1,6 +1,12 @@
 """Discrete-event simulation substrate for the online algorithms."""
 
-from .engine import run_online, run_online_faulty
+from .engine import (
+    ReplayDriver,
+    ReplayEvent,
+    merged_event_stream,
+    run_online,
+    run_online_faulty,
+)
 from .events import Event, EventQueue
 from .recorder import CopyLifetime, OnlineRunResult, RunRecorder
 
@@ -9,7 +15,10 @@ __all__ = [
     "Event",
     "EventQueue",
     "OnlineRunResult",
+    "ReplayDriver",
+    "ReplayEvent",
     "RunRecorder",
+    "merged_event_stream",
     "run_online",
     "run_online_faulty",
 ]

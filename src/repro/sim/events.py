@@ -16,7 +16,6 @@ could occur at the same time").
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
@@ -53,11 +52,16 @@ class EventQueue:
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
-        self._counter = itertools.count()
+        # Explicit integer counter (not itertools.count) so queue state is
+        # fully introspectable: checkpoint/restore and the state-digest
+        # machinery of :mod:`repro.runtime` must capture the tie-break
+        # sequence exactly to reproduce pop order after a resume.
+        self._counter = 0
 
     def push(self, time: float, kind: str = "expire", server: int = -1) -> Event:
         """Schedule an event; returns the stored entry."""
-        ev = Event(time=time, seq=next(self._counter), kind=kind, server=server)
+        ev = Event(time=time, seq=self._counter, kind=kind, server=server)
+        self._counter += 1
         heapq.heappush(self._heap, ev)
         return ev
 
@@ -103,3 +107,17 @@ class EventQueue:
     def clear(self) -> None:
         """Drop all entries."""
         self._heap.clear()
+
+    def state_summary(self) -> dict:
+        """Canonical plain-data view of the queue for state digests.
+
+        Includes *stale* entries and the tie-break counter: both influence
+        future pop order, so two queues must agree on them for a resumed
+        run to replay bit-identically.
+        """
+        return {
+            "counter": self._counter,
+            "heap": sorted(
+                (ev.time, ev.seq, ev.kind, ev.server) for ev in self._heap
+            ),
+        }

@@ -171,6 +171,33 @@ class RunRecorder:
         self.counters["transfers"] += 1
         return len(self.transfers) - 1
 
+    # -- introspection ----------------------------------------------------------------
+
+    def state_summary(self) -> dict:
+        """Canonical plain-data view of the ledger for state digests.
+
+        Captures every mutable field — open and closed lifetimes,
+        transfers, counters — so the digest of a restored run can only
+        match the original if the recorded history is bit-identical.
+        """
+        return {
+            "counters": dict(self.counters),
+            "transfers": [list(t) for t in self.transfers],
+            "open": self.open_servers(),
+            "lifetimes": [
+                [
+                    life.server,
+                    life.start,
+                    life.end,
+                    life.last_refresh,
+                    life.created_by,
+                    life.transfer_index,
+                    life.ended_by,
+                ]
+                for life in self.lifetimes
+            ],
+        }
+
     # -- finalisation ----------------------------------------------------------------
 
     def finalize(self, t_end: float, algorithm: str) -> OnlineRunResult:

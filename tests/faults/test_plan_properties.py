@@ -1,0 +1,87 @@
+"""Property tests for outage-window merging (``FaultPlan`` construction).
+
+Merging is the invariant everything downstream leans on: ``events()``
+emits alternating crash/recover pairs per server only because
+construction collapses overlapping *and touching* windows.  The
+strategies deliberately generate touching (``end == next start``) and
+zero-length (``start == end``) outages — the boundary shapes a uniform
+random draw would almost never produce.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro import FaultPlan, Outage
+
+# Times on a coarse grid so touching/equal endpoints are common, plus
+# exact-float arithmetic (k/4) so half-open semantics are testable.
+_grid = st.integers(min_value=0, max_value=40).map(lambda k: k / 4.0)
+
+
+@st.composite
+def outage_lists(draw, max_servers=3, max_outages=8):
+    outages = []
+    for _ in range(draw(st.integers(min_value=0, max_value=max_outages))):
+        server = draw(st.integers(min_value=0, max_value=max_servers - 1))
+        a = draw(_grid)
+        b = draw(_grid)
+        lo, hi = min(a, b), max(a, b)  # zero-length allowed (lo == hi)
+        outages.append(Outage(server, lo, hi))
+    return outages
+
+
+@given(outage_lists())
+def test_merged_windows_are_disjoint_and_sorted(outages):
+    plan = FaultPlan(outages=tuple(outages))
+    per_server = {}
+    for o in plan.outages:
+        per_server.setdefault(o.server, []).append(o)
+    for server, windows in per_server.items():
+        assert windows == sorted(windows, key=lambda o: o.start)
+        for prev, nxt in zip(windows, windows[1:]):
+            # Strictly apart: touching windows would have been merged.
+            assert prev.end < nxt.start
+
+
+@given(outage_lists())
+def test_merge_is_idempotent(outages):
+    once = FaultPlan(outages=tuple(outages))
+    twice = FaultPlan(outages=once.outages)
+    assert once.outages == twice.outages
+
+
+@given(outage_lists())
+def test_merge_preserves_downtime_pointwise(outages):
+    """Merging changes representation, never the down-set."""
+    plan = FaultPlan(outages=tuple(outages))
+    servers = {o.server for o in outages}
+    # Probe on a finer grid than the generator's, hitting every boundary
+    # and every midpoint between adjacent grid points.
+    probes = [k / 8.0 for k in range(0, 81)]
+    for s in servers:
+        raw = [o for o in outages if o.server == s]
+        for t in probes:
+            raw_down = any(o.covers(t) for o in raw)
+            assert plan.is_up(s, t) == (not raw_down)
+
+
+@given(outage_lists())
+def test_events_alternate_per_server(outages):
+    plan = FaultPlan(outages=tuple(outages))
+    per_server = {}
+    for ev in plan.events():
+        per_server.setdefault(ev.server, []).append(ev.kind)
+    for kinds in per_server.values():
+        # Merged windows emit strict crash/recover alternation.
+        assert kinds[::2] == ["crash"] * len(kinds[::2])
+        assert kinds[1::2] == ["recover"] * len(kinds[1::2])
+
+
+@given(outage_lists())
+def test_zero_length_outages_emit_no_events(outages):
+    # A zero-width window that survives merging (isolated on its server)
+    # must not surface as a crash/recover pair — the server never went
+    # down for any measurable time.
+    plan = FaultPlan(outages=tuple(outages))
+    zero = {(o.server, o.start) for o in plan.outages if o.start == o.end}
+    for ev in plan.events():
+        assert (ev.server, ev.time) not in zero

@@ -1,0 +1,81 @@
+"""Cross-process determinism: a fresh interpreter reproduces a run.
+
+The determinism claim behind the whole runtime layer — journal digests,
+snapshot resume, chaos replay — is that a (policy config, instance,
+plan) triple fully determines the run, with no hidden process state
+(hash randomisation, import order, RNG defaults) leaking in.  The only
+honest way to test that is to actually re-execute in a fresh interpreter
+and compare the canonical JSON of cost, schedule, blackouts and fault
+log byte-for-byte.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+#: The scenario, shared verbatim by the in-process and fresh-process
+#: runs: defines ``summary_json()`` returning the canonical run summary.
+_SCENARIO = """
+from repro import FaultPlan, SpeculativeCachingResilient
+from repro.sim.engine import run_online_faulty
+from repro.workloads import poisson_zipf_instance
+from repro.runtime.digest import canonical_json
+
+def summary_json():
+    inst = poisson_zipf_instance(n=40, m=4, rate=2.0, zipf_s=0.8, rng=9)
+    plan = FaultPlan.generate(
+        seed=4,
+        num_servers=4,
+        start=float(inst.t[0]),
+        end=float(inst.t[-1]),
+        crash_rate=2.0,
+        mean_outage=0.15,
+        loss_rate=0.3,
+    )
+    res = run_online_faulty(
+        SpeculativeCachingResilient(replicas=2, max_retries=2), inst, plan
+    )
+    canon = res.schedule.canonical()
+    return canonical_json(
+        {
+            "cost": res.cost,
+            "intervals": [[iv.server, iv.start, iv.end] for iv in canon.intervals],
+            "transfers": [[tr.src, tr.dst, tr.time] for tr in canon.transfers],
+            "blackouts": [list(b) for b in res.blackouts],
+            "penalties": res.penalties,
+            "fault_log": [list(e) for e in res.fault_log],
+            "retry_latency": res.retry_latency,
+        }
+    )
+"""
+
+
+def _in_process():
+    ns = {}
+    exec(_SCENARIO, ns)
+    return ns["summary_json"]()
+
+
+def _fresh_process():
+    repo = Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(repo / "src")
+    out = subprocess.run(
+        [sys.executable, "-c", _SCENARIO + "\nprint(summary_json())"],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(repo),
+        timeout=120,
+    )
+    assert out.returncode == 0, out.stderr
+    return out.stdout.strip()
+
+
+def test_fresh_interpreter_reproduces_the_run_byte_for_byte():
+    assert _in_process() == _fresh_process()
+
+
+def test_in_process_rerun_is_identical_too():
+    assert _in_process() == _in_process()

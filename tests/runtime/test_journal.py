@@ -1,0 +1,105 @@
+"""Write-ahead journal: append/load round-trips and WAL recovery."""
+
+import json
+
+import pytest
+
+from repro.runtime.journal import JournalCorruptError, RunJournal
+
+
+def _rec(seq, **extra):
+    base = {"seq": seq, "kind": "request", "time": float(seq), "digest": f"d{seq}"}
+    base.update(extra)
+    return base
+
+
+class TestInMemory:
+    def test_appends_and_queries(self):
+        j = RunJournal.open_fresh(None)
+        for k in range(5):
+            assert j.append(_rec(k)) == k
+        assert len(j) == 5
+        assert j.last_seq == 4
+        assert j.record_at(3)["time"] == 3.0
+        assert j.record_at(99) is None
+        assert j.digests() == [f"d{k}" for k in range(5)]
+
+    def test_rejects_sequence_gap(self):
+        j = RunJournal.open_fresh(None)
+        j.append(_rec(0))
+        with pytest.raises(JournalCorruptError, match="non-contiguous"):
+            j.append(_rec(2))
+
+    def test_rejects_missing_digest(self):
+        j = RunJournal.open_fresh(None)
+        rec = _rec(0)
+        del rec["digest"]
+        with pytest.raises(JournalCorruptError, match="digest"):
+            j.append(rec)
+
+
+class TestFileBacked:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        j = RunJournal.open_fresh(path)
+        for k in range(7):
+            j.append(_rec(k))
+        j.close()
+        back = RunJournal.load(path)
+        assert back.records == j.records
+
+    def test_open_fresh_truncates(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        j = RunJournal.open_fresh(path)
+        j.append(_rec(0))
+        j.close()
+        j2 = RunJournal.open_fresh(path)
+        j2.append(_rec(0, digest="other"))
+        j2.close()
+        assert RunJournal.load(path).record_at(0)["digest"] == "other"
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        j = RunJournal.open_fresh(path)
+        for k in range(4):
+            j.append(_rec(k))
+        j.close()
+        raw = open(path).read().rstrip("\n")
+        torn = raw[: raw.rfind("{") + 20]  # cut the last record mid-JSON
+        open(path, "w").write(torn)
+        back = RunJournal.load(path)
+        assert back.last_seq == 2  # record 3 was torn, prefix survives
+
+    def test_load_rewrites_valid_prefix_after_torn_tail(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        j = RunJournal.open_fresh(path)
+        for k in range(3):
+            j.append(_rec(k))
+        j.close()
+        with open(path, "a") as fh:
+            fh.write('{"seq": 3, "kind": "requ')  # torn mid-append
+        back = RunJournal.load(path)
+        back.append(_rec(3))
+        back.close()
+        lines = [json.loads(l) for l in open(path).read().splitlines()]
+        assert [r["seq"] for r in lines] == [0, 1, 2, 3]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        j = RunJournal.open_fresh(path)
+        for k in range(3):
+            j.append(_rec(k))
+        j.close()
+        lines = open(path).read().splitlines()
+        lines[1] = '{"broken'
+        open(path, "w").write("\n".join(lines) + "\n")
+        with pytest.raises(JournalCorruptError, match="not the tail"):
+            RunJournal.load(path)
+
+    def test_sequence_gap_in_file_raises(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with open(path, "w") as fh:
+            fh.write(json.dumps(_rec(0)) + "\n")
+            fh.write(json.dumps(_rec(5)) + "\n")
+        with pytest.raises(JournalCorruptError, match="non-contiguous"):
+            RunJournal.load(path)

@@ -1,0 +1,193 @@
+"""Kill/resume equivalence matrix — the crash-safety acceptance test.
+
+For a grid of seeded (scenario, kill-point) pairs — at least 20,
+including kills inside fault blackouts and mid-retry-backoff — a run
+killed at an event boundary and resumed from ``snapshot + journal tail``
+must produce a final schedule, cost and fault log bit-identical to the
+uninterrupted run, with matching state digests at *every* journaled
+sequence number.
+"""
+
+import pytest
+
+from repro import (
+    FaultPlan,
+    Outage,
+    SpeculativeCachingResilient,
+)
+from repro.faults.chaos import _results_equal
+from repro.runtime import RunBudget, Supervisor
+from repro.schedule import validate_schedule
+from repro.sim.engine import ReplayDriver, merged_event_stream
+from repro.workloads import poisson_zipf_instance
+
+_TOL = 1e-9
+
+
+def factory():
+    # max_retries=4 keeps lossy transfers (loss_rate=0.3) from exhausting
+    # retries outside blackouts, so uninterrupted runs validate cleanly
+    # while still accruing retry backoff — the mid-backoff kill target.
+    return SpeculativeCachingResilient(replicas=2, max_retries=4)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return poisson_zipf_instance(n=50, m=4, rate=2.0, zipf_s=0.8, rng=21)
+
+
+@pytest.fixture(scope="module")
+def plans(instance):
+    t0, tn = float(instance.t[0]), float(instance.t[-1])
+    generated = [
+        FaultPlan.generate(
+            seed=seed,
+            num_servers=instance.num_servers,
+            start=t0,
+            end=tn,
+            crash_rate=2.0,
+            mean_outage=0.2,
+            loss_rate=0.3,
+        )
+        # Seeds chosen so every uninterrupted run validates and the
+        # family covers blackouts (1, 7, 13) and heavy retry traffic.
+        for seed in (1, 7, 13, 28)
+    ]
+    # One scripted all-down window: guarantees a nonzero blackout to
+    # kill inside, whatever the generated seeds happen to draw.
+    t = float(instance.t[20])
+    blackout_plan = FaultPlan(
+        outages=tuple(
+            Outage(s, t - 0.05, t + 0.4)
+            for s in range(instance.num_servers)
+        )
+    )
+    return generated + [blackout_plan]
+
+
+def _blackout_kill(stream, blackouts):
+    """Seq of the first event strictly inside a nonzero blackout."""
+    for a, b in blackouts:
+        if b - a <= _TOL:
+            continue
+        for k, ev in enumerate(stream):
+            if a + _TOL < ev.time < b - _TOL:
+                return k + 1
+    return None
+
+
+def _retry_kill(instance, plan):
+    """Seq right after the retry-latency ledger first grows (mid-backoff)."""
+    driver = ReplayDriver(factory(), instance, plan=plan)
+    prev = 0.0
+    while not driver.done:
+        driver.step()
+        if driver.ctx.retry_latency > prev and not driver.done:
+            return driver.pos
+        prev = driver.ctx.retry_latency
+    return None
+
+
+def _kill_points(instance, plan, reference):
+    stream = merged_event_stream(instance, plan)
+    total = len(stream)
+    points = {1, total // 3, (2 * total) // 3, total - 1}
+    tagged = {}
+    blackout = _blackout_kill(stream, reference.result.blackouts)
+    if blackout is not None:
+        points.add(blackout)
+        tagged["blackout"] = blackout
+    retry = _retry_kill(instance, plan)
+    if retry is not None:
+        points.add(retry)
+        tagged["retry"] = retry
+    return sorted(p for p in points if 0 < p < total), tagged
+
+
+class TestKillResumeMatrix:
+    def test_matrix_is_bit_identical(self, instance, plans, tmp_path):
+        pairs = 0
+        special = {"blackout": 0, "retry": 0}
+        for p, plan in enumerate(plans):
+            reference = Supervisor(factory, instance, plan=plan).run()
+            assert reference.completed
+            points, tagged = _kill_points(instance, plan, reference)
+            for kill in points:
+                paths = dict(
+                    journal_path=str(tmp_path / f"p{p}-k{kill}.jsonl"),
+                    snapshot_path=str(tmp_path / f"p{p}-k{kill}.ckpt"),
+                )
+                # Alternate pause shapes: graceful pause (checkpoint at
+                # the kill point) vs hard kill (resume from the last
+                # periodic checkpoint, re-executing the journal tail).
+                hard_kill = kill % 2 == 0
+                config = dict(
+                    snapshot_every=6,
+                    sync=False,
+                    checkpoint_on_pause=not hard_kill,
+                )
+                sup = Supervisor(
+                    factory, instance, plan=plan, **paths, **config
+                )
+                partial = sup.run(RunBudget(max_events=kill))
+                assert partial.degraded
+                assert partial.events_delivered == kill
+                validate_schedule(
+                    partial.result.schedule,
+                    instance,
+                    allowed_gaps=partial.result.allowed_gaps(),
+                    upto=partial.last_time,
+                    upto_request=partial.requests_delivered,
+                )
+                # A fresh supervisor object — as after a process death —
+                # resumes purely from the on-disk snapshot + journal.
+                fresh = Supervisor(
+                    factory, instance, plan=plan, **paths, **config
+                )
+                resumed = fresh.resume()
+                assert resumed.completed
+                if hard_kill:
+                    # Resumes from the last periodic boundary at or
+                    # before the kill — the tail gets re-executed.
+                    assert resumed.resumed_from_seq == (kill // 6) * 6
+                else:
+                    assert resumed.resumed_from_seq == kill
+                # Bit-identical outcome: schedule, cost, fault log ...
+                assert _results_equal(resumed.result, reference.result)
+                # ... and the state digest at EVERY sequence number.
+                assert resumed.digests == reference.digests
+                pairs += 1
+                for tag, seq in tagged.items():
+                    if seq == kill:
+                        special[tag] += 1
+        assert pairs >= 20, f"matrix too small: {pairs} pairs"
+        assert special["blackout"] >= 1, "no kill inside a fault blackout"
+        assert special["retry"] >= 1, "no kill mid-retry-backoff"
+
+    def test_double_kill_double_resume(self, instance, plans, tmp_path):
+        plan = plans[0]
+        reference = Supervisor(factory, instance, plan=plan).run()
+        total = reference.events_total
+        paths = dict(
+            journal_path=str(tmp_path / "double.jsonl"),
+            snapshot_path=str(tmp_path / "double.ckpt"),
+        )
+        sup = Supervisor(
+            factory, instance, plan=plan, snapshot_every=5, **paths
+        )
+        run = sup.run(RunBudget(max_events=total // 3))
+        assert run.degraded
+        # Second kill further along, then run to completion — each slice
+        # from a fresh supervisor (process restart each time).
+        sup2 = Supervisor(
+            factory, instance, plan=plan, snapshot_every=5, **paths
+        )
+        run = sup2.resume(RunBudget(max_events=(2 * total) // 3))
+        assert run.degraded
+        sup3 = Supervisor(
+            factory, instance, plan=plan, snapshot_every=5, **paths
+        )
+        run = sup3.resume()
+        assert run.completed
+        assert _results_equal(run.result, reference.result)
+        assert run.digests == reference.digests

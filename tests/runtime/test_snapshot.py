@@ -1,0 +1,119 @@
+"""Checkpoints: capture/restore fidelity and integrity checking."""
+
+import pytest
+
+from repro import FaultPlan, SpeculativeCaching, SpeculativeCachingResilient
+from repro.runtime.digest import state_digest
+from repro.runtime.snapshot import RunSnapshot, SnapshotIntegrityError
+from repro.sim.engine import ReplayDriver
+from repro.workloads import poisson_zipf_instance
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    inst = poisson_zipf_instance(n=40, m=4, rate=2.0, zipf_s=0.8, rng=9)
+    plan = FaultPlan.generate(
+        seed=4,
+        num_servers=4,
+        start=float(inst.t[0]),
+        end=float(inst.t[-1]),
+        crash_rate=2.0,
+        mean_outage=0.15,
+        loss_rate=0.3,
+    )
+    return inst, plan
+
+
+def _driver(scenario):
+    inst, plan = scenario
+    return ReplayDriver(
+        SpeculativeCachingResilient(replicas=2, max_retries=2), inst, plan=plan
+    )
+
+
+class TestCaptureRestore:
+    def test_restored_driver_matches_digest_and_position(self, scenario):
+        driver = _driver(scenario)
+        for _ in range(7):
+            driver.step()
+        snap = RunSnapshot.capture(driver)
+        assert snap.seq == 7
+        restored = snap.restore()
+        assert restored.pos == 7
+        assert state_digest(restored) == state_digest(driver)
+
+    def test_restored_driver_finishes_identically(self, scenario):
+        reference = _driver(scenario)
+        while not reference.done:
+            reference.step()
+        ref = reference.finish()
+
+        driver = _driver(scenario)
+        for _ in range(11):
+            driver.step()
+        restored = RunSnapshot.capture(driver).restore()
+        while not restored.done:
+            restored.step()
+        res = restored.finish()
+        assert res.cost == ref.cost
+        assert res.schedule == ref.schedule
+        assert res.fault_log == ref.fault_log
+        assert res.blackouts == ref.blackouts
+
+    def test_cannot_snapshot_finalised_run(self, scenario):
+        driver = _driver(scenario)
+        while not driver.done:
+            driver.step()
+        driver.finish()
+        with pytest.raises(RuntimeError, match="finalised"):
+            RunSnapshot.capture(driver)
+
+    def test_plain_run_without_faults_snapshots_too(self, scenario):
+        inst, _ = scenario
+        driver = ReplayDriver(SpeculativeCaching(), inst)
+        for _ in range(5):
+            driver.step()
+        restored = RunSnapshot.capture(driver).restore()
+        assert state_digest(restored) == state_digest(driver)
+
+
+class TestIntegrity:
+    def test_tampered_blob_raises(self, scenario):
+        driver = _driver(scenario)
+        driver.step()
+        snap = RunSnapshot.capture(driver)
+        other = _driver(scenario)  # fresh driver, pos 0: different state
+        bad = RunSnapshot(seq=snap.seq, digest=snap.digest, blob=RunSnapshot.capture(other).blob)
+        with pytest.raises(SnapshotIntegrityError):
+            bad.restore()
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, scenario, tmp_path):
+        driver = _driver(scenario)
+        for _ in range(9):
+            driver.step()
+        snap = RunSnapshot.capture(driver)
+        path = str(tmp_path / "ckpt.bin")
+        snap.save(path)
+        back = RunSnapshot.load(path)
+        assert back.seq == snap.seq
+        assert back.digest == snap.digest
+        assert state_digest(back.restore()) == snap.digest
+        assert back.size_bytes() == snap.size_bytes() > 0
+
+    def test_save_is_atomic_no_tmp_left_behind(self, scenario, tmp_path):
+        driver = _driver(scenario)
+        driver.step()
+        path = tmp_path / "ckpt.bin"
+        RunSnapshot.capture(driver).save(str(path))
+        assert path.exists()
+        assert not (tmp_path / "ckpt.bin.tmp").exists()
+
+    def test_load_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        import pickle
+
+        path.write_bytes(pickle.dumps({"format": "something-else"}))
+        with pytest.raises(SnapshotIntegrityError, match="not a"):
+            RunSnapshot.load(str(path))

@@ -1,0 +1,182 @@
+"""Supervisor: budgets, degraded partials, journaling, basic resume."""
+
+import pytest
+
+from repro import FaultPlan, SpeculativeCaching, SpeculativeCachingResilient
+from repro.faults.chaos import _results_equal
+from repro.runtime import RunBudget, Supervisor
+from repro.schedule import validate_schedule
+from repro.sim.engine import run_online_faulty
+from repro.workloads import poisson_zipf_instance
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    inst = poisson_zipf_instance(n=50, m=4, rate=2.0, zipf_s=0.8, rng=21)
+    plan = FaultPlan.generate(
+        seed=13,
+        num_servers=4,
+        start=float(inst.t[0]),
+        end=float(inst.t[-1]),
+        crash_rate=2.0,
+        mean_outage=0.15,
+        loss_rate=0.3,
+    )
+    return inst, plan
+
+
+def factory():
+    return SpeculativeCachingResilient(replicas=2, max_retries=2)
+
+
+def supervisor(scenario, **kwargs):
+    inst, plan = scenario
+    return Supervisor(factory, inst, plan=plan, **kwargs)
+
+
+class TestBudget:
+    def test_negative_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            RunBudget(max_events=-1)
+        with pytest.raises(ValueError):
+            RunBudget(max_seconds=-0.5)
+
+    def test_snapshot_every_validated(self, scenario):
+        with pytest.raises(ValueError, match="snapshot_every"):
+            supervisor(scenario, snapshot_every=0)
+
+
+class TestCompletedRun:
+    def test_unbudgeted_run_matches_monolithic_driver(self, scenario):
+        inst, plan = scenario
+        reference = run_online_faulty(factory(), inst, plan)
+        run = supervisor(scenario).run()
+        assert run.completed and not run.degraded
+        assert run.completion_fraction == 1.0
+        assert run.events_delivered == run.events_total
+        assert _results_equal(run.result, reference)
+
+    def test_journal_covers_every_sequence_number(self, scenario):
+        run = supervisor(scenario).run()
+        # begin + one record per event + finish
+        assert run.last_seq == run.events_total + 1
+        assert len(run.digests) == run.events_total + 2
+
+    def test_plain_run_without_faults(self, scenario):
+        inst, _ = scenario
+        sup = Supervisor(SpeculativeCaching, inst)
+        run = sup.run()
+        assert run.completed
+        validate_schedule(run.result.schedule, inst)
+
+
+class TestDeadlineDegradation:
+    def test_event_deadline_returns_degraded_partial(self, scenario):
+        inst, plan = scenario
+        run = supervisor(scenario).run(RunBudget(max_events=15))
+        assert run.degraded and not run.completed
+        assert run.events_delivered == 15
+        assert 0.0 < run.completion_fraction < 1.0
+        assert run.completion_fraction == 15 / run.events_total
+        # The prefix schedule validates up to the last delivered instant.
+        validate_schedule(
+            run.result.schedule,
+            inst,
+            allowed_gaps=run.result.allowed_gaps(),
+            upto=run.last_time,
+            upto_request=run.requests_delivered,
+        )
+
+    def test_deadline_never_raises_for_any_kill_point(self, scenario):
+        inst, plan = scenario
+        total = supervisor(scenario).run().events_total
+        for kill in (1, total // 4, total // 2, total - 1):
+            run = supervisor(scenario).run(RunBudget(max_events=kill))
+            assert run.degraded
+            assert run.events_delivered == kill
+            validate_schedule(
+                run.result.schedule,
+                inst,
+                allowed_gaps=run.result.allowed_gaps(),
+                upto=run.last_time,
+                upto_request=run.requests_delivered,
+            )
+
+    def test_zero_event_budget_delivers_nothing(self, scenario):
+        run = supervisor(scenario).run(RunBudget(max_events=0))
+        assert run.degraded
+        assert run.events_delivered == 0
+        inst, _ = scenario
+        assert run.last_time == float(inst.t[0])
+
+    def test_wall_clock_deadline_pauses(self, scenario):
+        # A zero-second allowance expires before the first step.
+        run = supervisor(scenario).run(RunBudget(max_seconds=0.0))
+        assert run.degraded
+        assert run.events_delivered == 0
+
+    def test_wall_clock_affects_where_not_what(self, scenario):
+        # Pausing on wall-clock then resuming yields the same final
+        # result as never pausing: time budgets shape execution, not
+        # simulated outcomes.
+        reference = supervisor(scenario).run()
+        sup = supervisor(scenario)
+        run = sup.run(RunBudget(max_seconds=0.0))
+        while not run.completed:
+            run = sup.resume(RunBudget(max_events=run.events_delivered + 10))
+        assert _results_equal(run.result, reference.result)
+        assert run.digests == reference.digests
+
+
+class TestResume:
+    def test_resume_without_state_raises(self, scenario):
+        with pytest.raises(RuntimeError, match="nothing to resume"):
+            supervisor(scenario).resume()
+
+    def test_in_memory_kill_resume_is_bit_identical(self, scenario):
+        reference = supervisor(scenario).run()
+        sup = supervisor(scenario)
+        partial = sup.run(RunBudget(max_events=20))
+        assert partial.degraded
+        resumed = sup.resume()
+        assert resumed.completed
+        assert resumed.resumed_from_seq == 20  # checkpoint-on-pause default
+        assert _results_equal(resumed.result, reference.result)
+        assert resumed.digests == reference.digests
+
+    def test_multi_slice_execution(self, scenario):
+        reference = supervisor(scenario).run()
+        sup = supervisor(scenario)
+        run = sup.run(RunBudget(max_events=10))
+        slices = 1
+        while not run.completed:
+            run = sup.resume(RunBudget(max_events=run.events_delivered + 10))
+            slices += 1
+        assert slices >= 3
+        assert _results_equal(run.result, reference.result)
+
+    def test_file_backed_resume_from_periodic_checkpoint(self, scenario, tmp_path):
+        # checkpoint_on_pause=False leaves the last periodic snapshot as
+        # the resume point — the state a hard kill leaves behind — so the
+        # journal tail must be genuinely re-executed and digest-verified.
+        reference = supervisor(scenario).run()
+        paths = dict(
+            journal_path=str(tmp_path / "run.jsonl"),
+            snapshot_path=str(tmp_path / "run.ckpt"),
+        )
+        sup = supervisor(
+            scenario, snapshot_every=8, checkpoint_on_pause=False, **paths
+        )
+        partial = sup.run(RunBudget(max_events=13))
+        assert partial.degraded
+
+        # A fresh supervisor object (as after a process restart) resumes
+        # purely from the on-disk snapshot + journal.
+        fresh = supervisor(
+            scenario, snapshot_every=8, checkpoint_on_pause=False, **paths
+        )
+        resumed = fresh.resume()
+        assert resumed.completed
+        assert resumed.resumed_from_seq == 8  # last periodic boundary
+        assert _results_equal(resumed.result, reference.result)
+        assert resumed.digests == reference.digests

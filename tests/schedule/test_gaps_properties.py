@@ -1,0 +1,94 @@
+"""Property tests for coverage-gap computation (``Schedule.gaps``).
+
+Gaps are the complement of the merged interval union over the horizon —
+the single source of truth for both feasibility (condition 1) and
+blackout detection.  The strategies force the shapes blackout logic
+trips over: touching intervals (no gap between them), zero-length
+intervals (cover a point, not a span), and intervals clipped by the
+horizon.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.core.types import CacheInterval
+from repro.schedule.schedule import Schedule, coverage_gaps, merge_intervals
+
+_grid = st.integers(min_value=0, max_value=40).map(lambda k: k / 4.0)
+
+
+@st.composite
+def interval_lists(draw, max_servers=3, max_intervals=8):
+    ivs = []
+    for _ in range(draw(st.integers(min_value=0, max_value=max_intervals))):
+        server = draw(st.integers(min_value=0, max_value=max_servers - 1))
+        a, b = draw(_grid), draw(_grid)
+        lo, hi = min(a, b), max(a, b)  # zero-length allowed
+        ivs.append(CacheInterval(server, lo, hi))
+    return ivs
+
+
+@st.composite
+def horizons(draw):
+    a, b = draw(_grid), draw(_grid)
+    lo, hi = min(a, b), max(a, b)
+    return lo, hi + 0.25  # nonempty horizon
+
+
+@given(interval_lists(), horizons())
+def test_gaps_are_exact_coverage_complement(ivs, horizon):
+    start, end = horizon
+    schedule = Schedule(intervals=ivs)
+    gaps = schedule.gaps(start, end)
+    # Probe midpoints of a fine grid: inside a gap iff no interval covers.
+    probes = [start + (end - start) * k / 64.0 for k in range(1, 64)]
+    for t in probes:
+        covered = any(iv.start <= t <= iv.end for iv in ivs)
+        in_gap = any(a < t < b for a, b in gaps)
+        if covered:
+            assert not in_gap
+        elif all(abs(t - e) > 1e-12 for iv in ivs for e in (iv.start, iv.end)):
+            assert in_gap
+
+
+@given(interval_lists(), horizons())
+def test_gaps_are_disjoint_sorted_nonzero(ivs, horizon):
+    start, end = horizon
+    gaps = Schedule(intervals=ivs).gaps(start, end)
+    for a, b in gaps:
+        assert start <= a < b <= end  # no zero-width gaps, clipped
+    for (a1, b1), (a2, b2) in zip(gaps, gaps[1:]):
+        assert b1 <= a2  # sorted, non-overlapping
+        if b1 == a2:
+            # Gaps touch only where a zero-length interval splits the
+            # uncovered span at a single covered point.
+            assert any(iv.start == b1 == iv.end for iv in ivs)
+
+
+@given(interval_lists(), horizons())
+def test_touching_intervals_leave_no_gap(ivs, horizon):
+    start, end = horizon
+    merged = merge_intervals(ivs)
+    gaps = coverage_gaps(merged, start, end)
+    # No gap endpoint may fall strictly inside any interval's span.
+    for a, b in gaps:
+        for iv in ivs:
+            assert not (iv.start < a < iv.end)
+            assert not (iv.start < b < iv.end)
+
+
+def test_touching_chain_covers_seamlessly():
+    # Deterministic pin of the touching case: [0,1] + [1,2] on different
+    # servers leaves no gap at the seam.
+    ivs = [CacheInterval(0, 0.0, 1.0), CacheInterval(1, 1.0, 2.0)]
+    assert Schedule(intervals=ivs).gaps(0.0, 2.0) == []
+
+
+def test_zero_length_interval_is_a_point_not_a_span():
+    # A zero-length interval covers only its instant: the gap on either
+    # side survives, split at the point.
+    ivs = [CacheInterval(0, 1.0, 1.0)]
+    assert Schedule(intervals=ivs).gaps(0.0, 2.0) == [(0.0, 1.0), (1.0, 2.0)]
+
+
+def test_full_horizon_gap_when_empty():
+    assert Schedule(intervals=[]).gaps(0.0, 3.0) == [(0.0, 3.0)]

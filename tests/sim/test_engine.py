@@ -100,3 +100,77 @@ class TestTimestampValidation:
         bogus = SimpleNamespace(t=[[0.0, 1.0]], n=1)
         with pytest.raises(ValueError, match="flat array"):
             run_online(Probe(), bogus)
+
+
+class TestEqualInstantTieBreak:
+    """Regression pin for the delivery order at equal instants.
+
+    The contract (module docstring of ``repro.sim.engine``): at one
+    instant, recoveries land first, then crashes, then requests — a
+    crash coinciding with a request strikes *before* the request, and a
+    server recovering at that instant is usable immediately.  Stable
+    within kind: requests by index, fault events in plan order.
+    """
+
+    def _scenario(self):
+        from repro import FaultPlan, Outage
+
+        inst = make_instance([1.0, 2.0, 3.0, 4.0], [0, 1, 0, 2], m=3)
+        # At t=2.0: server 2 recovers (outage ends) AND server 0 crashes
+        # (outage starts), coinciding with request r_2 on server 1.
+        plan = FaultPlan(
+            outages=(Outage(2, 1.2, 2.0), Outage(0, 2.0, 2.5))
+        )
+        return inst, plan
+
+    def test_merged_stream_orders_recover_crash_request(self):
+        from repro.sim.engine import merged_event_stream
+
+        inst, plan = self._scenario()
+        at_t2 = [ev for ev in merged_event_stream(inst, plan) if ev.time == 2.0]
+        assert [ev.kind for ev in at_t2] == ["recover", "crash", "request"]
+
+    def test_fault_log_reflects_delivery_order(self):
+        from repro import SpeculativeCachingResilient
+        from repro.sim.engine import run_online_faulty
+
+        inst, plan = self._scenario()
+        res = run_online_faulty(
+            SpeculativeCachingResilient(replicas=1, max_retries=2), inst, plan
+        )
+        at_t2 = [e for e in res.fault_log if e[1] == 2.0 and e[0] in ("crash", "recover")]
+        assert [e[0] for e in at_t2] == ["recover", "crash"]
+
+    def test_crash_at_request_time_beats_the_request(self):
+        from repro import FaultPlan, Outage, SpeculativeCachingResilient
+        from repro.sim.engine import run_online_faulty
+
+        # The origin (server 0, sole copy holder) dies exactly when r_2
+        # on server 1 arrives: the request must NOT be served from the
+        # dead server — SC-R re-seeds or drops, never reads a corpse.
+        inst = make_instance([1.0, 2.0, 3.0], [0, 1, 0], m=2)
+        plan = FaultPlan(outages=(Outage(0, 2.0, 2.2),))
+        res = run_online_faulty(
+            SpeculativeCachingResilient(replicas=1, max_retries=1), inst, plan
+        )
+        assert not any(
+            e[0] == "xfer-ok" and e[1] == 2.0 and e[2] == 0
+            for e in res.fault_log
+        )
+
+    def test_same_kind_keeps_source_order(self):
+        from repro import FaultPlan, Outage
+        from repro.sim.engine import merged_event_stream
+
+        inst = make_instance([1.0, 2.0, 3.0], [0, 1, 0], m=4)
+        plan = FaultPlan(
+            outages=(Outage(3, 2.0, 2.4), Outage(1, 2.0, 2.3))
+        )
+        crashes = [
+            ev.server
+            for ev in merged_event_stream(inst, plan)
+            if ev.kind == "crash" and ev.time == 2.0
+        ]
+        # FaultPlan.events emits per-server in sorted order; the stable
+        # sort must preserve it.
+        assert crashes == sorted(crashes)

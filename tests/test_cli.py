@@ -115,3 +115,97 @@ class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestChaos:
+    def test_clean_sweep_exits_zero(self, capsys):
+        rc = main(
+            ["chaos", "-n", "40", "-m", "4", "--scenarios", "3", "--seed", "7"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "all invariants held" in out
+
+    def test_kill_runner_flag_reports_equivalence(self, capsys):
+        rc = main(
+            [
+                "chaos", "-n", "40", "-m", "4", "--scenarios", "2",
+                "--seed", "7", "--kill-runner",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "kill/resume equivalence" in out
+        assert "kill-seq" in out
+
+    def test_violation_exits_nonzero_and_names_seed(self, capsys, monkeypatch):
+        # Force a failing sweep: the exit-code contract (1 = invariant
+        # violation) must hold regardless of how the violation arose.
+        from repro.faults import chaos as chaos_mod
+        from repro.faults.chaos import ChaosOutcome
+
+        def rigged(inst, plans, factory, **kwargs):
+            return [
+                ChaosOutcome(
+                    seed=plan.seed,
+                    result=None,
+                    crashes=0,
+                    cost=0.0,
+                    penalty=0.0,
+                    total_cost=0.0,
+                    blackouts=0,
+                    blackout_time=0.0,
+                    dropped=0,
+                    reseeds=0,
+                    violations=[f"seed {plan.seed}: rigged failure"],
+                )
+                for plan in plans
+            ]
+
+        monkeypatch.setattr(chaos_mod, "run_chaos_suite", rigged)
+        rc = main(["chaos", "-n", "20", "-m", "3", "--scenarios", "2"])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "INVARIANT VIOLATION" in captured.err
+        assert "2/2 scenarios FAILED" in captured.err
+        assert "FAIL" in captured.out  # status column in the report
+
+
+class TestSupervise:
+    _args = ["supervise", "-n", "30", "-m", "4", "--seed", "3"]
+
+    def test_complete_run_exits_zero(self, capsys):
+        assert main(self._args) == 0
+        out = capsys.readouterr().out
+        assert "COMPLETE" in out and "completion 100.0%" in out
+
+    def test_deadline_partial_exits_three(self, tmp_path, capsys):
+        j, s = str(tmp_path / "j.jsonl"), str(tmp_path / "s.ckpt")
+        rc = main(
+            self._args
+            + [
+                "--crash-rate", "1.0", "--deadline-events", "10",
+                "--journal", j, "--snapshot", s,
+            ]
+        )
+        assert rc == 3
+        out = capsys.readouterr().out
+        assert "PARTIAL" in out and "resume with --resume" in out
+
+    def test_resume_completes_after_partial(self, tmp_path, capsys):
+        j, s = str(tmp_path / "j.jsonl"), str(tmp_path / "s.ckpt")
+        faulty = self._args + ["--crash-rate", "1.0", "--journal", j, "--snapshot", s]
+        assert main(faulty + ["--deadline-events", "10"]) == 3
+        assert main(faulty + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "COMPLETE" in out
+
+    def test_resume_requires_both_paths(self, tmp_path, capsys):
+        rc = main(self._args + ["--resume", "--journal", str(tmp_path / "j")])
+        assert rc == 2
+        assert "--resume requires" in capsys.readouterr().err
+
+    def test_faults_require_fault_aware_policy(self, capsys):
+        rc = main(self._args + ["--policy", "sc", "--crash-rate", "1.0"])
+        assert rc == 2
+        assert "not fault-aware" in capsys.readouterr().err
