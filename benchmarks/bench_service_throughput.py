@@ -1,0 +1,179 @@
+"""P1 — sharded multi-item service throughput (items × processes).
+
+The first perf-trajectory benchmark: sweeps the sharded, process-parallel
+``solve_offline_multi`` over item counts and pool sizes, and writes the
+repo's first ``BENCH_service_throughput.json`` (at the repository root,
+next to the other top-level artefacts) plus a human-readable table under
+``benchmarks/out/``.
+
+Two hard checks ride along with the timings:
+
+* **bit-identity** — for every grid point the parallel total cost (and
+  the full per-item breakdown) must be *byte-identical* to the serial
+  one in the canonical JSON dump; sharding is a throughput knob, never a
+  semantics knob.  This is asserted unconditionally.
+* **speedup** — the 4-process solve of the ≥64-item workload must be
+  ≥2× the serial solve.  Asserted only when the machine actually has
+  ≥4 usable cores (a single-core CI box cannot speed anything up; the
+  JSON still records the measured ratio honestly).
+
+``SERVICE_BENCH_SMOKE=1`` shrinks the grid to seconds for CI smoke jobs
+(items=8, processes ∈ {1, 2}).
+"""
+
+import hashlib
+import json
+import os
+import pathlib
+import time
+
+from repro import (
+    MultiItemOnlineService,
+    SpeculativeCaching,
+    multi_item_workload,
+    solve_offline_multi,
+)
+from repro.analysis import format_table
+
+from _util import emit
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = ROOT / "BENCH_service_throughput.json"
+
+SMOKE = os.environ.get("SERVICE_BENCH_SMOKE") == "1"
+M = 24
+if SMOKE:
+    ITEM_GRID = [8]
+    PER_ITEM = 40
+    PROC_GRID = [1, 2]
+    REPEATS = 1
+else:
+    ITEM_GRID = [16, 96]
+    PER_ITEM = 1600
+    PROC_GRID = [1, 2, 4]
+    REPEATS = 2
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _canonical_costs(off) -> str:
+    """Canonical JSON dump of the full cost surface (byte-comparable)."""
+    return json.dumps(
+        {
+            "total": off.total_cost,
+            "per_item": {k: v for k, v in off.cost_breakdown().items()},
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def _best_of(fn, repeats):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_service_throughput(benchmark):
+    cpus = _usable_cpus()
+    rows, json_rows = [], []
+    for num_items in ITEM_GRID:
+        svc = multi_item_workload(
+            num_items, num_items * PER_ITEM, M, rng=num_items
+        )
+        t_serial, off_serial = _best_of(lambda: solve_offline_multi(svc), REPEATS)
+        canon_serial = _canonical_costs(off_serial)
+        for procs in PROC_GRID:
+            if procs == 1:
+                seconds, canon, match = t_serial, canon_serial, True
+            else:
+                t_par, off_par = _best_of(
+                    lambda: solve_offline_multi(svc, processes=procs), REPEATS
+                )
+                seconds = t_par
+                canon = _canonical_costs(off_par)
+                match = canon == canon_serial
+                # Semantics gate: sharding must never change a single byte
+                # of the cost surface, on any machine.
+                assert match, (
+                    f"parallel cost surface diverged at items={num_items}, "
+                    f"processes={procs}"
+                )
+            speedup = t_serial / seconds if seconds > 0 else float("inf")
+            rows.append(
+                {
+                    "items": num_items,
+                    "requests": svc.total_requests,
+                    "processes": procs,
+                    "seconds": seconds,
+                    "speedup": speedup,
+                    "costs == serial": "yes" if match else "NO",
+                }
+            )
+            json_rows.append(
+                {
+                    "items": num_items,
+                    "requests": svc.total_requests,
+                    "m": M,
+                    "processes": procs,
+                    "shards": procs,
+                    "seconds": seconds,
+                    "speedup_vs_serial": speedup,
+                    "costs_match_serial": match,
+                    "total_cost": off_serial.total_cost,
+                    "canonical_costs_sha": hashlib.sha256(
+                        canon.encode()
+                    ).hexdigest()[:16],
+                }
+            )
+    # Online serve identity ride-along: one grid point, pool vs serial.
+    svc_small = multi_item_workload(ITEM_GRID[0], ITEM_GRID[0] * 30, 8, rng=7)
+    serve_serial = MultiItemOnlineService(SpeculativeCaching).run(svc_small)
+    serve_par = MultiItemOnlineService(SpeculativeCaching).run(
+        svc_small, processes=2
+    )
+    assert serve_serial.total_cost == serve_par.total_cost
+    assert serve_serial.counters() == serve_par.counters()
+
+    payload = {
+        "benchmark": "service_throughput",
+        "grid": {"items": ITEM_GRID, "processes": PROC_GRID, "m": M},
+        "per_item_requests": PER_ITEM,
+        "repeats": REPEATS,
+        "smoke": SMOKE,
+        "usable_cpus": cpus,
+        "identity": "parallel cost surface byte-identical to serial "
+        "(canonical JSON dump compared per grid point)",
+        "rows": json_rows,
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    emit(
+        "service_throughput",
+        format_table(rows, precision=4),
+        header=f"P1: sharded multi-item solve throughput "
+        f"(m={M}, {PER_ITEM} req/item, {cpus} usable cpu(s), "
+        f"best of {REPEATS})",
+    )
+
+    # Perf gate: only meaningful where the hardware can parallelise.
+    if not SMOKE and cpus >= 4:
+        big = [
+            r
+            for r in json_rows
+            if r["items"] >= 64 and r["processes"] == 4
+        ]
+        assert big and all(r["speedup_vs_serial"] >= 2.0 for r in big), (
+            f"expected >=2x speedup at 4 processes on >=64 items, got "
+            f"{[r['speedup_vs_serial'] for r in big]}"
+        )
+
+    benchmark(lambda: solve_offline_multi(svc_small, processes=1).total_cost)

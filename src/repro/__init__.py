@@ -57,6 +57,7 @@ from .service import (
     MultiItemInstance,
     MultiItemOnlineService,
     multi_item_workload,
+    plan_shards,
     solve_offline_multi,
 )
 from .schedule import (
@@ -105,6 +106,7 @@ __all__ = [
     "StreamingSolver",
     "Transfer",
     "multi_item_workload",
+    "plan_shards",
     "solve_offline_multi",
     "double_transfer",
     "emulate",

@@ -17,6 +17,7 @@ conventions:
 
 from __future__ import annotations
 
+import functools
 import itertools
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
@@ -27,8 +28,25 @@ __all__ = ["parallel_map", "sweep_parallel", "ratio_study"]
 
 
 def _check_picklable_callable(fn: Callable) -> None:
-    name = getattr(fn, "__name__", "")
-    qualname = getattr(fn, "__qualname__", "")
+    """Fail fast on callables that cannot cross a process boundary.
+
+    ``functools.partial`` pickles by reference to its ``func``, and a bound
+    method pickles by reference to its underlying function — so a partial
+    over a lambda (or a method of a class defined inside a function) kills
+    the pool mid-run unless the wrapper chain is unwrapped here first.
+    """
+    root: Any = fn
+    while True:
+        if isinstance(root, functools.partial):
+            root = root.func
+            continue
+        underlying = getattr(root, "__func__", None)  # bound (class)methods
+        if underlying is not None and underlying is not root:
+            root = underlying
+            continue
+        break
+    name = getattr(root, "__name__", "")
+    qualname = getattr(root, "__qualname__", "")
     if name == "<lambda>" or "<locals>" in qualname:
         raise ValueError(
             f"{fn!r} cannot cross process boundaries; use a module-level "

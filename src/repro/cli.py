@@ -21,6 +21,11 @@ Subcommands
     Crash-safe replay under a deadline budget with a write-ahead journal
     and periodic checkpoints; ``--resume`` continues a killed run from
     ``snapshot + journal tail``.
+``service``
+    Solve (and with ``--policy``, serve) a multi-item trace through the
+    sharded service layer; ``--processes``/``--shards`` fan the per-item
+    work across a process pool with results bit-identical to serial
+    (``--verify-serial`` re-checks that on the spot).
 
 Exit-code contract (stable; scripts and CI may rely on it):
 
@@ -52,13 +57,19 @@ from .workloads.traces import TraceRecord, mine_instance, write_trace
 
 __all__ = ["main", "build_parser"]
 
+# Module-level factories (not lambdas) so `service --processes N` can ship
+# them into a process pool; each call still yields a fresh policy.
+def _predictive_factory() -> PredictiveCaching:
+    return PredictiveCaching(MarkovPredictor())
+
+
 _POLICIES = {
-    "sc": lambda: SpeculativeCaching(),
-    "sc-r": lambda: SpeculativeCachingResilient(),
-    "always-transfer": lambda: AlwaysTransfer(),
-    "never-delete": lambda: NeverDelete(),
-    "randomized-ttl": lambda: RandomizedTTL(),
-    "predictive": lambda: PredictiveCaching(MarkovPredictor()),
+    "sc": SpeculativeCaching,
+    "sc-r": SpeculativeCachingResilient,
+    "always-transfer": AlwaysTransfer,
+    "never-delete": NeverDelete,
+    "randomized-ttl": RandomizedTTL,
+    "predictive": _predictive_factory,
 }
 
 
@@ -181,6 +192,48 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument(
         "--resume", action="store_true",
         help="continue from --snapshot + --journal instead of starting fresh",
+    )
+
+    mp = sub.add_parser(
+        "service",
+        help="solve/serve a multi-item trace via the sharded service layer",
+    )
+    mp.add_argument(
+        "trace", nargs="?", default=None,
+        help="CSV trace path with an item column (omit for a synthetic "
+        "Zipf-over-items workload)",
+    )
+    mp.add_argument("--servers", type=int, default=None, help="fleet size m")
+    mp.add_argument("--items", type=int, default=16, help="synthetic item count")
+    mp.add_argument("-n", type=int, default=800, help="synthetic total requests")
+    mp.add_argument("-m", type=int, default=8, help="synthetic fleet size")
+    mp.add_argument(
+        "--item-zipf", type=float, default=1.0, help="synthetic item-volume skew"
+    )
+    mp.add_argument("--seed", type=int, default=0, help="synthetic workload seed")
+    mp.add_argument(
+        "--policy", choices=sorted(_POLICIES), default=None,
+        help="also serve the items online with this policy "
+        "(omit for off-line solve only)",
+    )
+    mp.add_argument(
+        "--processes", type=int, default=1,
+        help="process-pool size (1 = serial in-process)",
+    )
+    mp.add_argument(
+        "--shards", type=int, default=None,
+        help="shard count (default: one per process)",
+    )
+    mp.add_argument(
+        "--shard-strategy", choices=["size", "hash"], default="size",
+        help="item partitioning: size-balanced LPT or stable name hash",
+    )
+    mp.add_argument(
+        "--verify-serial", action="store_true",
+        help="re-solve serially and assert parallel results are identical",
+    )
+    mp.add_argument(
+        "--top", type=int, default=10, help="breakdown rows to print"
     )
 
     ep = sub.add_parser(
@@ -450,6 +503,100 @@ def _cmd_supervise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_service(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .analysis.tables import format_table
+    from .service import MultiItemInstance, MultiItemOnlineService
+    from .service import multi_item_workload, solve_offline_multi
+    from .workloads.traces import read_trace
+
+    cost = CostModel(mu=args.mu, lam=args.lam)
+    if args.trace is not None:
+        svc = MultiItemInstance.from_records(
+            read_trace(args.trace),
+            num_servers=args.servers,
+            cost=cost,
+            origin=args.origin,
+        )
+    else:
+        svc = multi_item_workload(
+            num_items=args.items,
+            n_total=args.n,
+            m=args.servers if args.servers is not None else args.m,
+            item_zipf=args.item_zipf,
+            cost=cost,
+            rng=args.seed,
+        )
+    print(f"service: {svc}")
+    off = solve_offline_multi(
+        svc,
+        processes=args.processes,
+        shards=args.shards,
+        shard_strategy=args.shard_strategy,
+    )
+    online = None
+    if args.policy is not None:
+        online = MultiItemOnlineService(_POLICIES[args.policy]).run(
+            svc,
+            processes=args.processes,
+            shards=args.shards,
+            shard_strategy=args.shard_strategy,
+        )
+    if args.verify_serial and args.processes > 1:
+        serial = solve_offline_multi(svc)
+        same = list(serial.per_item) == list(off.per_item) and all(
+            np.array_equal(serial.per_item[k].C, off.per_item[k].C)
+            for k in serial.per_item
+        )
+        if online is not None:
+            serial_on = MultiItemOnlineService(_POLICIES[args.policy]).run(svc)
+            same = same and (
+                serial_on.total_cost == online.total_cost
+                and serial_on.counters() == online.counters()
+                and list(serial_on.runs) == list(online.runs)
+            )
+        if not same:
+            print(
+                "VERIFICATION FAILED: parallel result differs from serial",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"verified: {args.processes}-process sharded run is "
+            f"bit-identical to serial"
+        )
+    breakdown = off.cost_breakdown()
+    rows = [
+        {
+            "item": name,
+            "requests": svc.items[name].n,
+            "opt cost": c,
+            **(
+                {"online cost": online.runs[name].cost}
+                if online is not None
+                else {}
+            ),
+        }
+        for name, c in list(breakdown.items())[: args.top]
+    ]
+    print(format_table(rows, precision=5))
+    if len(breakdown) > args.top:
+        print(f"  ... and {len(breakdown) - args.top} more items")
+    print(
+        f"off-line optimal total = {off.total_cost:.6g} "
+        f"(lower bound {off.total_lower_bound:.6g})"
+    )
+    if online is not None:
+        print(
+            f"policy {args.policy}: total = {online.total_cost:.6g} "
+            f"(ratio {online.total_cost / off.total_cost:.4f})"
+        )
+        for key, value in sorted(online.counters().items()):
+            print(f"  {key}: {value}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .analysis.experiments import list_experiments, run_experiment
 
@@ -517,6 +664,7 @@ _DISPATCH = {
     "paper": _cmd_paper,
     "chaos": _cmd_chaos,
     "supervise": _cmd_supervise,
+    "service": _cmd_service,
     "experiment": _cmd_experiment,
     "svg": _cmd_svg,
     "sensitivity": _cmd_sensitivity,

@@ -54,7 +54,12 @@ def solve_offline(
         Cost vectors ``C``/``D`` plus backtracking metadata;
         ``result.schedule()`` materialises the optimal schedule.
     """
-    if vectorized == "auto":
+    if isinstance(vectorized, str):
+        if vectorized != "auto":
+            raise ValueError(
+                f"vectorized must be True, False or 'auto', "
+                f"got {vectorized!r} (strings like 'false' are not coerced)"
+            )
         vectorized = instance.num_servers >= 48
     n = instance.n
     t, srv = instance.t, instance.srv

@@ -1,5 +1,6 @@
-"""Multi-item service layer (exact per-item decomposition)."""
+"""Multi-item service layer (exact per-item decomposition, sharded parallel)."""
 
+from .sharding import SHARD_STRATEGIES, plan_shards
 from .multi import (
     MultiItemInstance,
     MultiItemOfflineResult,
@@ -10,6 +11,8 @@ from .multi import (
 
 __all__ = [
     "MultiItemInstance",
+    "SHARD_STRATEGIES",
+    "plan_shards",
     "MultiItemOfflineResult",
     "MultiItemOnlineService",
     "multi_item_workload",

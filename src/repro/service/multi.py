@@ -11,11 +11,19 @@ the homogeneous regime where decomposition is exact:
 
 * :class:`MultiItemInstance` — per-item request sequences over one
   cluster, buildable from a mixed service log;
-* :func:`solve_offline_multi` — per-item fast DP plus aggregation;
+* :func:`solve_offline_multi` — per-item fast DP plus aggregation,
+  optionally sharded across a process pool;
 * :class:`MultiItemOnlineService` — run an online policy factory per
-  item over the merged event stream;
+  item over the merged event stream, optionally sharded likewise;
 * :func:`multi_item_workload` — Zipf-over-items × per-item Poisson
   synthesis.
+
+Because decomposition is exact, the parallel paths are *guaranteed*
+bit-identical to the serial ones: items are partitioned into picklable
+shard descriptors (:mod:`repro.service.sharding`), each worker runs the
+very same per-item solver or policy, and the merge step re-keys results
+in the original item order.  Same dicts, same costs, same counters —
+``processes`` is purely a throughput knob.
 
 A capacity-coupled variant (items competing for bounded cache space) is
 deliberately out of scope: it breaks the decomposition theorem and is
@@ -29,6 +37,7 @@ from typing import Callable, Dict, Iterable, List, Optional
 
 import numpy as np
 
+from ..analysis.parallel import _check_picklable_callable, parallel_map
 from ..core.instance import ProblemInstance
 from ..core.types import CostModel, InvalidInstanceError
 from ..offline.dp import solve_offline
@@ -37,6 +46,7 @@ from ..online.base import OnlineAlgorithm
 from ..sim.recorder import OnlineRunResult
 from ..workloads.synthetic import RngLike, _rng, zipf_weights
 from ..workloads.traces import TraceRecord
+from .sharding import _pack_item, _run_shard, _solve_shard, plan_shards
 
 __all__ = [
     "MultiItemInstance",
@@ -144,12 +154,73 @@ class MultiItemOfflineResult:
         )
 
 
-def solve_offline_multi(service: MultiItemInstance) -> MultiItemOfflineResult:
+def _shard_tasks(
+    service: MultiItemInstance, shards: int, strategy: str
+) -> List[tuple]:
+    """Picklable shard descriptors: one ``(descs,)`` argument tuple per shard."""
+    plan = plan_shards(service.items, shards, strategy=strategy)
+    return [
+        ([_pack_item(name, service.items[name]) for name in shard],)
+        for shard in plan
+    ]
+
+
+def _merge_shard_results(
+    service: MultiItemInstance, shard_results: Iterable[List[tuple]]
+) -> Dict[str, object]:
+    """Re-key shard outputs into the service's original item order.
+
+    This is what makes parallel runs bit-identical to serial ones: the
+    merged dict iterates in ``service.items`` order no matter how the
+    shards were cut or which worker finished first.
+    """
+    merged = {name: res for chunk in shard_results for name, res in chunk}
+    missing = set(service.items) - set(merged)
+    if missing:  # pragma: no cover - would indicate a sharding bug
+        raise RuntimeError(f"shard merge lost items: {sorted(missing)}")
+    return {name: merged[name] for name in service.items}
+
+
+def solve_offline_multi(
+    service: MultiItemInstance,
+    processes: Optional[int] = None,
+    shards: Optional[int] = None,
+    shard_strategy: str = "size",
+) -> MultiItemOfflineResult:
     """Optimal service-level schedule: per-item fast DP, exact by
-    decomposition (no capacity coupling in the homogeneous model)."""
-    return MultiItemOfflineResult(
-        per_item={name: solve_offline(inst) for name, inst in service.items.items()}
-    )
+    decomposition (no capacity coupling in the homogeneous model).
+
+    Parameters
+    ----------
+    service:
+        The hosted items.
+    processes:
+        Pool size; ``None`` or ``1`` solves serially in-process.
+    shards:
+        Shard count for ``processes > 1`` (default: one shard per
+        process).  More shards than processes gives the pool slack to
+        balance uneven items.
+    shard_strategy:
+        ``"size"`` (default) or ``"hash"``; see
+        :func:`repro.service.sharding.plan_shards`.
+
+    Whatever the knobs, the result is bit-identical to the serial solve:
+    same ``per_item`` key order, same cost vectors, same totals.
+    """
+    if processes is not None and processes < 1:
+        raise ValueError(f"processes must be >= 1, got {processes}")
+    if processes is None or processes == 1:
+        return MultiItemOfflineResult(
+            per_item={
+                name: solve_offline(inst) for name, inst in service.items.items()
+            }
+        )
+    tasks = _shard_tasks(service, shards or processes, shard_strategy)
+    results = parallel_map(_solve_shard, tasks, processes=processes)
+    per_item = _merge_shard_results(service, results)
+    for name, res in per_item.items():
+        res.instance = service.items[name]  # stripped by _solve_shard
+    return MultiItemOfflineResult(per_item=per_item)
 
 
 @dataclass
@@ -166,12 +237,39 @@ class MultiItemOnlineService:
     policy_factory: Callable[[], OnlineAlgorithm]
     runs: Dict[str, OnlineRunResult] = field(default_factory=dict)
 
-    def run(self, service: MultiItemInstance) -> "MultiItemOnlineService":
-        """Serve every item's stream; returns self for chaining."""
-        self.runs = {
-            name: self.policy_factory().run(inst)
-            for name, inst in service.items.items()
-        }
+    def run(
+        self,
+        service: MultiItemInstance,
+        processes: Optional[int] = None,
+        shards: Optional[int] = None,
+        shard_strategy: str = "size",
+    ) -> "MultiItemOnlineService":
+        """Serve every item's stream; returns self for chaining.
+
+        With ``processes > 1`` the items are sharded across a process
+        pool (``shards`` bins, default one per process; ``shard_strategy``
+        as in :func:`repro.service.sharding.plan_shards`).  The policy
+        factory must then be picklable — a module-level callable such as
+        the policy class itself, not a lambda; this is checked *before*
+        the pool spawns.  Each item still gets a fresh policy from the
+        factory, so ``runs`` is bit-identical to a serial run: same key
+        order, same costs, same counters.
+        """
+        if processes is not None and processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        if processes is None or processes == 1:
+            self.runs = {
+                name: self.policy_factory().run(inst)
+                for name, inst in service.items.items()
+            }
+            return self
+        _check_picklable_callable(self.policy_factory)
+        tasks = [
+            (self.policy_factory,) + task
+            for task in _shard_tasks(service, shards or processes, shard_strategy)
+        ]
+        results = parallel_map(_run_shard, tasks, processes=processes)
+        self.runs = _merge_shard_results(service, results)
         return self
 
     @property
@@ -190,6 +288,33 @@ class MultiItemOnlineService:
         return out
 
 
+def _apportion_counts(weights: np.ndarray, n_total: int) -> np.ndarray:
+    """Largest-remainder apportionment of ``n_total`` requests.
+
+    Invariants (the workload generator documents and tests both):
+    ``counts.sum() == n_total`` exactly, and ``counts.min() >= 1``
+    (callers guarantee ``n_total >= len(weights)``).  Naive
+    ``round(weights * n_total)`` breaks the first invariant — rounding
+    errors accumulate and the workload over- or under-shoots its budget.
+
+    Floors are distributed first; the leftover goes to the largest
+    fractional remainders (ties to the lower index, so the split is
+    deterministic).  Items floored to zero are then funded by the
+    largest bin, which by pigeonhole holds at least two requests.
+    """
+    quotas = np.asarray(weights, dtype=float) * n_total
+    counts = np.floor(quotas).astype(int)
+    remainders = quotas - counts
+    deficit = int(n_total - counts.sum())
+    if deficit > 0:
+        order = np.lexsort((np.arange(len(counts)), -remainders))
+        counts[order[:deficit]] += 1
+    for idx in np.where(counts == 0)[0]:
+        counts[int(np.argmax(counts))] -= 1
+        counts[idx] += 1
+    return counts
+
+
 def multi_item_workload(
     num_items: int,
     n_total: int,
@@ -206,6 +331,12 @@ def multi_item_workload(
     own stream is Poisson in time with Zipf-skewed server popularity
     (independent permutations per item so hot servers differ across
     items, as they do in real services).
+
+    Sizing invariant: the result has ``total_requests == n_total``
+    *exactly*, with every item receiving at least one request.  Volumes
+    are apportioned by the largest-remainder method (deterministic given
+    the Zipf weights), so downstream benchmarks can treat ``n_total`` as
+    a hard budget rather than a target the rounding may overshoot.
     """
     if num_items < 1 or n_total < num_items:
         raise InvalidInstanceError(
@@ -215,7 +346,7 @@ def multi_item_workload(
     g = _rng(rng)
     cost = cost if cost is not None else CostModel()
     weights = zipf_weights(num_items, item_zipf)
-    counts = np.maximum(1, np.round(weights * n_total).astype(int))
+    counts = _apportion_counts(weights, n_total)
     items: Dict[str, ProblemInstance] = {}
     base_pop = zipf_weights(m, server_zipf)
     for k in range(num_items):

@@ -1,0 +1,163 @@
+"""Item sharding for the process-parallel multi-item service layer.
+
+Under the homogeneous cost model the multi-item problem decomposes
+exactly into independent per-item instances (see :mod:`repro.service.multi`),
+so the service layer is embarrassingly parallel: partition the items into
+shards, ship each shard to a worker process, and merge.  This module owns
+the partitioning and the module-level shard workers
+(:func:`repro.analysis.parallel.parallel_map` requires picklable,
+module-level callables — closures die at the pool boundary).
+
+Two strategies are provided:
+
+* ``"size"`` (default) — longest-processing-time greedy: items sorted by
+  request count descending go to the currently lightest shard.  The DP is
+  ``O(mn)`` per item, so request count is a faithful proxy for work and
+  this keeps shard makespans balanced even under Zipf-skewed volumes.
+* ``"hash"`` — stable content hash of the item name (``zlib.crc32``, *not*
+  the salted builtin ``hash``) modulo the shard count.  Placement of an
+  item never depends on which other items are present, which matters when
+  shards map to long-lived worker state across requests.
+
+Both strategies are deterministic functions of the item names and sizes;
+empty shards are dropped.  Sharding never affects results: the callers in
+:mod:`repro.service.multi` merge shard outputs back into the original
+item order, so parallel runs are bit-identical to serial ones regardless
+of strategy or shard count.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..core.instance import ProblemInstance
+from ..offline.dp import solve_offline
+from ..offline.result import OfflineResult
+from ..online.base import OnlineAlgorithm
+from ..sim.recorder import OnlineRunResult
+
+__all__ = ["plan_shards", "SHARD_STRATEGIES"]
+
+#: Supported values for ``strategy=`` across the service layer.
+SHARD_STRATEGIES = ("size", "hash")
+
+
+def plan_shards(
+    items: Dict[str, ProblemInstance],
+    shards: int,
+    strategy: str = "size",
+) -> List[List[str]]:
+    """Partition item names into at most ``shards`` non-empty bins.
+
+    Parameters
+    ----------
+    items:
+        Item name → instance (the ``items`` dict of a
+        :class:`~repro.service.multi.MultiItemInstance`).
+    shards:
+        Target shard count (``>= 1``); fewer may be returned when there
+        are fewer items than shards, or when hashing leaves bins empty.
+    strategy:
+        ``"size"`` (LPT greedy on request counts) or ``"hash"``
+        (``crc32(name) % shards``).
+
+    Returns
+    -------
+    list of list of str
+        Deterministic partition of the item names; within each shard the
+        names keep the input dict's order.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if strategy not in SHARD_STRATEGIES:
+        raise ValueError(
+            f"unknown shard strategy {strategy!r}; choose from {SHARD_STRATEGIES}"
+        )
+    names = list(items)
+    shards = min(shards, len(names))
+    bins: List[List[str]] = [[] for _ in range(shards)]
+    if strategy == "hash":
+        for name in names:
+            bins[zlib.crc32(name.encode("utf-8")) % shards].append(name)
+    else:  # size: LPT greedy, ties broken by input order then bin index
+        order = sorted(range(len(names)), key=lambda i: (-items[names[i]].n, i))
+        loads = [0] * shards
+        for i in order:
+            b = loads.index(min(loads))
+            bins[b].append(names[i])
+            loads[b] += items[names[i]].n
+        input_rank = {name: i for i, name in enumerate(names)}
+        for b in bins:
+            b.sort(key=input_rank.__getitem__)
+    return [b for b in bins if b]
+
+
+# ---------------------------------------------------------------------------
+# Shard descriptors and workers (module-level so they survive pickling into
+# a process pool).  Shards travel as *packed* descriptors — the raw request
+# arrays plus construction parameters, never the pre-scanned instance.  The
+# pivot matrix alone is ``m × n`` int64, an order of magnitude more bytes
+# than the arrays it derives from, and instance construction is
+# deterministic — so rebuilding in the worker both shrinks the outbound
+# pickle and moves the O(mn) pre-scan into the parallel section while
+# keeping results bit-identical.
+# ---------------------------------------------------------------------------
+
+
+def _pack_item(name: str, inst: ProblemInstance) -> Tuple:
+    """Flatten an item to a small picklable descriptor."""
+    return (
+        name,
+        inst.t[1:],
+        inst.srv[1:],
+        inst.num_servers,
+        inst.cost,
+        inst.origin,
+        float(inst.t[0]),
+        inst._pivots.mode,  # resolved, so the worker keeps the same backend
+    )
+
+
+def _unpack_item(desc: Tuple) -> Tuple[str, ProblemInstance]:
+    """Rebuild the instance a descriptor encodes (bit-identical pre-scan)."""
+    name, t, srv, m, cost, origin, start, pivot_mode = desc
+    inst = ProblemInstance.from_arrays(
+        t,
+        srv,
+        num_servers=m,
+        cost=cost,
+        origin=origin,
+        start_time=start,
+        pivot_mode=pivot_mode,
+    )
+    return name, inst
+
+
+def _solve_shard(descs: Sequence[Tuple]) -> List[Tuple[str, OfflineResult]]:
+    """Solve every item in one shard with the fast DP.
+
+    The rebuilt instance is stripped from each result before it crosses
+    back over the pool boundary — the parent holds the equivalent object
+    and re-attaches it on merge, so only the DP's cost/choice vectors pay
+    the return pickle.
+    """
+    out: List[Tuple[str, OfflineResult]] = []
+    for desc in descs:
+        name, inst = _unpack_item(desc)
+        res = solve_offline(inst)
+        res.instance = None  # re-attached by the merging parent
+        out.append((name, res))
+    return out
+
+
+def _run_shard(
+    policy_factory: Callable[[], OnlineAlgorithm],
+    descs: Sequence[Tuple],
+) -> List[Tuple[str, OnlineRunResult]]:
+    """Serve every item in one shard with a fresh policy per item."""
+    out: List[Tuple[str, OnlineRunResult]] = []
+    for desc in descs:
+        name, inst = _unpack_item(desc)
+        out.append((name, policy_factory().run(inst)))
+    return out

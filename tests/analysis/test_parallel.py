@@ -1,5 +1,7 @@
 """Parallel execution utilities tests."""
 
+import functools
+
 import pytest
 
 from repro.analysis.parallel import parallel_map, ratio_study, sweep_parallel
@@ -12,6 +14,18 @@ from repro.workloads import poisson_zipf_instance
 
 def _square(x):
     return x * x
+
+
+def _add(x, y):
+    return x + y
+
+
+class _Scaler:
+    def __init__(self, k):
+        self.k = k
+
+    def apply(self, x):
+        return self.k * x
 
 
 def _measure(n, k):
@@ -49,6 +63,32 @@ class TestParallelMap:
     def test_bad_process_count(self):
         with pytest.raises(ValueError):
             parallel_map(_square, [(1,)], processes=0)
+
+    def test_partial_over_lambda_fails_fast(self):
+        # Regression: partials pickle by reference to .func, so a partial
+        # over a lambda used to pass the check and kill the pool mid-run.
+        with pytest.raises(ValueError, match="module-level"):
+            parallel_map(functools.partial(lambda x: x, 1), [()], processes=2)
+
+    def test_nested_partial_over_lambda_fails_fast(self):
+        wrapped = functools.partial(functools.partial(lambda x, y: x + y, 1), 2)
+        with pytest.raises(ValueError, match="module-level"):
+            parallel_map(wrapped, [()], processes=2)
+
+    def test_partial_over_module_function_works(self):
+        add_one = functools.partial(_add, 1)
+        assert parallel_map(add_one, [(2,), (3,)], processes=2) == [3, 4]
+
+    def test_bound_method_of_local_class_fails_fast(self):
+        class Doubler:
+            def apply(self, x):
+                return 2 * x
+
+        with pytest.raises(ValueError, match="module-level"):
+            parallel_map(Doubler().apply, [(1,)], processes=2)
+
+    def test_bound_method_of_module_class_works(self):
+        assert parallel_map(_Scaler(3).apply, [(2,)], processes=2) == [6]
 
 
 class TestSweepParallel:

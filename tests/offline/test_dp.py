@@ -87,6 +87,19 @@ class TestSolverAgreement:
         b = solve_offline(inst, vectorized=False)
         assert a.agrees_with(b)
 
+    def test_unknown_vectorized_string_rejected(self, rng):
+        # Regression: any non-"auto" string is truthy, so
+        # vectorized="false" used to silently behave as vectorized=True.
+        t = np.cumsum(rng.uniform(0.05, 1.0, size=10))
+        srv = rng.integers(0, 4, size=10)
+        inst = ProblemInstance.from_arrays(t, srv, num_servers=4)
+        for bad in ("false", "true", "False", "yes", ""):
+            with pytest.raises(ValueError, match="vectorized"):
+                solve_offline(inst, vectorized=bad)
+        assert solve_offline(inst, vectorized="auto").agrees_with(
+            solve_offline(inst, vectorized=False)
+        )
+
     def test_bisect_pivot_mode_instance(self, rng):
         t = np.cumsum(rng.uniform(0.05, 1.0, size=50))
         srv = rng.integers(0, 5, size=50)

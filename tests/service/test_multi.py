@@ -116,7 +116,32 @@ class TestWorkloadGenerator:
     def test_item_count_and_volume(self):
         svc = multi_item_workload(5, 200, 6, rng=4)
         assert svc.num_items == 5
-        assert svc.total_requests >= 200 * 0.8
+        assert svc.total_requests == 200
+
+    def test_total_requests_exact(self):
+        # Regression: round(weights * n_total) with a max(1, .) clamp used
+        # to overshoot the budget (num_items=7, n_total=100, rng=1 -> 101).
+        # Largest-remainder apportionment makes n_total a hard invariant.
+        assert multi_item_workload(7, 100, 5, rng=1).total_requests == 100
+        for num_items, n_total, skew in (
+            (3, 10, 1.0),
+            (7, 100, 1.0),
+            (13, 137, 0.5),
+            (16, 16, 2.0),
+            (9, 1000, 1.5),
+        ):
+            svc = multi_item_workload(
+                num_items, n_total, 4, item_zipf=skew, rng=2
+            )
+            assert svc.total_requests == n_total
+            assert svc.num_items == num_items
+
+    def test_every_item_gets_a_request(self):
+        # The floor survives apportionment even under heavy skew, where
+        # tail quotas round to zero.
+        svc = multi_item_workload(12, 14, 3, item_zipf=3.0, rng=9)
+        assert svc.total_requests == 14
+        assert all(inst.n >= 1 for inst in svc.items.values())
 
     def test_zipf_volume_concentration(self):
         svc = multi_item_workload(6, 600, 4, item_zipf=1.5, rng=5)
