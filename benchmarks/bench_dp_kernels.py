@@ -1,0 +1,276 @@
+"""P2 — array-native DP kernels: identity gate + speedup gate.
+
+Standalone script (also runnable under pytest) benchmarking the
+``repro.kernels`` fast paths against the reference solvers and writing
+``BENCH_dp_kernels.json`` at the repository root:
+
+* **kernel grid** — ``solve_offline(kernel="frontier")`` vs
+  ``kernel="reference"`` over an (n, m) grid.  At *every* point the two
+  results must be byte-identical in ``C``, ``D``, ``served_by_cache``
+  and the backtracking metadata, and the reconstructed schedules must
+  have identical transfer counts and costs.  This gate is unconditional:
+  any violation exits non-zero, in ``--quick`` mode too.
+* **speedup gate** — the headline point (``n=100_000, m=64``) must show
+  the frontier kernel ≥3× faster than the reference sweep.  Hard
+  failure in full mode; in ``--quick`` mode (CI smoke on shared
+  runners) the grid shrinks and the gate only soft-warns, because
+  timings on noisy boxes are advisory.
+* **vectorize crossover** — times the reference kernel's scalar pivot
+  loop vs its numpy gather across ``m``; the measured crossover is what
+  calibrates ``_VECTORIZE_MIN_M`` in :mod:`repro.offline.dp`.
+* **replay fast path** — ``run_online`` array-backed replay vs the
+  stepwise ``ReplayDriver`` loop: identical cost/counters (asserted)
+  plus the measured speedup.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_dp_kernels.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:  # standalone invocation without install
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro import SpeculativeCaching, solve_offline  # noqa: E402
+from repro.analysis import format_table  # noqa: E402
+from repro.kernels import replay_fault_free, solve_offline_frontier  # noqa: E402
+from repro.sim.engine import run_online  # noqa: E402
+from repro.workloads import poisson_zipf_instance  # noqa: E402
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from _util import emit  # noqa: E402
+
+JSON_PATH = ROOT / "BENCH_dp_kernels.json"
+
+#: Headline grid point of the ISSUE's speedup gate.
+HEADLINE = {"n": 100_000, "m": 64}
+SPEEDUP_GATE = 3.0
+
+
+def _best_of(fn, repeats):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _identical(a, b) -> bool:
+    """Byte-identity across every result field plus schedule agreement."""
+    if not (
+        a.C.tobytes() == b.C.tobytes()
+        and a.D.tobytes() == b.D.tobytes()
+        and a.served_by_cache.tobytes() == b.served_by_cache.tobytes()
+        and a.choice_d_tag.tobytes() == b.choice_d_tag.tobytes()
+        and a.choice_d_k.tobytes() == b.choice_d_k.tobytes()
+    ):
+        return False
+    sa, sb = a.schedule(), b.schedule()
+    cost = a.instance.cost
+    return (
+        len(sa.transfers) == len(sb.transfers)
+        and sa.transfers == sb.transfers
+        and sa.total_cost(cost) == sb.total_cost(cost)
+    )
+
+
+def run_bench(quick: bool) -> dict:
+    repeats = 1 if quick else 3
+    if quick:
+        grid = [(1_000, 8), (2_000, 64)]
+        cross_n, cross_ms = 800, [8, 64]
+        replay_n, replay_m = 2_000, 16
+    else:
+        grid = [(2_000, 8), (10_000, 16), (50_000, 32), (100_000, 64)]
+        cross_n, cross_ms = 4_000, [4, 8, 16, 32, 48, 64, 96, 128]
+        replay_n, replay_m = 50_000, 32
+
+    failures = []
+    kernel_rows = []
+    for n, m in grid:
+        inst = poisson_zipf_instance(n, m, rate=1.0, zipf_s=0.9, rng=n + m)
+        t_ref, res_ref = _best_of(
+            lambda: solve_offline(inst, kernel="reference"), repeats
+        )
+        t_fro, res_fro = _best_of(lambda: solve_offline_frontier(inst), repeats)
+        identical = _identical(res_ref, res_fro)
+        if not identical:
+            failures.append(f"bit-identity violated at n={n}, m={m}")
+        kernel_rows.append(
+            {
+                "n": n,
+                "m": m,
+                "reference_s": t_ref,
+                "frontier_s": t_fro,
+                "speedup": t_ref / t_fro if t_fro > 0 else float("inf"),
+                "bit_identical": identical,
+            }
+        )
+
+    # Reference-kernel vectorization crossover (calibrates _VECTORIZE_MIN_M).
+    cross_rows = []
+    for m in cross_ms:
+        inst = poisson_zipf_instance(cross_n, m, rate=1.0, zipf_s=0.9, rng=m)
+        t_scalar, res_s = _best_of(
+            lambda: solve_offline(inst, vectorized=False), repeats
+        )
+        t_vec, res_v = _best_of(
+            lambda: solve_offline(inst, vectorized=True), repeats
+        )
+        if not _identical(res_s, res_v):
+            failures.append(f"vectorized reference diverged at m={m}")
+        cross_rows.append(
+            {
+                "m": m,
+                "scalar_s": t_scalar,
+                "vectorized_s": t_vec,
+                "vectorized_wins": t_vec < t_scalar,
+            }
+        )
+    crossover = next(
+        (r["m"] for r in cross_rows if r["vectorized_wins"]), None
+    )
+
+    # Replay fast path: identical run, measured speedup.
+    inst = poisson_zipf_instance(replay_n, replay_m, rate=1.0, rng=3)
+    t_fast, run_fast = _best_of(
+        lambda: replay_fault_free(SpeculativeCaching(), inst), repeats
+    )
+    t_step, run_step = _best_of(
+        lambda: run_online(SpeculativeCaching(), inst, fast=False), repeats
+    )
+    replay_same = (
+        run_fast.cost == run_step.cost
+        and run_fast.counters == run_step.counters
+        and run_fast.schedule.transfers == run_step.schedule.transfers
+    )
+    if not replay_same:
+        failures.append("replay fast path diverged from stepwise driver")
+    replay_row = {
+        "n": replay_n,
+        "m": replay_m,
+        "policy": "sc",
+        "driver_s": t_step,
+        "fast_s": t_fast,
+        "speedup": t_step / t_fast if t_fast > 0 else float("inf"),
+        "identical": replay_same,
+    }
+
+    headline = next(
+        (
+            r
+            for r in kernel_rows
+            if r["n"] == HEADLINE["n"] and r["m"] == HEADLINE["m"]
+        ),
+        None,
+    )
+    payload = {
+        "benchmark": "dp_kernels",
+        "quick": quick,
+        "repeats": repeats,
+        "identity": "C/D/served_by_cache/choice vectors byte-identical and "
+        "reconstructed schedules equal, per grid point",
+        "speedup_gate": {
+            "at": HEADLINE,
+            "threshold": SPEEDUP_GATE,
+            "measured": headline["speedup"] if headline else None,
+        },
+        "kernel_grid": kernel_rows,
+        "vectorize_crossover": {
+            "n": cross_n,
+            "rows": cross_rows,
+            "first_m_where_vectorized_wins": crossover,
+        },
+        "replay_fast_path": replay_row,
+        "failures": failures,
+    }
+    return payload
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--quick",
+        action="store_true",
+        help="small grid for CI smoke: identity gate still hard, "
+        "speedup gate soft-warns",
+    )
+    ap.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=None,
+        help=f"output path (default {JSON_PATH}; quick runs don't overwrite "
+        "the committed artefact unless asked)",
+    )
+    args = ap.parse_args(argv)
+
+    payload = run_bench(args.quick)
+    out = args.json
+    if out is None:
+        # A --quick run on a laptop/CI box must not clobber the committed
+        # full-grid artefact that README/EXPERIMENTS cite.
+        out = JSON_PATH if not args.quick else None
+    if out is not None:
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    emit(
+        "dp_kernels",
+        format_table(payload["kernel_grid"], precision=4)
+        + "\n\nvectorize crossover (reference kernel, n="
+        + str(payload["vectorize_crossover"]["n"])
+        + "):\n"
+        + format_table(payload["vectorize_crossover"]["rows"], precision=4)
+        + "\n\nreplay fast path:\n"
+        + format_table([payload["replay_fast_path"]], precision=4),
+        header="P2: DP kernel grid — frontier vs reference "
+        f"(identity asserted per point; gate ≥{SPEEDUP_GATE}x at "
+        f"n={HEADLINE['n']}, m={HEADLINE['m']})",
+    )
+
+    if payload["failures"]:
+        for msg in payload["failures"]:
+            print(f"IDENTITY VIOLATION: {msg}", file=sys.stderr)
+        return 1
+
+    gate = payload["speedup_gate"]
+    if gate["measured"] is None:
+        print(
+            f"speedup gate: headline point n={HEADLINE['n']}, "
+            f"m={HEADLINE['m']} not in this grid "
+            f"({'quick mode' if args.quick else 'unexpected'}); skipped"
+        )
+    elif gate["measured"] < SPEEDUP_GATE:
+        msg = (
+            f"speedup gate: measured {gate['measured']:.2f}x < "
+            f"{SPEEDUP_GATE}x at n={HEADLINE['n']}, m={HEADLINE['m']}"
+        )
+        if args.quick:
+            print(f"WARNING (soft in --quick): {msg}", file=sys.stderr)
+        else:
+            print(f"FAILED: {msg}", file=sys.stderr)
+            return 1
+    else:
+        print(
+            f"speedup gate passed: {gate['measured']:.2f}x >= "
+            f"{SPEEDUP_GATE}x at n={HEADLINE['n']}, m={HEADLINE['m']}"
+        )
+    return 0
+
+
+def test_dp_kernels_quick():
+    """Pytest entry: the quick grid's identity gate must hold."""
+    payload = run_bench(quick=True)
+    assert payload["failures"] == []
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,7 +46,7 @@ import sys
 from typing import List, Optional
 
 from .core.types import CostModel
-from .offline.dp import solve_offline
+from .offline.dp import KERNELS, solve_offline
 from .online.baselines import AlwaysTransfer, NeverDelete, RandomizedTTL
 from .online.predictive import MarkovPredictor, PredictiveCaching
 from .online.resilient import SpeculativeCachingResilient
@@ -83,6 +83,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mu", type=float, default=1.0, help="caching cost per time unit")
     p.add_argument("--lam", type=float, default=1.0, help="transfer cost")
     p.add_argument("--origin", type=int, default=0, help="initial data server")
+    p.add_argument(
+        "--kernel",
+        choices=list(KERNELS),
+        default="auto",
+        help="off-line DP sweep: frontier (O(n+m+P) fast path), reference "
+        "(paper-shaped O(mn)), or auto (default; picks frontier) — "
+        "bit-identical results either way",
+    )
     sub = p.add_subparsers(dest="command", required=True)
 
     sp = sub.add_parser("solve", help="optimal off-line schedule for a trace")
@@ -278,7 +286,7 @@ def _load(args: argparse.Namespace):
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     inst = _load(args)
-    res = solve_offline(inst)
+    res = solve_offline(inst, kernel=args.kernel)
     sched = res.schedule()
     print(f"instance: {inst}")
     print(f"optimal cost C(n) = {res.optimal_cost:.6g} "
@@ -296,7 +304,7 @@ def _cmd_online(args: argparse.Namespace) -> int:
     else:
         algo = _POLICIES[args.policy]()
     run = algo.run(inst)
-    opt = solve_offline(inst).optimal_cost
+    opt = solve_offline(inst, kernel=args.kernel).optimal_cost
     print(f"instance: {inst}")
     print(f"policy {run.algorithm}: cost = {run.cost:.6g} "
           f"(optimal {opt:.6g}, ratio {run.cost / opt:.4f})")
@@ -311,7 +319,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     from .analysis.tables import format_table
 
     inst = _load(args)
-    opt = solve_offline(inst).optimal_cost
+    opt = solve_offline(inst, kernel=args.kernel).optimal_cost
     rows = [{"policy": "off-line optimal", "cost": opt, "ratio": 1.0}]
     for key in sorted(_POLICIES):
         run = _POLICIES[key]().run(inst)  # each factory yields a fresh policy
@@ -534,6 +542,7 @@ def _cmd_service(args: argparse.Namespace) -> int:
         processes=args.processes,
         shards=args.shards,
         shard_strategy=args.shard_strategy,
+        kernel=args.kernel,
     )
     online = None
     if args.policy is not None:
@@ -544,7 +553,7 @@ def _cmd_service(args: argparse.Namespace) -> int:
             shard_strategy=args.shard_strategy,
         )
     if args.verify_serial and args.processes > 1:
-        serial = solve_offline_multi(svc)
+        serial = solve_offline_multi(svc, kernel=args.kernel)
         same = list(serial.per_item) == list(off.per_item) and all(
             np.array_equal(serial.per_item[k].C, off.per_item[k].C)
             for k in serial.per_item
@@ -617,7 +626,7 @@ def _cmd_svg(args: argparse.Namespace) -> int:
     from .schedule.svg import write_svg
 
     inst = _load(args)
-    res = solve_offline(inst)
+    res = solve_offline(inst, kernel=args.kernel)
     write_svg(
         res.schedule(),
         inst,

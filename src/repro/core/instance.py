@@ -37,6 +37,11 @@ from typing import Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..kernels.prescan import (
+    build_pivot_matrix,
+    per_server_lists,
+    prescan_arrays,
+)
 from .types import CostModel, InvalidInstanceError, Request
 
 __all__ = ["ProblemInstance", "PivotLookup"]
@@ -73,30 +78,16 @@ class PivotLookup:
         self._srv = servers
         # Per-server sorted request-index lists (needed by both modes for
         # p(i) computation elsewhere; cheap to keep).
-        order = np.argsort(servers, kind="stable")
-        split = np.searchsorted(servers[order], np.arange(num_servers + 1))
-        self._per_server: List[np.ndarray] = [
-            np.ascontiguousarray(order[split[j] : split[j + 1]])
-            for j in range(num_servers)
-        ]
+        self._per_server: List[np.ndarray] = per_server_lists(
+            servers, num_servers
+        )
         if mode == "matrix":
-            self._first_at_or_after = self._build_matrix(servers, num_servers)
+            # F[q, j] = min{k >= q : srv[k] == j}, -1 = none — the
+            # paper's pointer rows (Fig. 5), built by the vectorized
+            # suffix sweep of repro.kernels.prescan.
+            self._first_at_or_after = build_pivot_matrix(servers, num_servers)
         else:
             self._first_at_or_after = None
-
-    @staticmethod
-    def _build_matrix(servers: np.ndarray, m: int) -> np.ndarray:
-        """Backward sweep building ``F[q, j] = min{k >= q : srv[k] == j}``.
-
-        ``-1`` encodes "no request on j at or after q".  Row ``q`` is the
-        paper's pointer row kept while processing request ``q`` (Fig. 5).
-        """
-        n1 = servers.shape[0]
-        F = np.full((n1 + 1, m), -1, dtype=np.int64)
-        for q in range(n1 - 1, -1, -1):
-            F[q] = F[q + 1]
-            F[q, servers[q]] = q
-        return F
 
     def requests_on(self, server: int) -> np.ndarray:
         """Sorted request indices made on ``server`` (including ``r_0``)."""
@@ -203,13 +194,11 @@ class ProblemInstance:
         self.srv = srv
         self.n = n
         self._pivots = PivotLookup(srv, m, mode=pivot_mode)
-        self.p = self._compute_prev_same_server()
-        with np.errstate(invalid="ignore"):
-            self.sigma = np.where(self.p >= 0, t - t[np.maximum(self.p, 0)], np.inf)
-        self.sigma[0] = np.inf  # r_0 has no predecessor
-        self.b = np.minimum(self.cost.lam, self.cost.mu * self.sigma)
-        self.b[0] = 0.0
-        self.B = np.cumsum(self.b)
+        # Vectorized pre-scan (repro.kernels.prescan): p, sigma, b, B in
+        # a handful of whole-array numpy operations.
+        self.p, self.sigma, self.b, self.B = prescan_arrays(
+            t, srv, self.cost.mu, self.cost.lam
+        )
         self._freeze()
 
     # -- construction helpers ------------------------------------------------
@@ -230,15 +219,6 @@ class ProblemInstance:
                 f"{times.shape} vs {servers.shape}"
             )
         return cls(zip(times.tolist(), servers.tolist()), **kwargs)
-
-    def _compute_prev_same_server(self) -> np.ndarray:
-        """Vectorised ``p(i)``: previous request index on the same server."""
-        p = np.full(self.n + 1, -1, dtype=np.int64)
-        for j in range(self.num_servers):
-            idx = self._pivots.requests_on(j)
-            if idx.shape[0] > 1:
-                p[idx[1:]] = idx[:-1]
-        return p
 
     def _freeze(self) -> None:
         for arr in (self.t, self.srv, self.p, self.sigma, self.b, self.B):

@@ -1,0 +1,46 @@
+"""Array-native hot-path kernels.
+
+The reference implementations elsewhere in the package favour clarity:
+per-request Python loops that mirror the paper's pseudocode line by
+line.  This subpackage holds the *fast paths* — drop-in replacements
+for the three interpreter-bound hot loops, each differentially tested
+bit-identical to its reference twin:
+
+* :mod:`repro.kernels.frontier` — the off-line DP sweep with per-server
+  monotone pivot pointers and incrementally maintained running minima,
+  amortised ``O(n + m + P)`` (``P`` = total pivot-pointer advances,
+  typically ``≈ n``) instead of interpreter-level ``O(mn)``.  Selected
+  via ``solve_offline(kernel="frontier")`` (the ``"auto"`` default).
+* :mod:`repro.kernels.prescan` — the instance pre-scan (``p``, ``σ``,
+  ``b``, ``B``, per-server lists, pivot matrix) as whole-array numpy
+  operations instead of per-request/per-server Python loops.
+* :mod:`repro.kernels.replay` — an array-backed replay loop for the
+  fault-free online engine: request times/servers as native Python
+  scalars hoisted out of numpy, no per-event object dispatch.
+
+Determinism contract: a kernel never changes *what* is computed, only
+*how fast*.  ``C``/``D`` vectors, ``served_by_cache``, backtracking
+choices, reconstructed schedules, and online run results are all
+byte-identical across kernels — ``benchmarks/bench_dp_kernels.py``
+gates on this unconditionally, and ``tests/offline/test_kernels.py``
+property-tests it on random instances (ties, degenerate fleets).
+"""
+
+from .frontier import FrontierState, solve_offline_frontier
+from .prescan import (
+    build_pivot_matrix,
+    per_server_lists,
+    prescan_arrays,
+    prev_same_server,
+)
+from .replay import replay_fault_free
+
+__all__ = [
+    "FrontierState",
+    "solve_offline_frontier",
+    "build_pivot_matrix",
+    "per_server_lists",
+    "prescan_arrays",
+    "prev_same_server",
+    "replay_fault_free",
+]

@@ -1,0 +1,54 @@
+"""Array-backed replay fast path for the fault-free online engine.
+
+:func:`repro.sim.engine.run_online` historically drove every run through
+:class:`~repro.sim.engine.ReplayDriver`: build a list of
+:class:`~repro.sim.engine.ReplayEvent` dataclasses (one numpy scalar
+extraction + one object allocation per request), sort it, then dispatch
+each event through ``step()``'s kind branching.  That machinery earns its
+keep when fault events interleave or the run is supervised
+(journal/snapshot between steps) — but a plain fault-free replay is just
+"``advance`` then ``serve``, in request order", and for competitive-ratio
+sweeps over thousands of instances the per-event dispatch dominated.
+
+:func:`replay_fault_free` is that loop with everything hoisted: request
+times and servers are converted to native Python scalars **once**
+(``ndarray.tolist``), the hook methods are bound locals, and no event
+objects exist at all.  The delivered call sequence — ``begin``,
+(``advance(t_i)``, ``serve(i, t_i, s_i)``)\\*, ``end(t_n)`` — is exactly
+the driver's fault-free contract, so results are bit-identical
+(``tests/sim/test_engine.py`` pins this against a stepwise driver run).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.instance import ProblemInstance
+    from ..online.base import OnlineAlgorithm
+    from ..sim.recorder import OnlineRunResult
+
+__all__ = ["replay_fault_free"]
+
+
+def replay_fault_free(
+    algorithm: "OnlineAlgorithm", instance: "ProblemInstance"
+) -> "OnlineRunResult":
+    """Drive ``algorithm`` over ``instance`` without the event machinery.
+
+    Callers (:func:`repro.sim.engine.run_online`) are responsible for the
+    time-order validation the driver performs; this function assumes a
+    well-formed instance and runs the tight loop only.
+    """
+    ts = np.asarray(instance.t, dtype=np.float64).tolist()
+    ss = np.asarray(instance.srv, dtype=np.int64).tolist()
+    algorithm.begin(instance)
+    advance = algorithm.advance
+    serve = algorithm.serve
+    for i in range(1, len(ts)):
+        t = ts[i]
+        advance(t)
+        serve(i, t, ss[i])
+    return algorithm.end(ts[-1])

@@ -31,11 +31,26 @@ import numpy as np
 from ..core.instance import ProblemInstance
 from .result import FROM_C, FROM_D, OfflineResult
 
-__all__ = ["solve_offline", "optimal_cost"]
+__all__ = ["solve_offline", "optimal_cost", "KERNELS"]
+
+#: Valid ``kernel=`` values for :func:`solve_offline`.
+KERNELS = ("auto", "frontier", "reference")
+
+#: ``vectorized="auto"`` switches the reference kernel to the numpy
+#: pivot gather at this fleet size.  Calibrated from the measured
+#: crossover in ``benchmarks/bench_dp_kernels.py``
+#: (``BENCH_dp_kernels.json``, ``vectorize_crossover`` series,
+#: ``first_m_where_vectorized_wins``): at n=4000 the scalar pivot loop
+#: wins for m ∈ {4, 8} and the gather wins from m = 16 up (the gather's
+#: per-request numpy overhead is flat in ``m``; the scalar loop is
+#: linear).  Re-run the bench after touching the reference sweep.
+_VECTORIZE_MIN_M = 16
 
 
 def solve_offline(
-    instance: ProblemInstance, vectorized: Union[bool, str] = "auto"
+    instance: ProblemInstance,
+    vectorized: Union[bool, str] = "auto",
+    kernel: str = "auto",
 ) -> OfflineResult:
     """Solve ``instance`` optimally with the ``O(mn)`` dynamic program.
 
@@ -44,9 +59,19 @@ def solve_offline(
     instance:
         Pre-scanned problem instance.
     vectorized:
-        ``True`` gathers each request's pivot candidates with numpy (faster
-        for large ``m``), ``False`` uses the scalar loop (faster for small
-        ``m``), ``"auto"`` picks by ``m``.
+        Reference-kernel knob: ``True`` gathers each request's pivot
+        candidates with numpy (faster for large ``m``), ``False`` uses
+        the scalar loop (faster for small ``m``), ``"auto"`` picks by
+        ``m`` (:data:`_VECTORIZE_MIN_M`).  Passing an explicit boolean
+        implies ``kernel="reference"``.
+    kernel:
+        ``"reference"`` runs the per-request ``O(mn)`` sweep above;
+        ``"frontier"`` runs the amortised ``O(n + m + P)`` kernel
+        (:func:`repro.kernels.frontier.solve_offline_frontier`);
+        ``"auto"`` (default) picks the frontier kernel unless an
+        explicit ``vectorized`` boolean pins the reference path.
+        Every kernel returns byte-identical results — the choice is
+        purely a throughput knob.
 
     Returns
     -------
@@ -54,13 +79,26 @@ def solve_offline(
         Cost vectors ``C``/``D`` plus backtracking metadata;
         ``result.schedule()`` materialises the optimal schedule.
     """
+    if kernel not in KERNELS:
+        raise ValueError(
+            f"kernel must be one of {KERNELS}, got {kernel!r}"
+        )
     if isinstance(vectorized, str):
         if vectorized != "auto":
             raise ValueError(
                 f"vectorized must be True, False or 'auto', "
                 f"got {vectorized!r} (strings like 'false' are not coerced)"
             )
-        vectorized = instance.num_servers >= 48
+        if kernel != "reference":
+            from ..kernels.frontier import solve_offline_frontier
+
+            return solve_offline_frontier(instance)
+        vectorized = instance.num_servers >= _VECTORIZE_MIN_M
+    elif kernel == "frontier":
+        raise ValueError(
+            "kernel='frontier' has no vectorized knob; pass "
+            "vectorized='auto' (the default) or kernel='reference'"
+        )
     n = instance.n
     t, srv = instance.t, instance.srv
     p, sigma, B = instance.p, instance.sigma, instance.B

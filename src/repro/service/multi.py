@@ -165,6 +165,16 @@ def _shard_tasks(
     ]
 
 
+def _shard_solve_tasks(
+    service: MultiItemInstance, shards: int, strategy: str, kernel: str
+) -> List[tuple]:
+    """Like :func:`_shard_tasks`, with the DP kernel riding along."""
+    return [
+        task + (kernel,)
+        for task in _shard_tasks(service, shards, strategy)
+    ]
+
+
 def _merge_shard_results(
     service: MultiItemInstance, shard_results: Iterable[List[tuple]]
 ) -> Dict[str, object]:
@@ -186,6 +196,7 @@ def solve_offline_multi(
     processes: Optional[int] = None,
     shards: Optional[int] = None,
     shard_strategy: str = "size",
+    kernel: str = "auto",
 ) -> MultiItemOfflineResult:
     """Optimal service-level schedule: per-item fast DP, exact by
     decomposition (no capacity coupling in the homogeneous model).
@@ -203,6 +214,11 @@ def solve_offline_multi(
     shard_strategy:
         ``"size"`` (default) or ``"hash"``; see
         :func:`repro.service.sharding.plan_shards`.
+    kernel:
+        DP sweep per item — ``"auto"`` / ``"frontier"`` /
+        ``"reference"``, forwarded to
+        :func:`repro.offline.dp.solve_offline` serially and carried
+        inside each shard descriptor in parallel runs.
 
     Whatever the knobs, the result is bit-identical to the serial solve:
     same ``per_item`` key order, same cost vectors, same totals.
@@ -212,10 +228,13 @@ def solve_offline_multi(
     if processes is None or processes == 1:
         return MultiItemOfflineResult(
             per_item={
-                name: solve_offline(inst) for name, inst in service.items.items()
+                name: solve_offline(inst, kernel=kernel)
+                for name, inst in service.items.items()
             }
         )
-    tasks = _shard_tasks(service, shards or processes, shard_strategy)
+    tasks = _shard_solve_tasks(
+        service, shards or processes, shard_strategy, kernel
+    )
     results = parallel_map(_solve_shard, tasks, processes=processes)
     per_item = _merge_shard_results(service, results)
     for name, res in per_item.items():

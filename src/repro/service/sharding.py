@@ -134,8 +134,15 @@ def _unpack_item(desc: Tuple) -> Tuple[str, ProblemInstance]:
     return name, inst
 
 
-def _solve_shard(descs: Sequence[Tuple]) -> List[Tuple[str, OfflineResult]]:
+def _solve_shard(
+    descs: Sequence[Tuple], kernel: str = "auto"
+) -> List[Tuple[str, OfflineResult]]:
     """Solve every item in one shard with the fast DP.
+
+    ``kernel`` selects the DP sweep (``"auto"``/``"frontier"``/
+    ``"reference"``, see :func:`repro.offline.dp.solve_offline`) — the
+    choice travels with the shard so workers and the serial path run
+    the same code, and results stay bit-identical regardless.
 
     The rebuilt instance is stripped from each result before it crosses
     back over the pool boundary — the parent holds the equivalent object
@@ -145,7 +152,7 @@ def _solve_shard(descs: Sequence[Tuple]) -> List[Tuple[str, OfflineResult]]:
     out: List[Tuple[str, OfflineResult]] = []
     for desc in descs:
         name, inst = _unpack_item(desc)
-        res = solve_offline(inst)
+        res = solve_offline(inst, kernel=kernel)
         res.instance = None  # re-attached by the merging parent
         out.append((name, res))
     return out

@@ -16,12 +16,16 @@ to the algorithm interleaved with requests in time order, a crashed
 server's cached copy is lost, and *blackout* (no live copy anywhere) is a
 first-class observed outcome rather than a crash of the simulation.
 
-Both drivers are thin loops over :class:`ReplayDriver`, a *stepwise*
-executor that delivers exactly one event per :meth:`ReplayDriver.step`
-call.  The step granularity is what makes runs supervisable: the
-:mod:`repro.runtime` layer journals each delivered event, snapshots the
-driver between steps, and resumes a killed run bit-identically from
-``snapshot + journal tail``.
+:func:`run_online_faulty` is a thin loop over :class:`ReplayDriver`, a
+*stepwise* executor that delivers exactly one event per
+:meth:`ReplayDriver.step` call.  The step granularity is what makes runs
+supervisable: the :mod:`repro.runtime` layer journals each delivered
+event, snapshots the driver between steps, and resumes a killed run
+bit-identically from ``snapshot + journal tail``.  Fault-free
+:func:`run_online` takes the array-backed fast path of
+:mod:`repro.kernels.replay` by default — the same hook-call sequence
+without per-event object dispatch — and falls back to the driver with
+``fast=False``.
 
 Event tie-break contract (pinned by ``tests/sim/test_engine.py``):
 at equal instants delivery order is **recover < crash < request** —
@@ -201,6 +205,7 @@ class ReplayDriver:
             algorithm.attach_faults(self.ctx)
         self.stream = merged_event_stream(instance, plan)
         self.pos = 0
+        self._requests_delivered = 0
         self.finished = False
         algorithm.begin(instance)
         if self.ctx is not None:
@@ -233,8 +238,18 @@ class ReplayDriver:
         a run killed between two equal-instant events may leave a request
         undelivered *at* the time horizon, which a time bound alone
         cannot express (``validate_schedule``'s ``upto_request``).
+
+        Maintained incrementally by :meth:`step` — supervisor budget
+        polling reads this once per delivered event, and rescanning the
+        stream prefix each time made those runs ``O(n²)``.  The fallback
+        recount covers drivers unpickled from snapshots written before
+        the counter existed.
         """
-        return sum(1 for ev in self.stream[: self.pos] if ev.kind == "request")
+        if getattr(self, "_requests_delivered", None) is None:
+            self._requests_delivered = sum(
+                1 for ev in self.stream[: self.pos] if ev.kind == "request"
+            )
+        return self._requests_delivered
 
     def step(self) -> Optional[ReplayEvent]:
         """Deliver the next event; returns it, or ``None`` when done.
@@ -247,6 +262,10 @@ class ReplayDriver:
         if self.done or self.finished:
             return None
         ev = self.stream[self.pos]
+        if ev.kind == "request":
+            # Read via the property first: pos still excludes ev, so the
+            # legacy-snapshot recount stays consistent with the counter.
+            self._requests_delivered = self.requests_delivered + 1
         self.pos += 1
         algorithm = self.algorithm
         algorithm.advance(ev.time)
@@ -330,14 +349,28 @@ class ReplayDriver:
 
 
 def run_online(
-    algorithm: "OnlineAlgorithm", instance: ProblemInstance
+    algorithm: "OnlineAlgorithm",
+    instance: ProblemInstance,
+    fast: bool = True,
 ) -> OnlineRunResult:
     """Drive ``algorithm`` over ``instance`` and return the run result.
 
     The algorithm object is reset by the call (``begin``), so one object
     can be reused across instances; runs are deterministic given the
     algorithm's own RNG seeding.
+
+    ``fast=True`` (default) replays through the array-backed loop of
+    :mod:`repro.kernels.replay` — no per-event dataclass dispatch, same
+    hook-call sequence, bit-identical results (the engine test-suite
+    pins this against a stepwise :class:`ReplayDriver` run).  Pass
+    ``fast=False`` to force the driver path, e.g. when profiling the
+    stepwise machinery itself.
     """
+    if fast:
+        from ..kernels.replay import replay_fault_free
+
+        _check_time_order(instance)
+        return replay_fault_free(algorithm, instance)
     driver = ReplayDriver(algorithm, instance)
     while not driver.done:
         driver.step()

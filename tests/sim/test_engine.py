@@ -174,3 +174,111 @@ class TestEqualInstantTieBreak:
         # FaultPlan.events emits per-server in sorted order; the stable
         # sort must preserve it.
         assert crashes == sorted(crashes)
+
+
+class _SpySlices(list):
+    """List that counts slice reads (the old quadratic access pattern)."""
+
+    def __init__(self, items):
+        super().__init__(items)
+        self.slice_reads = 0
+
+    def __getitem__(self, key):
+        if isinstance(key, slice):
+            self.slice_reads += 1
+        return super().__getitem__(key)
+
+
+class TestRequestsDeliveredCounter:
+    """Regression pin: budget polling must be O(1), not a prefix rescan.
+
+    The historic property recounted ``stream[:pos]`` on every read, so a
+    supervisor polling it per event paid O(n²) total.  The counter is
+    now maintained incrementally; the rescan survives only as a fallback
+    for drivers unpickled from pre-counter snapshots.
+    """
+
+    def _driver(self, n=200):
+        from repro.sim.engine import ReplayDriver
+
+        times = [float(i) for i in range(1, n + 1)]
+        servers = [i % 3 for i in range(n)]
+        return ReplayDriver(Probe(), make_instance(times, servers, m=3))
+
+    def test_no_prefix_rescans_while_polling(self):
+        driver = self._driver()
+        spy = _SpySlices(driver.stream)
+        driver.stream = spy
+        seen = []
+        while not driver.done:
+            driver.step()
+            seen.append(driver.requests_delivered)  # poll per event
+        assert seen == list(range(1, len(spy) + 1))
+        assert spy.slice_reads == 0
+
+    def test_counter_matches_recount_at_every_step(self):
+        driver = self._driver(n=50)
+        while not driver.done:
+            driver.step()
+            recount = sum(
+                1
+                for ev in driver.stream[: driver.pos]
+                if ev.kind == "request"
+            )
+            assert driver.requests_delivered == recount
+
+    def test_legacy_snapshot_fallback_recounts_once(self):
+        # A driver unpickled from an old snapshot has no counter yet:
+        # the first read recounts the prefix, later reads reuse it.
+        driver = self._driver(n=30)
+        for _ in range(10):
+            driver.step()
+        driver._requests_delivered = None  # simulate pre-counter pickle
+        spy = _SpySlices(driver.stream)
+        driver.stream = spy
+        assert driver.requests_delivered == 10
+        assert spy.slice_reads == 1
+        assert driver.requests_delivered == 10
+        assert spy.slice_reads == 1  # cached, no second rescan
+        driver.step()
+        assert driver.requests_delivered == 11
+        assert spy.slice_reads == 1
+
+
+class TestReplayFastPath:
+    """The array-backed fast path must be indistinguishable from the
+    stepwise driver on fault-free runs."""
+
+    def test_fast_equals_stepwise_for_policies(self):
+        from repro import (
+            AlwaysTransfer,
+            SpeculativeCaching,
+            SpeculativeCachingResilient,
+        )
+
+        times = [0.5 * i + 0.25 for i in range(1, 120)]
+        servers = [(i * 7) % 5 for i in range(1, 120)]
+        inst = make_instance(times, servers, m=5)
+        for factory in (
+            SpeculativeCaching,
+            AlwaysTransfer,
+            SpeculativeCachingResilient,
+        ):
+            fast = run_online(factory(), inst, fast=True)
+            slow = run_online(factory(), inst, fast=False)
+            assert fast.cost == slow.cost
+            assert fast.counters == slow.counters
+            assert fast.schedule.transfers == slow.schedule.transfers
+            assert fast.schedule.intervals == slow.schedule.intervals
+
+    def test_fast_path_hook_sequence_identical(self):
+        inst = make_instance([1.0, 2.5, 4.0], [0, 1, 1], m=2)
+        a, b = Probe(), Probe()
+        run_online(a, inst, fast=True)
+        run_online(b, inst, fast=False)
+        assert a.calls == b.calls
+
+    def test_fast_path_rejects_bad_times_like_driver(self):
+        bogus = SimpleNamespace(t=[0.0, 1.0, 0.5], n=2)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            run_online(Probe(), bogus, fast=True)
