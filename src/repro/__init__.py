@@ -56,10 +56,12 @@ from .online import (
 from .service import (
     MultiItemInstance,
     MultiItemOnlineService,
+    ServicePool,
     multi_item_workload,
     plan_shards,
     solve_offline_multi,
 )
+from .workloads import ColumnarTrace, convert_csv, mine_instance_columnar
 from .schedule import (
     Schedule,
     render_schedule,
@@ -82,6 +84,7 @@ __all__ = [
     "InvalidScheduleError",
     "LatencyModel",
     "MarkovPredictor",
+    "ColumnarTrace",
     "MultiItemInstance",
     "MultiItemOnlineService",
     "NeverDelete",
@@ -99,6 +102,7 @@ __all__ = [
     "RunJournal",
     "RunSnapshot",
     "Schedule",
+    "ServicePool",
     "SupervisedRun",
     "Supervisor",
     "SpeculativeCaching",
@@ -108,6 +112,8 @@ __all__ = [
     "multi_item_workload",
     "plan_shards",
     "solve_offline_multi",
+    "convert_csv",
+    "mine_instance_columnar",
     "double_transfer",
     "emulate",
     "optimal_cost",

@@ -25,7 +25,14 @@ Subcommands
     Solve (and with ``--policy``, serve) a multi-item trace through the
     sharded service layer; ``--processes``/``--shards`` fan the per-item
     work across a process pool with results bit-identical to serial
-    (``--verify-serial`` re-checks that on the spot).
+    (``--verify-serial`` re-checks that on the spot).  ``--transport``
+    picks the worker data plane (zero-copy shared memory by default,
+    ``pickle`` for the legacy descriptor path) and ``--pool persistent``
+    keeps one :class:`~repro.service.fabric.ServicePool` alive across
+    the solve, the online serve, and the verification pass.
+``convert``
+    Convert a CSV service log to the binary columnar container of
+    :mod:`repro.workloads.columnar` (streaming, bounded memory).
 
 Exit-code contract (stable; scripts and CI may rely on it):
 
@@ -36,7 +43,9 @@ Exit-code contract (stable; scripts and CI may rely on it):
 * ``3`` — ``supervise`` only: the deadline budget expired and a valid
   *partial* result was produced (resume later with ``--resume``).
 
-Traces use the CSV format of :mod:`repro.workloads.traces`.
+Traces use the CSV format of :mod:`repro.workloads.traces`; the
+``service`` subcommand also accepts columnar containers (detected by
+magic bytes, no flag needed).
 """
 
 from __future__ import annotations
@@ -237,11 +246,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="item partitioning: size-balanced LPT or stable name hash",
     )
     mp.add_argument(
+        "--transport", choices=["shm", "pickle"], default="shm",
+        help="worker data plane: zero-copy shared memory (default) or "
+        "per-call pickled descriptors",
+    )
+    mp.add_argument(
+        "--pool", choices=["fresh", "persistent"], default="fresh",
+        help="'persistent' keeps one shared-memory ServicePool alive "
+        "across the solve, the online serve, and --verify-serial "
+        "(requires --transport shm)",
+    )
+    mp.add_argument(
         "--verify-serial", action="store_true",
         help="re-solve serially and assert parallel results are identical",
     )
     mp.add_argument(
         "--top", type=int, default=10, help="breakdown rows to print"
+    )
+
+    cv = sub.add_parser(
+        "convert",
+        help="convert a CSV service log to the binary columnar container",
+    )
+    cv.add_argument("src", help="CSV trace path")
+    cv.add_argument("dest", help="output columnar container path")
+    cv.add_argument(
+        "--chunk-rows", type=int, default=1 << 16,
+        help="rows parsed per chunk (bounds peak memory)",
     )
 
     ep = sub.add_parser(
@@ -516,17 +547,32 @@ def _cmd_service(args: argparse.Namespace) -> int:
 
     from .analysis.tables import format_table
     from .service import MultiItemInstance, MultiItemOnlineService
-    from .service import multi_item_workload, solve_offline_multi
+    from .service import ServicePool, multi_item_workload, solve_offline_multi
+    from .workloads.columnar import is_columnar
     from .workloads.traces import read_trace
 
+    if args.pool == "persistent" and args.transport != "shm":
+        print(
+            "error: --pool persistent requires --transport shm",
+            file=sys.stderr,
+        )
+        return 2
     cost = CostModel(mu=args.mu, lam=args.lam)
     if args.trace is not None:
-        svc = MultiItemInstance.from_records(
-            read_trace(args.trace),
-            num_servers=args.servers,
-            cost=cost,
-            origin=args.origin,
-        )
+        if is_columnar(args.trace):
+            svc = MultiItemInstance.from_columnar(
+                args.trace,
+                num_servers=args.servers,
+                cost=cost,
+                origin=args.origin,
+            )
+        else:
+            svc = MultiItemInstance.from_records(
+                read_trace(args.trace),
+                num_servers=args.servers,
+                cost=cost,
+                origin=args.origin,
+            )
     else:
         svc = multi_item_workload(
             num_items=args.items,
@@ -537,21 +583,43 @@ def _cmd_service(args: argparse.Namespace) -> int:
             rng=args.seed,
         )
     print(f"service: {svc}")
-    off = solve_offline_multi(
-        svc,
-        processes=args.processes,
-        shards=args.shards,
-        shard_strategy=args.shard_strategy,
-        kernel=args.kernel,
+    pool = (
+        ServicePool(args.processes)
+        if args.pool == "persistent" and args.processes > 1
+        else None
     )
-    online = None
-    if args.policy is not None:
-        online = MultiItemOnlineService(_POLICIES[args.policy]).run(
+    try:
+        off = solve_offline_multi(
             svc,
             processes=args.processes,
             shards=args.shards,
             shard_strategy=args.shard_strategy,
+            kernel=args.kernel,
+            transport=args.transport,
+            pool=pool,
         )
+        online = None
+        if args.policy is not None:
+            online = MultiItemOnlineService(_POLICIES[args.policy]).run(
+                svc,
+                processes=args.processes,
+                shards=args.shards,
+                shard_strategy=args.shard_strategy,
+                transport=args.transport,
+                pool=pool,
+            )
+        return _report_service(args, svc, off, online)
+    finally:
+        if pool is not None:
+            pool.close()
+
+
+def _report_service(args, svc, off, online) -> int:
+    import numpy as np
+
+    from .analysis.tables import format_table
+    from .service import MultiItemOnlineService, solve_offline_multi
+
     if args.verify_serial and args.processes > 1:
         serial = solve_offline_multi(svc, kernel=args.kernel)
         same = list(serial.per_item) == list(off.per_item) and all(
@@ -603,6 +671,22 @@ def _cmd_service(args: argparse.Namespace) -> int:
         )
         for key, value in sorted(online.counters().items()):
             print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    import os
+
+    from .workloads.columnar import convert_csv
+
+    rows = convert_csv(args.src, args.dest, chunk_rows=args.chunk_rows)
+    src_bytes = os.path.getsize(args.src)
+    dest_bytes = os.path.getsize(args.dest)
+    print(
+        f"converted {rows} rows: {args.src} ({src_bytes} bytes) -> "
+        f"{args.dest} ({dest_bytes} bytes, "
+        f"{dest_bytes / max(src_bytes, 1):.2f}x)"
+    )
     return 0
 
 
@@ -674,6 +758,7 @@ _DISPATCH = {
     "chaos": _cmd_chaos,
     "supervise": _cmd_supervise,
     "service": _cmd_service,
+    "convert": _cmd_convert,
     "experiment": _cmd_experiment,
     "svg": _cmd_svg,
     "sensitivity": _cmd_sensitivity,

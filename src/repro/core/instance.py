@@ -167,14 +167,32 @@ class ProblemInstance:
             r if isinstance(r, Request) else Request(float(r[0]), int(r[1]))
             for r in requests
         ]
-        self.cost = cost if cost is not None else CostModel()
-        self.origin = int(origin)
         n = len(reqs)
         t = np.empty(n + 1, dtype=np.float64)
         srv = np.empty(n + 1, dtype=np.int64)
-        t[0], srv[0] = float(start_time), self.origin
+        t[0], srv[0] = float(start_time), int(origin)
         for i, r in enumerate(reqs, start=1):
             t[i], srv[i] = r.time, r.server
+        self._init_arrays(t, srv, num_servers, cost, origin, pivot_mode)
+
+    def _init_arrays(
+        self,
+        t: np.ndarray,
+        srv: np.ndarray,
+        num_servers: Optional[int],
+        cost: Optional[CostModel],
+        origin: int,
+        pivot_mode: str,
+    ) -> None:
+        """Shared tail of construction: validate, pre-scan, freeze.
+
+        ``t``/``srv`` are the full length ``n+1`` arrays including the
+        boundary request ``r_0`` at index 0; both are owned by the
+        instance from here on (callers must pass fresh copies).
+        """
+        self.cost = cost if cost is not None else CostModel()
+        self.origin = int(origin)
+        n = t.shape[0] - 1
         if np.any(np.diff(t) <= 0):
             bad = int(np.flatnonzero(np.diff(t) <= 0)[0])
             raise InvalidInstanceError(
@@ -208,9 +226,21 @@ class ProblemInstance:
         cls,
         times: Sequence[float],
         servers: Sequence[int],
-        **kwargs,
+        num_servers: Optional[int] = None,
+        cost: Optional[CostModel] = None,
+        origin: int = 0,
+        start_time: float = 0.0,
+        pivot_mode: str = "auto",
     ) -> "ProblemInstance":
-        """Build an instance from parallel ``times``/``servers`` arrays."""
+        """Build an instance from parallel ``times``/``servers`` arrays.
+
+        This is the array-native construction path: the inputs are copied
+        straight into the instance's ``t``/``srv`` arrays (read-only views
+        such as shared-memory or memory-mapped columns are fine) and the
+        per-request Python loop of ``__init__`` is skipped entirely.
+        Values, validation, and the pre-scan are identical to the
+        request-object path — only the construction cost differs.
+        """
         times = np.asarray(times, dtype=np.float64)
         servers = np.asarray(servers, dtype=np.int64)
         if times.shape != servers.shape:
@@ -218,7 +248,19 @@ class ProblemInstance:
                 f"times and servers must have equal length, got "
                 f"{times.shape} vs {servers.shape}"
             )
-        return cls(zip(times.tolist(), servers.tolist()), **kwargs)
+        if times.ndim != 1:
+            raise InvalidInstanceError(
+                f"times and servers must be 1-D, got shape {times.shape}"
+            )
+        n = times.shape[0]
+        t = np.empty(n + 1, dtype=np.float64)
+        srv = np.empty(n + 1, dtype=np.int64)
+        t[0], srv[0] = float(start_time), int(origin)
+        t[1:] = times
+        srv[1:] = servers
+        self = cls.__new__(cls)
+        self._init_arrays(t, srv, num_servers, cost, origin, pivot_mode)
+        return self
 
     def _freeze(self) -> None:
         for arr in (self.t, self.srv, self.p, self.sigma, self.b, self.B):

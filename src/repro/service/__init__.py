@@ -1,7 +1,9 @@
 """Multi-item service layer (exact per-item decomposition, sharded parallel)."""
 
+from .fabric import SEGMENT_PREFIX, ServicePool, active_segments
 from .sharding import SHARD_STRATEGIES, plan_shards
 from .multi import (
+    TRANSPORTS,
     MultiItemInstance,
     MultiItemOfflineResult,
     MultiItemOnlineService,
@@ -11,7 +13,11 @@ from .multi import (
 
 __all__ = [
     "MultiItemInstance",
+    "SEGMENT_PREFIX",
     "SHARD_STRATEGIES",
+    "ServicePool",
+    "TRANSPORTS",
+    "active_segments",
     "plan_shards",
     "MultiItemOfflineResult",
     "MultiItemOnlineService",

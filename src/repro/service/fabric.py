@@ -1,0 +1,575 @@
+"""Zero-copy shared-memory data plane for the multi-item service layer.
+
+The pickled transport of :mod:`repro.service.sharding` re-serialises every
+shard descriptor into a *fresh* process pool on every call: pool spawn,
+pickle out, instance rebuild, result pickle back.  After the PR-4 kernel
+work the solve itself is cheap enough that this data movement dominates
+the service layer's wall clock.  This module removes it:
+
+* :class:`ServiceArena` — the packed raw request arrays of one
+  :class:`~repro.service.multi.MultiItemInstance` living in a single
+  :class:`multiprocessing.shared_memory.SharedMemory` block.  Workers
+  attach **once** per (worker, service) pair and read the columns as
+  numpy views — no per-call pickling, no copies.
+* :class:`ResultRegion` — a preallocated shared block sized for the
+  service's per-item DP result arrays (``C``/``D``/``served_by_cache``/
+  ``choice_d_tag``/``choice_d_k``).  Workers write their slices in
+  place; the merge step copies them out with plain ``memcpy`` instead of
+  un-pickling megabytes of arrays.
+* :class:`ServicePool` — a persistent, lazily spawned process pool that
+  owns both regions, caches worker-side instance builds across calls,
+  survives worker crashes (broken pools are respawned and the call
+  retried — the arenas outlive the workers), and **guarantees unlink**
+  of every segment it created on ``close()``, garbage collection of the
+  service object, interpreter exit, and error paths.
+
+Segment lifetime rules (also documented in ``docs/API.md``):
+
+* Only the parent process ever calls ``unlink()``; workers attach
+  untracked and never close (their mappings die with the process).
+* Every segment name carries the :data:`SEGMENT_PREFIX` prefix so tests
+  and CI can scan ``/dev/shm`` for leaks, and every live segment is
+  recorded in a module-level registry (:func:`active_segments`).
+* An ``atexit`` hook releases anything still live at interpreter exit.
+
+Determinism: the arena stores the instances' own ``t``/``srv`` bytes and
+workers rebuild instances with the same deterministic constructor used
+serially, so results through this transport are bit-identical to serial
+solves — the same guarantee (and tests) the pickled transport carries.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import uuid
+import weakref
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import shared_memory
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.types import CostModel
+from ..offline.dp import solve_offline
+from ..offline.result import OfflineResult
+from ..online.base import OnlineAlgorithm
+from ..sim.recorder import OnlineRunResult
+from .sharding import plan_shards
+
+__all__ = ["ServicePool", "ServiceArena", "ResultRegion", "active_segments", "SEGMENT_PREFIX"]
+
+#: Prefix of every shared-memory segment this module creates.  CI and the
+#: leak tests scan ``/dev/shm`` for this prefix after runs.
+SEGMENT_PREFIX = "reprosvc"
+
+#: Byte alignment of every array inside a segment (cache-line friendly,
+#: and keeps float64 views aligned regardless of neighbouring columns).
+_ALIGN = 64
+
+#: Parent-side registry of live segments: name -> SharedMemory.
+_LIVE_SEGMENTS: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def active_segments() -> Tuple[str, ...]:
+    """Names of the shared-memory segments this process currently owns.
+
+    Empty after every ``ServicePool.close()`` / context exit — the leak
+    tests and the CI job assert exactly that.
+    """
+    return tuple(sorted(_LIVE_SEGMENTS))
+
+
+def _new_segment(nbytes: int) -> shared_memory.SharedMemory:
+    name = f"{SEGMENT_PREFIX}-{os.getpid()}-{uuid.uuid4().hex[:12]}"
+    shm = shared_memory.SharedMemory(name=name, create=True, size=max(nbytes, 1))
+    _LIVE_SEGMENTS[shm.name] = shm
+    return shm
+
+
+def _release_segment(shm: Optional[shared_memory.SharedMemory]) -> None:
+    """Close + unlink a parent-owned segment; idempotent and non-raising."""
+    if shm is None:
+        return
+    _LIVE_SEGMENTS.pop(shm.name, None)
+    for op in (shm.close, shm.unlink):
+        try:
+            op()
+        except (FileNotFoundError, BufferError):  # already gone / view alive
+            pass
+
+
+@atexit.register
+def _release_all_segments() -> None:  # pragma: no cover - exit hook
+    for shm in list(_LIVE_SEGMENTS.values()):
+        _release_segment(shm)
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Worker-side attach that leaves unlink ownership with the parent.
+
+    ``SharedMemory(name=...)`` registers the segment with the process's
+    resource tracker even when merely attaching; on worker exit the
+    tracker would then unlink (or warn about) a segment the parent still
+    owns.  Python 3.13 grew ``track=False`` for exactly this; on older
+    interpreters we suppress the registration call for the duration of
+    the attach.  (Unregistering *after* the attach would be wrong there:
+    fork-started workers share the parent's tracker process, whose cache
+    is one set per resource type, so a worker-side unregister would
+    erase the parent's own registration and break its unlink.)
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        from multiprocessing import resource_tracker
+
+        orig_register = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None  # type: ignore[assignment]
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = orig_register
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+# ---------------------------------------------------------------------------
+# Arena: the service's raw request columns, packed once, attached per worker.
+# ---------------------------------------------------------------------------
+
+#: Per-item arena entry: (name, n, t_offset, srv_offset, origin, start_time,
+#: pivot_mode).  Travels to workers as a plain tuple — a few dozen bytes per
+#: item versus the kilobytes the pickled transport ships.
+ArenaEntry = Tuple[str, int, int, int, int, float, str]
+
+
+class ServiceArena:
+    """A service's packed ``t``/``srv`` columns in one shared block."""
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        entries: Dict[str, ArenaEntry],
+        num_servers: int,
+        cost: CostModel,
+    ):
+        self.shm = shm
+        self.entries = entries
+        self.num_servers = num_servers
+        self.cost = cost
+
+    @classmethod
+    def pack(cls, service) -> "ServiceArena":
+        """Copy every item's request columns into a fresh segment."""
+        offset = 0
+        slots: List[Tuple[str, ProblemInstance, int, int]] = []
+        for name, inst in service.items.items():
+            t_off = _aligned(offset)
+            srv_off = _aligned(t_off + inst.n * 8)
+            offset = srv_off + inst.n * 8
+            slots.append((name, inst, t_off, srv_off))
+        shm = _new_segment(offset)
+        try:
+            entries: Dict[str, ArenaEntry] = {}
+            for name, inst, t_off, srv_off in slots:
+                n = inst.n
+                t_view = np.frombuffer(shm.buf, np.float64, n, t_off)
+                s_view = np.frombuffer(shm.buf, np.int64, n, srv_off)
+                t_view[:] = inst.t[1:]
+                s_view[:] = inst.srv[1:]
+                entries[name] = (
+                    name,
+                    n,
+                    t_off,
+                    srv_off,
+                    inst.origin,
+                    float(inst.t[0]),
+                    inst._pivots.mode,
+                )
+            return cls(shm, entries, service.num_servers, service.cost)
+        except BaseException:
+            _release_segment(shm)
+            raise
+
+    def release(self) -> None:
+        """Unlink the segment (parent-side; idempotent)."""
+        _release_segment(self.shm)
+        self.shm = None
+
+
+# ---------------------------------------------------------------------------
+# Result region: per-item DP output arrays at precomputed offsets.
+# ---------------------------------------------------------------------------
+
+#: Per-item result entry: (C_off, D_off, served_off, tag_off, k_off, n).
+ResultEntry = Tuple[int, int, int, int, int, int]
+
+#: (dtype, bytes-per-element) of the five OfflineResult arrays, in order.
+_RESULT_FIELDS = (
+    (np.float64, 8),  # C
+    (np.float64, 8),  # D
+    (np.bool_, 1),  # served_by_cache
+    (np.int64, 8),  # choice_d_tag
+    (np.int64, 8),  # choice_d_k
+)
+
+
+def _result_views(
+    buf, entry: ResultEntry
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    n1 = entry[5] + 1
+    return tuple(  # type: ignore[return-value]
+        np.frombuffer(buf, dtype, n1, off)
+        for (dtype, _), off in zip(_RESULT_FIELDS, entry[:5])
+    )
+
+
+class ResultRegion:
+    """Preallocated shared block for every item's solve output."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, entries: Dict[str, ResultEntry]):
+        self.shm = shm
+        self.entries = entries
+
+    @classmethod
+    def allocate(cls, service) -> "ResultRegion":
+        offset = 0
+        entries: Dict[str, ResultEntry] = {}
+        for name, inst in service.items.items():
+            n1 = inst.n + 1
+            offs = []
+            for _, width in _RESULT_FIELDS:
+                offset = _aligned(offset)
+                offs.append(offset)
+                offset += n1 * width
+            entries[name] = (*offs, inst.n)  # type: ignore[assignment]
+        return cls(_new_segment(offset), entries)
+
+    def read_item(self, name: str) -> Tuple[np.ndarray, ...]:
+        """Copy one item's arrays out of the region (plain memcpy)."""
+        return tuple(
+            np.array(v, copy=True) for v in _result_views(self.shm.buf, self.entries[name])
+        )
+
+    def release(self) -> None:
+        _release_segment(self.shm)
+        self.shm = None
+
+
+# ---------------------------------------------------------------------------
+# Worker side.  Workers cache attached segments and built instances across
+# calls — the whole point of the persistent pool: attach once, rebuild once,
+# then every subsequent call is pure solve.
+# ---------------------------------------------------------------------------
+
+#: arena segment name -> (SharedMemory, {item name: ProblemInstance}).
+_WORKER_ARENAS: "OrderedDict[str, Tuple[shared_memory.SharedMemory, Dict[str, ProblemInstance]]]" = OrderedDict()
+#: result segment name -> SharedMemory.
+_WORKER_RESULTS: "OrderedDict[str, shared_memory.SharedMemory]" = OrderedDict()
+#: Worker-side cache caps (per segment kind).  Old entries just drop their
+#: *references* — unlink stays with the parent.
+_WORKER_CACHE_CAP = 8
+
+
+def _worker_cache_put(cache: OrderedDict, key: str, value) -> None:
+    cache[key] = value
+    cache.move_to_end(key)
+    while len(cache) > _WORKER_CACHE_CAP:
+        cache.popitem(last=False)
+
+
+def _worker_arena(arena_name: str):
+    hit = _WORKER_ARENAS.get(arena_name)
+    if hit is None:
+        hit = (_attach_untracked(arena_name), {})
+        _worker_cache_put(_WORKER_ARENAS, arena_name, hit)
+    return hit
+
+
+def _worker_instance(
+    arena_name: str, meta: Tuple[int, float, float], entry: ArenaEntry
+) -> ProblemInstance:
+    shm, instances = _worker_arena(arena_name)
+    name, n, t_off, srv_off, origin, start, pivot_mode = entry
+    inst = instances.get(name)
+    if inst is None:
+        m, mu, lam = meta
+        inst = ProblemInstance.from_arrays(
+            np.frombuffer(shm.buf, np.float64, n, t_off),
+            np.frombuffer(shm.buf, np.int64, n, srv_off),
+            num_servers=m,
+            cost=CostModel(mu=mu, lam=lam),
+            origin=origin,
+            start_time=start,
+            pivot_mode=pivot_mode,
+        )
+        instances[name] = inst
+    return inst
+
+
+def _worker_solve_shard(
+    arena_name: str,
+    meta: Tuple[int, float, float],
+    entries: Sequence[ArenaEntry],
+    kernel: str,
+    result_name: str,
+    result_entries: Sequence[ResultEntry],
+) -> List[Tuple[str, str]]:
+    """Solve one shard, writing result arrays into the shared region.
+
+    Returns only ``(item name, solver tag)`` pairs — the arrays never
+    cross the pipe.
+    """
+    res_shm = _WORKER_RESULTS.get(result_name)
+    if res_shm is None:
+        res_shm = _attach_untracked(result_name)
+        _worker_cache_put(_WORKER_RESULTS, result_name, res_shm)
+    out: List[Tuple[str, str]] = []
+    for entry, res_entry in zip(entries, result_entries):
+        inst = _worker_instance(arena_name, meta, entry)
+        res = solve_offline(inst, kernel=kernel)
+        views = _result_views(res_shm.buf, res_entry)
+        for view, src in zip(
+            views,
+            (res.C, res.D, res.served_by_cache, res.choice_d_tag, res.choice_d_k),
+        ):
+            view[:] = src
+        out.append((entry[0], res.solver))
+    return out
+
+
+def _worker_run_shard(
+    arena_name: str,
+    meta: Tuple[int, float, float],
+    entries: Sequence[ArenaEntry],
+    policy_factory: Callable[[], OnlineAlgorithm],
+) -> List[Tuple[str, OnlineRunResult]]:
+    """Serve one shard online.  Inputs arrive zero-copy via the arena;
+    results (schedules, counters — policy artefacts, not fixed-size
+    arrays) return through the pipe as in the pickled transport."""
+    out: List[Tuple[str, OnlineRunResult]] = []
+    for entry in entries:
+        inst = _worker_instance(arena_name, meta, entry)
+        out.append((entry[0], policy_factory().run(inst)))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The persistent pool.
+# ---------------------------------------------------------------------------
+
+
+class ServicePool:
+    """Persistent zero-copy process pool for the multi-item service layer.
+
+    Parameters
+    ----------
+    processes:
+        Worker count (``>= 1``).  Workers spawn lazily on the first
+        :meth:`solve`/:meth:`serve` call and are reused across calls and
+        across services until :meth:`close`.
+
+    Usage::
+
+        with ServicePool(processes=4) as pool:
+            off = pool.solve(service)           # packs + attaches once
+            off2 = pool.solve(service)          # pure solve: arrays cached
+            runs = pool.serve(service, SpeculativeCaching)
+
+    Every shared segment the pool creates is unlinked on ``close()`` (the
+    context manager calls it), when the owning service object is garbage
+    collected, and at interpreter exit.  A crashed worker breaks only the
+    in-flight call: the pool respawns its executor and retries once —
+    the arenas are parent-owned and survive.
+    """
+
+    def __init__(self, processes: int):
+        if processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        self.processes = processes
+        self._executor: Optional[ProcessPoolExecutor] = None
+        #: id(service) -> (weakref, ServiceArena, ResultRegion, finalizer)
+        self._services: Dict[int, Tuple] = {}
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise RuntimeError("ServicePool is closed")
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.processes)
+        return self._executor
+
+    def _respawn_executor(self) -> ProcessPoolExecutor:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        return self._ensure_executor()
+
+    def close(self) -> None:
+        """Shut workers down and unlink every segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+        for key in list(self._services):
+            entry = self._services.pop(key, None)
+            if entry is None:
+                continue
+            _, arena, region, finalizer = entry
+            finalizer.detach()
+            arena.release()
+            region.release()
+
+    def __enter__(self) -> "ServicePool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - gc safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- region management ---------------------------------------------------
+
+    @staticmethod
+    def _release_service_entry(arena: ServiceArena, region: ResultRegion) -> None:
+        arena.release()
+        region.release()
+
+    def _regions_for(self, service) -> Tuple[ServiceArena, ResultRegion]:
+        """Pack (or look up) the arena + result region of a service.
+
+        Keyed by object identity with a weakref guard: when the service
+        is garbage collected its segments are unlinked immediately, so a
+        long-lived pool serving many workloads cannot accumulate
+        segments for dead services.
+        """
+        key = id(service)
+        entry = self._services.get(key)
+        if entry is not None and entry[0]() is service:
+            return entry[1], entry[2]
+        arena = ServiceArena.pack(service)
+        try:
+            region = ResultRegion.allocate(service)
+        except BaseException:
+            arena.release()
+            raise
+        finalizer = weakref.finalize(
+            service, self._release_service_entry, arena, region
+        )
+        self._services[key] = (weakref.ref(service), arena, region, finalizer)
+        return arena, region
+
+    # -- submission with crash recovery --------------------------------------
+
+    def _run_tasks(self, fn, tasks: List[tuple]) -> List[list]:
+        """Submit one task per shard; respawn + retry once on a broken pool."""
+        last_error: Optional[BaseException] = None
+        for attempt in range(2):
+            executor = (
+                self._ensure_executor() if attempt == 0 else self._respawn_executor()
+            )
+            futures = [executor.submit(fn, *task) for task in tasks]
+            try:
+                return [f.result() for f in futures]
+            except BrokenProcessPool as exc:
+                last_error = exc
+        raise RuntimeError(
+            "service pool broke twice in a row (workers crashing on this "
+            "workload?)"
+        ) from last_error
+
+    # -- public API ----------------------------------------------------------
+
+    def solve(
+        self,
+        service,
+        shards: Optional[int] = None,
+        shard_strategy: str = "size",
+        kernel: str = "auto",
+    ):
+        """Zero-copy parallel twin of :func:`repro.service.multi.solve_offline_multi`.
+
+        Bit-identical to the serial solve: same ``per_item`` key order,
+        same arrays, same totals.
+        """
+        from .multi import MultiItemOfflineResult
+
+        arena, region = self._regions_for(service)
+        plan = plan_shards(service.items, shards or self.processes, shard_strategy)
+        meta = (service.num_servers, service.cost.mu, service.cost.lam)
+        tasks = [
+            (
+                arena.shm.name,
+                meta,
+                [arena.entries[name] for name in shard],
+                kernel,
+                region.shm.name,
+                [region.entries[name] for name in shard],
+            )
+            for shard in plan
+        ]
+        acks = self._run_tasks(_worker_solve_shard, tasks)
+        solver_by_item = {name: solver for chunk in acks for name, solver in chunk}
+        missing = set(service.items) - set(solver_by_item)
+        if missing:  # pragma: no cover - would indicate a sharding bug
+            raise RuntimeError(f"shard merge lost items: {sorted(missing)}")
+        per_item: Dict[str, OfflineResult] = {}
+        for name, inst in service.items.items():
+            C, D, served, tag, k = region.read_item(name)
+            per_item[name] = OfflineResult(
+                instance=inst,
+                C=C,
+                D=D,
+                served_by_cache=served,
+                choice_d_tag=tag,
+                choice_d_k=k,
+                solver=solver_by_item[name],
+            )
+        return MultiItemOfflineResult(per_item=per_item)
+
+    def serve(
+        self,
+        service,
+        policy_factory: Callable[[], OnlineAlgorithm],
+        shards: Optional[int] = None,
+        shard_strategy: str = "size",
+    ) -> Dict[str, OnlineRunResult]:
+        """Zero-copy-input parallel online serve; returns item -> run."""
+        from ..analysis.parallel import _check_picklable_callable
+
+        _check_picklable_callable(policy_factory)
+        arena, _ = self._regions_for(service)
+        plan = plan_shards(service.items, shards or self.processes, shard_strategy)
+        meta = (service.num_servers, service.cost.mu, service.cost.lam)
+        tasks = [
+            (
+                arena.shm.name,
+                meta,
+                [arena.entries[name] for name in shard],
+                policy_factory,
+            )
+            for shard in plan
+        ]
+        results = self._run_tasks(_worker_run_shard, tasks)
+        merged = {name: run for chunk in results for name, run in chunk}
+        missing = set(service.items) - set(merged)
+        if missing:  # pragma: no cover - would indicate a sharding bug
+            raise RuntimeError(f"shard merge lost items: {sorted(missing)}")
+        return {name: merged[name] for name in service.items}

@@ -105,6 +105,61 @@ class MultiItemInstance:
         }
         return cls(items)
 
+    @classmethod
+    def from_columnar(
+        cls,
+        trace,
+        num_servers: Optional[int] = None,
+        cost: Optional[CostModel] = None,
+        origin: int = 0,
+    ) -> "MultiItemInstance":
+        """Build the service straight from a columnar trace (zero rows).
+
+        ``trace`` is a :class:`~repro.workloads.columnar.ColumnarTrace`
+        or a path to one.  Per-item sequences are carved out of the
+        mapped columns with vectorized masks — no intermediate
+        :class:`~repro.workloads.traces.TraceRecord` objects — and each
+        is mined with the same construction as :meth:`from_records`, so
+        the result is bit-identical to the CSV path on the same log.
+        Items keep first-appearance order, matching ``from_records``'s
+        insertion order.
+        """
+        from ..workloads.columnar import ColumnarTrace, _mine_selected
+
+        if not isinstance(trace, ColumnarTrace):
+            trace = ColumnarTrace.open(trace)
+        if trace.rows == 0:
+            raise InvalidInstanceError("need at least one item")
+        if num_servers is None:
+            num_servers = int(trace.servers.max()) + 1
+        # One stable argsort groups the rows by raw item id while keeping
+        # original row order inside each group — O(rows log rows) total,
+        # versus one full-column scan per item.
+        ids = np.asarray(trace.item_ids)
+        order = np.argsort(ids, kind="stable")
+        bounds = np.flatnonzero(np.diff(ids[order])) + 1
+        segments = np.split(order, bounds)
+        # Group raw ids under their display names ("" defaults to
+        # "item-0", exactly like from_records), in first-appearance row
+        # order so the dict key order matches the CSV path.
+        groups: Dict[str, List[np.ndarray]] = {}
+        for seg in sorted(segments, key=lambda s: int(s[0])):
+            name = trace.item_table[int(ids[seg[0]])] or "item-0"
+            groups.setdefault(name, []).append(seg)
+        times, servers = trace.times, trace.servers
+        items: Dict[str, ProblemInstance] = {}
+        for name, segs in groups.items():
+            idx = segs[0] if len(segs) == 1 else np.sort(np.concatenate(segs))
+            items[name] = _mine_selected(
+                times[idx],
+                servers[idx],
+                num_servers=num_servers,
+                cost=cost,
+                origin=origin,
+                min_gap=1e-9,
+            )
+        return cls(items)
+
     @property
     def num_items(self) -> int:
         """Number of hosted items."""
@@ -191,12 +246,18 @@ def _merge_shard_results(
     return {name: merged[name] for name in service.items}
 
 
+#: Valid ``transport=`` values for the parallel service paths.
+TRANSPORTS = ("shm", "pickle")
+
+
 def solve_offline_multi(
     service: MultiItemInstance,
     processes: Optional[int] = None,
     shards: Optional[int] = None,
     shard_strategy: str = "size",
     kernel: str = "auto",
+    transport: str = "shm",
+    pool: Optional["ServicePool"] = None,
 ) -> MultiItemOfflineResult:
     """Optimal service-level schedule: per-item fast DP, exact by
     decomposition (no capacity coupling in the homogeneous model).
@@ -218,13 +279,32 @@ def solve_offline_multi(
         DP sweep per item — ``"auto"`` / ``"frontier"`` /
         ``"reference"``, forwarded to
         :func:`repro.offline.dp.solve_offline` serially and carried
-        inside each shard descriptor in parallel runs.
+        into the workers in parallel runs.
+    transport:
+        ``"shm"`` (default) ships shards through the zero-copy
+        shared-memory fabric (:mod:`repro.service.fabric`);
+        ``"pickle"`` uses the per-call pickled descriptors of
+        :mod:`repro.service.sharding`.  Purely a throughput knob.
+    pool:
+        A persistent :class:`~repro.service.fabric.ServicePool` to
+        reuse across calls (implies the shm transport; its worker
+        count wins over ``processes``).  Without one, ``processes > 1``
+        spins up an ephemeral pool for this call and tears it down —
+        segments unlinked — before returning, error or not.
 
     Whatever the knobs, the result is bit-identical to the serial solve:
     same ``per_item`` key order, same cost vectors, same totals.
     """
     if processes is not None and processes < 1:
         raise ValueError(f"processes must be >= 1, got {processes}")
+    if transport not in TRANSPORTS:
+        raise ValueError(
+            f"transport must be one of {TRANSPORTS}, got {transport!r}"
+        )
+    if pool is not None:
+        return pool.solve(
+            service, shards=shards, shard_strategy=shard_strategy, kernel=kernel
+        )
     if processes is None or processes == 1:
         return MultiItemOfflineResult(
             per_item={
@@ -232,6 +312,16 @@ def solve_offline_multi(
                 for name, inst in service.items.items()
             }
         )
+    if transport == "shm":
+        from .fabric import ServicePool
+
+        with ServicePool(processes) as ephemeral:
+            return ephemeral.solve(
+                service,
+                shards=shards,
+                shard_strategy=shard_strategy,
+                kernel=kernel,
+            )
     tasks = _shard_solve_tasks(
         service, shards or processes, shard_strategy, kernel
     )
@@ -262,6 +352,8 @@ class MultiItemOnlineService:
         processes: Optional[int] = None,
         shards: Optional[int] = None,
         shard_strategy: str = "size",
+        transport: str = "shm",
+        pool: Optional["ServicePool"] = None,
     ) -> "MultiItemOnlineService":
         """Serve every item's stream; returns self for chaining.
 
@@ -270,17 +362,44 @@ class MultiItemOnlineService:
         as in :func:`repro.service.sharding.plan_shards`).  The policy
         factory must then be picklable — a module-level callable such as
         the policy class itself, not a lambda; this is checked *before*
-        the pool spawns.  Each item still gets a fresh policy from the
-        factory, so ``runs`` is bit-identical to a serial run: same key
-        order, same costs, same counters.
+        the pool spawns.  ``transport``/``pool`` select how request
+        sequences reach the workers, exactly as in
+        :func:`solve_offline_multi` — shared-memory fabric by default,
+        ``"pickle"`` for the per-call descriptor path.  Each item still
+        gets a fresh policy from the factory, so ``runs`` is
+        bit-identical to a serial run: same key order, same costs, same
+        counters.
         """
         if processes is not None and processes < 1:
             raise ValueError(f"processes must be >= 1, got {processes}")
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {TRANSPORTS}, got {transport!r}"
+            )
+        if pool is not None:
+            self.runs = pool.serve(
+                service,
+                self.policy_factory,
+                shards=shards,
+                shard_strategy=shard_strategy,
+            )
+            return self
         if processes is None or processes == 1:
             self.runs = {
                 name: self.policy_factory().run(inst)
                 for name, inst in service.items.items()
             }
+            return self
+        if transport == "shm":
+            from .fabric import ServicePool
+
+            with ServicePool(processes) as ephemeral:
+                self.runs = ephemeral.serve(
+                    service,
+                    self.policy_factory,
+                    shards=shards,
+                    shard_strategy=shard_strategy,
+                )
             return self
         _check_picklable_callable(self.policy_factory)
         tasks = [

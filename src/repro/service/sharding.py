@@ -94,14 +94,21 @@ def plan_shards(
 
 
 # ---------------------------------------------------------------------------
-# Shard descriptors and workers (module-level so they survive pickling into
-# a process pool).  Shards travel as *packed* descriptors — the raw request
-# arrays plus construction parameters, never the pre-scanned instance.  The
-# pivot matrix alone is ``m × n`` int64, an order of magnitude more bytes
-# than the arrays it derives from, and instance construction is
-# deterministic — so rebuilding in the worker both shrinks the outbound
-# pickle and moves the O(mn) pre-scan into the parallel section while
-# keeping results bit-identical.
+# The *pickle transport*: shard descriptors and workers (module-level so
+# they survive pickling into a process pool).  This is one of two
+# transports the service layer offers — the other is the zero-copy
+# shared-memory fabric of :mod:`repro.service.fabric`, which ships the
+# same raw columns through a SharedMemory arena instead of the pool pipe
+# and is the default (``transport="shm"``).  Here, shards travel as
+# *packed* descriptors — the raw request arrays plus construction
+# parameters, never the pre-scanned instance.  The pivot matrix alone is
+# ``m × n`` int64, an order of magnitude more bytes than the arrays it
+# derives from, and instance construction is deterministic — so
+# rebuilding in the worker both shrinks the outbound pickle and moves
+# the O(mn) pre-scan into the parallel section while keeping results
+# bit-identical.  Both transports rebuild instances with the same
+# deterministic constructor, so results agree bit-for-bit with each
+# other and with serial runs.
 # ---------------------------------------------------------------------------
 
 
@@ -137,7 +144,7 @@ def _unpack_item(desc: Tuple) -> Tuple[str, ProblemInstance]:
 def _solve_shard(
     descs: Sequence[Tuple], kernel: str = "auto"
 ) -> List[Tuple[str, OfflineResult]]:
-    """Solve every item in one shard with the fast DP.
+    """Solve every item in one shard with the fast DP (pickle transport).
 
     ``kernel`` selects the DP sweep (``"auto"``/``"frontier"``/
     ``"reference"``, see :func:`repro.offline.dp.solve_offline`) — the
@@ -147,7 +154,10 @@ def _solve_shard(
     The rebuilt instance is stripped from each result before it crosses
     back over the pool boundary — the parent holds the equivalent object
     and re-attaches it on merge, so only the DP's cost/choice vectors pay
-    the return pickle.
+    the return pickle.  (The shm transport goes further: workers write
+    those vectors into a preallocated shared result region and return
+    only ``(name, solver)`` acks — see
+    :func:`repro.service.fabric._worker_solve_shard`.)
     """
     out: List[Tuple[str, OfflineResult]] = []
     for desc in descs:

@@ -12,28 +12,42 @@ from .synthetic import (
     renewal_instance,
     zipf_weights,
 )
+from .columnar import (
+    ColumnarTrace,
+    convert_csv,
+    is_columnar,
+    mine_instance_columnar,
+    read_columnar,
+    write_columnar,
+)
 from .traces import TraceRecord, mine_instance, read_trace, write_trace
 from .trajectory import MarkovMobility, RandomWaypoint, merge_streams
 
 __all__ = [
+    "ColumnarTrace",
     "MarkovMobility",
     "RandomWaypoint",
     "TraceRecord",
     "arrival_gaps",
     "choose_servers",
+    "convert_csv",
     "diurnal_instance",
     "diurnal_rate",
     "empirical_entropy",
     "flash_crowd_instance",
+    "is_columnar",
     "lz_entropy_rate",
     "max_predictability",
     "merge_streams",
     "mine_instance",
+    "mine_instance_columnar",
     "mmpp_instance",
     "poisson_zipf_instance",
     "random_instance",
+    "read_columnar",
     "read_trace",
     "renewal_instance",
+    "write_columnar",
     "write_trace",
     "zipf_weights",
 ]

@@ -124,9 +124,51 @@ def mine_instance(
     rows = sorted(rows, key=lambda r: r.time)
     times = np.array([r.time for r in rows], dtype=np.float64)
     servers = np.array([r.server for r in rows], dtype=np.int64)
-    for i in range(1, times.shape[0]):
+    return _columns_to_instance(
+        times,
+        servers,
+        num_servers=num_servers,
+        cost=cost,
+        origin=origin,
+        min_gap=min_gap,
+    )
+
+
+def _enforce_min_gap(times: np.ndarray, min_gap: float) -> np.ndarray:
+    """Nudge simultaneous/out-of-order stamps so times strictly increase.
+
+    Semantics are exactly the historical scalar sweep — ``times[i]``
+    becomes ``times[i - 1] + min_gap`` iff it does not already exceed
+    the (possibly nudged) predecessor — including its floating-point
+    evaluation order, so the CSV and columnar mining paths produce
+    bit-identical instances.  Already-clean logs (the common case) cost
+    one vectorized check; the scalar loop runs only from the first
+    violation onward.
+    """
+    if times.shape[0] < 2 or bool(np.all(np.diff(times) > 0)):
+        return times
+    first = int(np.flatnonzero(np.diff(times) <= 0)[0]) + 1
+    for i in range(first, times.shape[0]):
         if times[i] <= times[i - 1]:
             times[i] = times[i - 1] + min_gap
+    return times
+
+
+def _columns_to_instance(
+    times: np.ndarray,
+    servers: np.ndarray,
+    num_servers: Optional[int],
+    cost: Optional[CostModel],
+    origin: int,
+    min_gap: float,
+) -> ProblemInstance:
+    """Shared mining tail: sorted time/server columns -> instance.
+
+    ``times`` must be sorted ascending (ties in original order) and
+    writable; both the CSV and the columnar miners funnel through here,
+    which is what guarantees their results are bit-identical.
+    """
+    times = _enforce_min_gap(times, min_gap)
     start = times[0] - max(min_gap, 1e-6)
     return ProblemInstance.from_arrays(
         times,

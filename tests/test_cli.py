@@ -117,6 +117,92 @@ class TestParser:
             main(["frobnicate"])
 
 
+@pytest.fixture
+def item_trace(tmp_path):
+    from repro.workloads import TraceRecord, write_trace
+
+    rng = __import__("numpy").random.default_rng(5)
+    recs = sorted(
+        (
+            TraceRecord(
+                float(t), int(rng.integers(4)), item=f"it-{int(rng.integers(3))}"
+            )
+            for t in rng.uniform(0.0, 50.0, size=120)
+        ),
+        key=lambda r: r.time,
+    )
+    path = tmp_path / "svc.csv"
+    write_trace(recs, path)
+    return str(path)
+
+
+class TestService:
+    def test_synthetic_persistent_pool_verifies(self, capsys):
+        rc = main(
+            [
+                "service", "--items", "4", "-n", "120", "-m", "4",
+                "--processes", "2", "--pool", "persistent",
+                "--policy", "sc", "--verify-serial", "--seed", "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bit-identical to serial" in out
+        assert "off-line optimal total" in out
+
+    def test_columnar_trace_is_sniffed(self, item_trace, tmp_path, capsys):
+        col = str(tmp_path / "svc.col")
+        assert main(["convert", item_trace, col]) == 0
+        rc = main(
+            ["service", col, "--processes", "2", "--verify-serial"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bit-identical to serial" in out
+
+    def test_csv_and_columnar_totals_agree(self, item_trace, tmp_path, capsys):
+        col = str(tmp_path / "svc.col")
+        assert main(["convert", item_trace, col]) == 0
+        assert main(["service", item_trace]) == 0
+        csv_out = capsys.readouterr().out
+        assert main(["service", col]) == 0
+        col_out = capsys.readouterr().out
+        pick = lambda s: [
+            ln for ln in s.splitlines() if "off-line optimal total" in ln
+        ]
+        assert pick(csv_out) == pick(col_out)
+
+    def test_persistent_pool_requires_shm(self, capsys):
+        rc = main(
+            [
+                "service", "--items", "2", "-n", "40", "-m", "3",
+                "--processes", "2", "--pool", "persistent",
+                "--transport", "pickle",
+            ]
+        )
+        assert rc == 2
+        assert "requires --transport shm" in capsys.readouterr().err
+
+    def test_no_shm_segments_leak(self, capsys):
+        from repro.service.fabric import active_segments
+
+        assert main(
+            [
+                "service", "--items", "3", "-n", "90", "-m", "4",
+                "--processes", "2", "--pool", "persistent",
+            ]
+        ) == 0
+        assert active_segments() == ()
+
+
+class TestConvert:
+    def test_reports_rows_and_sizes(self, item_trace, tmp_path, capsys):
+        dest = str(tmp_path / "out.col")
+        assert main(["convert", item_trace, dest]) == 0
+        out = capsys.readouterr().out
+        assert "converted 120 rows" in out and "bytes" in out
+
+
 class TestChaos:
     def test_clean_sweep_exits_zero(self, capsys):
         rc = main(

@@ -1,0 +1,208 @@
+"""Columnar trace container tests: round-trips, laziness, bit-identity.
+
+The load-bearing property (hypothesis-driven below): for *any* record
+list, ``CSV -> convert_csv -> columnar -> mine`` produces exactly the
+same :class:`ProblemInstance` as mining the CSV directly — same floats,
+same de-dup nudges, same sort tie-breaking, same arrays bit for bit.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import InvalidInstanceError, MultiItemInstance
+from repro.workloads import (
+    ColumnarTrace,
+    TraceRecord,
+    convert_csv,
+    is_columnar,
+    mine_instance,
+    mine_instance_columnar,
+    read_columnar,
+    read_trace,
+    write_columnar,
+    write_trace,
+)
+
+_SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def sample_records():
+    return [
+        TraceRecord(0.5, 1, user=7, item="A"),
+        TraceRecord(0.8, 2, user=7, item="A"),
+        TraceRecord(0.9, 0, user=3, item="B"),
+        TraceRecord(1.4, 0, user=3, item="A"),
+        TraceRecord(1.4, 2, user=-1, item=""),
+    ]
+
+
+@st.composite
+def record_lists(draw):
+    """Adversarial logs: ties, out-of-order stamps, odd item names."""
+    n = draw(st.integers(min_value=1, max_value=30))
+    base_times = draw(
+        st.lists(
+            st.floats(
+                min_value=-100.0,
+                max_value=1e6,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    items = st.sampled_from(["", "A", "B", "name,with \"quotes\"", "日本"])
+    return [
+        TraceRecord(
+            time=base_times[i],
+            server=draw(st.integers(min_value=0, max_value=4)),
+            user=draw(st.integers(min_value=-1, max_value=9)),
+            item=draw(items),
+        )
+        for i in range(n)
+    ]
+
+
+class TestRoundTrip:
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "t.col"
+        write_columnar(sample_records(), path)
+        assert is_columnar(path)
+        assert read_columnar(path).to_records() == sample_records()
+
+    def test_from_records_interns_first_appearance(self):
+        ct = ColumnarTrace.from_records(sample_records())
+        assert ct.item_table == ("A", "B", "")
+        assert list(ct.item_ids) == [0, 0, 1, 0, 2]
+        assert ct.items_in_order() == ["A", "B", ""]
+
+    def test_times_survive_exactly(self, tmp_path):
+        recs = [TraceRecord(0.1 + 0.2, 0)]  # classic float artefact
+        path = tmp_path / "t.col"
+        write_columnar(recs, path)
+        assert read_columnar(path).to_records()[0].time == 0.1 + 0.2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="length"):
+            ColumnarTrace([0.5], [1, 2], [0, 0], [0, 0], [""])
+
+
+class TestLazyReader:
+    def test_open_reads_only_header(self, tmp_path):
+        path = tmp_path / "t.col"
+        write_columnar(sample_records(), path)
+        ct = read_columnar(path)
+        assert ct._columns == {}  # nothing mapped yet
+        assert ct.rows == len(sample_records())
+        _ = ct.times
+        assert set(ct._columns) == {"time"}  # only the touched column
+        assert isinstance(ct._columns["time"], np.memmap)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_trace(sample_records(), path)
+        with pytest.raises(InvalidInstanceError, match="bad magic"):
+            ColumnarTrace.open(path)
+
+    def test_corrupt_header_rejected(self, tmp_path):
+        path = tmp_path / "t.col"
+        write_columnar(sample_records(), path)
+        raw = bytearray(path.read_bytes())
+        raw[20] = 0xFF  # stomp inside the JSON header
+        path.write_bytes(bytes(raw))
+        with pytest.raises(InvalidInstanceError, match="corrupt"):
+            ColumnarTrace.open(path)
+
+
+class TestConverter:
+    def test_convert_matches_from_records(self, tmp_path):
+        csv_path, col_path = tmp_path / "t.csv", tmp_path / "t.col"
+        write_trace(sample_records(), csv_path)
+        rows = convert_csv(csv_path, col_path)
+        assert rows == len(sample_records())
+        assert read_columnar(col_path).to_records() == sample_records()
+
+    def test_tiny_chunks_equal_one_shot(self, tmp_path):
+        recs = [
+            TraceRecord(float(i) / 7, i % 3, item=f"it-{i % 5}")
+            for i in range(101)
+        ]
+        csv_path = tmp_path / "t.csv"
+        write_trace(recs, csv_path)
+        convert_csv(csv_path, tmp_path / "a.col", chunk_rows=1)
+        convert_csv(csv_path, tmp_path / "b.col", chunk_rows=1 << 16)
+        assert (tmp_path / "a.col").read_bytes() == (
+            tmp_path / "b.col"
+        ).read_bytes()
+
+    def test_no_spill_files_left(self, tmp_path):
+        csv_path = tmp_path / "t.csv"
+        write_trace(sample_records(), csv_path)
+        convert_csv(csv_path, tmp_path / "t.col")
+        assert not list(tmp_path.glob("*.spill"))
+
+    def test_bad_line_reported_and_spills_cleaned(self, tmp_path):
+        csv_path = tmp_path / "t.csv"
+        csv_path.write_text("time,server\n1.0,0\nnope,1\n")
+        with pytest.raises(InvalidInstanceError, match="bad trace line 3"):
+            convert_csv(csv_path, tmp_path / "t.col")
+        assert not list(tmp_path.glob("*.spill"))
+
+    def test_missing_header_rejected(self, tmp_path):
+        csv_path = tmp_path / "t.csv"
+        csv_path.write_text("a,b\n1,2\n")
+        with pytest.raises(InvalidInstanceError, match="header"):
+            convert_csv(csv_path, tmp_path / "t.col")
+
+    def test_bad_chunk_rows(self, tmp_path):
+        with pytest.raises(ValueError, match="chunk_rows"):
+            convert_csv(tmp_path / "t.csv", tmp_path / "t.col", chunk_rows=0)
+
+
+class TestMiningIdentity:
+    def test_item_filter_and_errors(self, tmp_path):
+        path = tmp_path / "t.col"
+        write_columnar(sample_records(), path)
+        inst = mine_instance_columnar(path, item="A", num_servers=3)
+        assert inst.n == 3
+        with pytest.raises(InvalidInstanceError, match="no rows for item"):
+            mine_instance_columnar(path, item="missing")
+
+    @given(recs=record_lists())
+    @settings(**_SETTINGS)
+    def test_csv_and_columnar_mining_bit_identical(self, recs, tmp_path_factory):
+        """CSV -> convert -> columnar mine == direct CSV mine, exactly."""
+        tmp = tmp_path_factory.mktemp("prop")
+        csv_path, col_path = tmp / "t.csv", tmp / "t.col"
+        write_trace(recs, csv_path)
+        convert_csv(csv_path, col_path, chunk_rows=7)
+        for item in {None} | {r.item for r in recs}:
+            a = mine_instance(csv_path, item=item, num_servers=5)
+            b = mine_instance_columnar(col_path, item=item, num_servers=5)
+            assert a == b  # covers t/srv/cost/origin equality
+            for fa, fb in zip(
+                (a.t, a.srv, a.p, a.sigma, a.b, a.B),
+                (b.t, b.srv, b.p, b.sigma, b.b, b.B),
+            ):
+                assert fa.tobytes() == fb.tobytes()
+
+    @given(recs=record_lists())
+    @settings(**_SETTINGS)
+    def test_service_construction_bit_identical(self, recs, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("svc")
+        csv_path, col_path = tmp / "t.csv", tmp / "t.col"
+        write_trace(recs, csv_path)
+        convert_csv(csv_path, col_path)
+        sa = MultiItemInstance.from_records(read_trace(csv_path))
+        sb = MultiItemInstance.from_columnar(col_path)
+        assert list(sa.items) == list(sb.items)
+        for k in sa.items:
+            assert sa.items[k] == sb.items[k]
+            assert sa.items[k].t.tobytes() == sb.items[k].t.tobytes()
