@@ -54,8 +54,11 @@ from .online import (
     verify_theorem3,
 )
 from .service import (
+    CacheServer,
     MultiItemInstance,
     MultiItemOnlineService,
+    RetryPolicy,
+    ServerConfig,
     ServicePool,
     multi_item_workload,
     plan_shards,
@@ -75,6 +78,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AlwaysTransfer",
     "CacheInterval",
+    "CacheServer",
     "CostModel",
     "InvalidInstanceError",
     "EmulationReport",
@@ -97,11 +101,13 @@ __all__ = [
     "RandomizedTTL",
     "RecedingHorizonPlanner",
     "ReplayDriver",
+    "RetryPolicy",
     "Request",
     "RunBudget",
     "RunJournal",
     "RunSnapshot",
     "Schedule",
+    "ServerConfig",
     "ServicePool",
     "SupervisedRun",
     "Supervisor",

@@ -33,6 +33,16 @@ Subcommands
 ``convert``
     Convert a CSV service log to the binary columnar container of
     :mod:`repro.workloads.columnar` (streaming, bounded memory).
+``serve``
+    Run the resilient live request-serving front-end
+    (:mod:`repro.service.server`): asyncio HTTP/JSON, bounded queues +
+    429 backpressure, deadline budgets, per-shard circuit breakers,
+    write-ahead journals, graceful SIGTERM drain, ``--resume`` for
+    crash-safe restart.
+``loadgen``
+    Replay a trace (or a synthetic workload) against a running server —
+    open-loop at ``--rate`` req/s or closed-loop retry-until-accepted —
+    and report latency percentiles, shed rate, and the decision digest.
 
 Exit-code contract (stable; scripts and CI may rely on it):
 
@@ -164,6 +174,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="also kill the runner at a seeded event boundary per scenario "
         "and assert kill/resume equivalence",
     )
+    ch.add_argument(
+        "--kill-server", action="store_true",
+        help="instead of the SC-R sweep, SIGKILL a live serving front-end "
+        "subprocess at seeded points under load and assert bit-identical "
+        "resume (see `serve`)",
+    )
+    ch.add_argument(
+        "--kill-points", type=int, default=5,
+        help="distinct SIGKILL points for --kill-server",
+    )
+    ch.add_argument(
+        "--items", type=int, default=6,
+        help="synthetic item count for --kill-server",
+    )
+    ch.add_argument(
+        "--shards", type=int, default=2, help="server shards for --kill-server"
+    )
 
     sv = sub.add_parser(
         "supervise",
@@ -273,6 +300,85 @@ def build_parser() -> argparse.ArgumentParser:
     cv.add_argument(
         "--chunk-rows", type=int, default=1 << 16,
         help="rows parsed per chunk (bounds peak memory)",
+    )
+
+    rp = sub.add_parser(
+        "serve", help="run the resilient live request-serving front-end"
+    )
+    rp.add_argument("--host", default="127.0.0.1")
+    rp.add_argument(
+        "--port", type=int, default=0, help="0 = ephemeral (see server.json)"
+    )
+    rp.add_argument("--shards", type=int, default=4, help="solver shard count")
+    rp.add_argument("-m", type=int, default=8, help="fleet size m")
+    rp.add_argument(
+        "--queue-depth", type=int, default=256,
+        help="bounded per-shard admission queue (429 past it)",
+    )
+    rp.add_argument(
+        "--degrade-watermark", type=float, default=0.75,
+        help="queue fraction past which service degrades to "
+        "cheapest-feasible decisions",
+    )
+    rp.add_argument(
+        "--deadline-ms", type=float, default=1000.0,
+        help="default per-request deadline budget",
+    )
+    rp.add_argument(
+        "--breaker-threshold", type=int, default=5,
+        help="consecutive shard failures that open the circuit breaker",
+    )
+    rp.add_argument(
+        "--breaker-cooldown", type=float, default=1.0,
+        help="seconds an open breaker sheds before the half-open probe",
+    )
+    rp.add_argument(
+        "--journal-dir", default=None,
+        help="per-shard write-ahead journal directory (omit = in-memory, "
+        "not crash-safe)",
+    )
+    rp.add_argument(
+        "--resume", action="store_true",
+        help="replay existing journals in --journal-dir before serving",
+    )
+    rp.add_argument(
+        "--no-sync", action="store_true",
+        help="skip fsync on journal batches (faster, last-batch durability "
+        "only as good as the page cache)",
+    )
+    rp.add_argument(
+        "--pool-processes", type=int, default=1,
+        help="ServicePool size for GET /offline verification (1 = serial)",
+    )
+
+    lg = sub.add_parser(
+        "loadgen", help="replay a trace against a running server"
+    )
+    lg.add_argument(
+        "trace", nargs="?", default=None,
+        help="columnar trace container (omit for a synthetic workload)",
+    )
+    lg.add_argument("--host", default="127.0.0.1")
+    lg.add_argument("--port", type=int, required=True)
+    lg.add_argument(
+        "--rate", type=float, default=None,
+        help="open-loop target req/s (omit for closed-loop "
+        "retry-until-accepted)",
+    )
+    lg.add_argument(
+        "--concurrency", type=int, default=8, help="client lanes/connections"
+    )
+    lg.add_argument(
+        "--retries", type=int, default=8,
+        help="closed-loop retries per event before giving up",
+    )
+    lg.add_argument("--limit", type=int, default=None, help="event cap")
+    lg.add_argument("--items", type=int, default=8, help="synthetic item count")
+    lg.add_argument("-n", type=int, default=400, help="synthetic event count")
+    lg.add_argument("-m", type=int, default=8, help="synthetic fleet size")
+    lg.add_argument("--seed", type=int, default=0, help="synthetic seed")
+    lg.add_argument(
+        "--json", default=None, help="also write the report to this path"
     )
 
     ep = sub.add_parser(
@@ -413,6 +519,8 @@ def _cmd_paper(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .faults import chaos
 
+    if args.kill_server:
+        return _cmd_chaos_server(args)
     if args.trace is not None:
         inst = _load(args)
     else:
@@ -463,6 +571,48 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.kill_runner:
         checks += ", kill/resume equivalence"
     print(f"all invariants held ({checks})")
+    return 0
+
+
+def _cmd_chaos_server(args: argparse.Namespace) -> int:
+    from .analysis.tables import format_table
+    from .faults import chaos
+    from .service.loadgen import events_from_trace, synthetic_events
+
+    if args.trace is not None:
+        events = events_from_trace(args.trace, limit=args.n)
+    else:
+        events = synthetic_events(
+            items=args.items,
+            count=args.n,
+            num_servers=args.servers if args.servers is not None else args.m,
+            seed=args.seed,
+        )
+    outcomes = chaos.server_kill_resume_suite(
+        events,
+        kill_points=args.kill_points,
+        base_seed=args.seed,
+        shards=args.shards,
+        num_servers=args.servers if args.servers is not None else args.m,
+    )
+    print(
+        format_table(
+            [o.row() for o in outcomes],
+            title=f"server kill/resume: {len(events)} events, "
+            f"{len(outcomes)} SIGKILL points, {args.shards} shards",
+        )
+    )
+    failed = [o for o in outcomes if not o.ok]
+    if failed:
+        for o in failed:
+            for msg in o.violations:
+                print(f"INVARIANT VIOLATION: {msg}", file=sys.stderr)
+        print(f"{len(failed)}/{len(outcomes)} kill points FAILED", file=sys.stderr)
+        return 1
+    print(
+        "all kill points resumed bit-identically "
+        "(merged decision digests match the uninterrupted run)"
+    )
     return 0
 
 
@@ -674,6 +824,81 @@ def _report_service(args, svc, off, online) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.server import ServerConfig, run_server
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        num_servers=args.m,
+        mu=args.mu,
+        lam=args.lam,
+        origin=args.origin,
+        kernel=args.kernel,
+        queue_depth=args.queue_depth,
+        degrade_watermark=args.degrade_watermark,
+        deadline_ms=args.deadline_ms,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        journal_dir=args.journal_dir,
+        resume=args.resume,
+        sync=not args.no_sync,
+        pool_processes=args.pool_processes,
+    )
+    return run_server(config)
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .service.loadgen import events_from_trace, replay, synthetic_events
+
+    if args.trace is not None:
+        events = events_from_trace(args.trace, limit=args.limit)
+    else:
+        events = synthetic_events(
+            items=args.items, count=args.n, num_servers=args.m, seed=args.seed
+        )
+        if args.limit is not None:
+            events = events[: args.limit]
+    result = replay(
+        args.host,
+        args.port,
+        events,
+        rate=args.rate,
+        concurrency=args.concurrency,
+        retries=args.retries,
+    )
+    report = result.to_dict()
+    mode = f"open-loop @ {args.rate:g} req/s" if args.rate else "closed-loop"
+    print(
+        f"{mode}: {report['sent']} events in {report['elapsed_s']:.2f}s "
+        f"({report['achieved_rps']:.0f} req/s achieved)"
+    )
+    print(
+        f"  accepted {report['accepted']}, shed {report['shed']} "
+        f"({report['shed_rate']:.1%}), degraded {report['degraded']}, "
+        f"duplicates {report['duplicates']}, give-ups {report['give_ups']}"
+    )
+    print(
+        f"  latency p50 {report['p50_ms']:.2f} ms, "
+        f"p90 {report['p90_ms']:.2f} ms, p99 {report['p99_ms']:.2f} ms"
+    )
+    if report["digest"] is not None:
+        print(
+            f"  server digest {report['digest']}, optimal cost "
+            f"{report['optimal_cost']:.6g}, baseline "
+            f"{report['baseline_cost']:.6g}"
+        )
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"  report written to {args.json}")
+    return 0 if report["give_ups"] == 0 else 1
+
+
 def _cmd_convert(args: argparse.Namespace) -> int:
     import os
 
@@ -758,6 +983,8 @@ _DISPATCH = {
     "chaos": _cmd_chaos,
     "supervise": _cmd_supervise,
     "service": _cmd_service,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "convert": _cmd_convert,
     "experiment": _cmd_experiment,
     "svg": _cmd_svg,

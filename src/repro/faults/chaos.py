@@ -24,6 +24,15 @@ a serving stack actually cares about:
   must be bit-identical to the uninterrupted one at every journaled
   state digest.
 
+* **Server-kill equivalence** (:func:`server_kill_resume_suite`) — the
+  live serving front-end (:mod:`repro.service.server`) is run as a real
+  subprocess, SIGKILLed at seeded points under active load (including a
+  request written but unanswered at kill time, exercising the torn-tail
+  path), restarted with ``--resume``, and driven to completion; the
+  merged decision-stream digest must be bit-identical to an
+  uninterrupted run over the same events, and every event acknowledged
+  before the kill must have survived into the replayed journal.
+
 ``run_chaos_suite`` raises :class:`ChaosInvariantError` on the first
 violation, naming the seed so the scenario can be replayed exactly; with
 ``fail_fast=False`` it instead records violations per scenario and keeps
@@ -32,7 +41,16 @@ sweeping (the CLI uses this to report every failure and exit non-zero).
 
 from __future__ import annotations
 
+import http.client
+import json
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..core.instance import ProblemInstance
@@ -46,10 +64,13 @@ from .plan import FaultPlan
 __all__ = [
     "ChaosInvariantError",
     "ChaosOutcome",
+    "ServerKillOutcome",
     "chaos_report",
     "check_kill_resume",
     "run_chaos_suite",
     "scenario_plans",
+    "server_kill_points",
+    "server_kill_resume_suite",
 ]
 
 #: Time tolerance when matching blackout edges to plan events.
@@ -334,6 +355,271 @@ def run_chaos_suite(
             )
         )
     return outcomes
+
+
+# ---------------------------------------------------------------------------
+# Live-server kill/resume chaos (subprocess SIGKILL + --resume).
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ServerKillOutcome:
+    """One SIGKILL-at-``kill_seq`` scenario of the live-server suite."""
+
+    kill_seq: int
+    replayed: int
+    digest: str
+    reference_digest: str
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def row(self) -> dict:
+        return {
+            "kill-seq": self.kill_seq,
+            "replayed": self.replayed,
+            "digest-match": self.digest == self.reference_digest,
+            "status": "ok" if self.ok else "FAIL",
+        }
+
+
+def server_kill_points(total: int, count: int, base_seed: int = 0) -> List[int]:
+    """``count`` distinct seeded kill boundaries in ``[1, total - 1]``."""
+    if total < 2:
+        raise ValueError(f"need at least 2 events, got {total}")
+    count = min(count, total - 1)
+    points: List[int] = []
+    seen = set()
+    i = 0
+    while len(points) < count:
+        p = 1 + ((base_seed + i) * 2654435761) % (total - 1)
+        i += 1
+        if p not in seen:
+            seen.add(p)
+            points.append(p)
+    return sorted(points)
+
+
+def _server_http(
+    host: str, port: int, method: str, path: str, body=None, timeout=5.0
+):
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        blob = json.dumps(body) if body is not None else None
+        conn.request(method, path, blob, {"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        return resp.status, json.loads(resp.read() or b"{}")
+    finally:
+        conn.close()
+
+
+def _serve_argv(journal_dir: Path, shards: int, m: int, resume: bool) -> list:
+    argv = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "serve",
+        "--journal-dir",
+        str(journal_dir),
+        "--shards",
+        str(shards),
+        "-m",
+        str(m),
+    ]
+    if resume:
+        argv.append("--resume")
+    return argv
+
+
+def _spawn_server(
+    journal_dir: Path, shards: int, m: int, resume: bool, deadline: float
+) -> Tuple[subprocess.Popen, str, int]:
+    """Start a server subprocess; block until its socket is bound."""
+    meta = journal_dir / "server.json"
+    meta.unlink(missing_ok=True)  # presence then means *this* process bound
+    proc = subprocess.Popen(
+        _serve_argv(journal_dir, shards, m, resume),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise ChaosInvariantError(
+                f"server exited during startup (rc {proc.returncode}, "
+                f"resume={resume})"
+            )
+        if meta.exists():
+            try:
+                info = json.loads(meta.read_text())
+            except json.JSONDecodeError:
+                continue  # mid-write
+            return proc, info["host"], info["port"]
+        time.sleep(0.02)
+    proc.kill()
+    raise ChaosInvariantError("server did not bind before the deadline")
+
+
+def _post_event_until_accepted(
+    host: str, port: int, event: tuple, deadline: float
+) -> dict:
+    """At-least-once closed-loop send: retry shed/torn until settled."""
+    item, t, server = event
+    body = {"item": item, "time": t, "server": server}
+    while True:
+        try:
+            status, payload = _server_http(
+                host, port, "POST", "/request", body
+            )
+        except (OSError, http.client.HTTPException, ValueError):
+            status, payload = -1, None
+        if status == 200 and payload.get("status") == "done":
+            return payload
+        if status not in (200, 429, 503, -1):
+            raise ChaosInvariantError(
+                f"unexpected status {status} for event {event}: {payload}"
+            )
+        if time.monotonic() > deadline:
+            raise ChaosInvariantError(
+                f"event {event} not accepted before the deadline "
+                f"(last status {status})"
+            )
+        time.sleep(0.05)
+
+
+def _torn_send(host: str, port: int, event: tuple) -> None:
+    """Write one full request and deliberately never read the response.
+
+    The SIGKILL that follows lands while this event is (at most)
+    applied-but-unacknowledged: depending on timing the journal tail is
+    intact, torn mid-record, or missing the event entirely — all three
+    must resume to the same stream once the event is resent.
+    """
+    item, t, server = event
+    blob = json.dumps({"item": item, "time": t, "server": server}).encode()
+    head = (
+        f"POST /request HTTP/1.1\r\nHost: {host}\r\n"
+        f"Content-Length: {len(blob)}\r\nConnection: close\r\n\r\n"
+    ).encode("latin-1")
+    try:
+        with socket.create_connection((host, port), timeout=5.0) as sock:
+            sock.sendall(head + blob)
+            time.sleep(0.01)  # let the server pick it up, maybe journal it
+    except OSError:
+        pass  # server may die under us — that is the point
+
+
+def server_kill_resume_suite(
+    events: Sequence[tuple],
+    kill_points: int = 5,
+    base_seed: int = 0,
+    shards: int = 2,
+    num_servers: int = 8,
+    work_dir: Optional[str] = None,
+    scenario_timeout: float = 120.0,
+) -> List[ServerKillOutcome]:
+    """SIGKILL a live server at seeded points; prove bit-identical resume.
+
+    Runs one uninterrupted reference pass over ``events`` (a time-sorted
+    ``(item, time, server)`` sequence), then for each seeded kill point
+    ``k``: serve events ``0..k-1`` closed-loop, write event ``k`` without
+    reading its response, SIGKILL the server, restart it with
+    ``--resume``, serve the remaining events (resends dedupe), and
+    compare the merged decision-stream digest from ``GET /stats``
+    against the reference.  Also asserts every pre-kill acknowledged
+    event survived into the replayed journal (``replayed >= k``) and
+    that the restarted server drains cleanly on SIGTERM (exit 0).
+
+    The closed-loop driver is strictly sequential, so the per-shard
+    apply order — and therefore the digest chain — is identical across
+    scenarios; any mismatch is a real resume divergence, not load
+    reordering.
+    """
+    import tempfile
+
+    events = list(events)
+    points = server_kill_points(len(events), kill_points, base_seed)
+    root = Path(work_dir) if work_dir is not None else None
+    tmp = tempfile.mkdtemp(prefix="chaos-server-") if root is None else None
+    base = root if root is not None else Path(tmp)  # type: ignore[arg-type]
+    base.mkdir(parents=True, exist_ok=True)
+
+    def run_uninterrupted(jdir: Path) -> dict:
+        deadline = time.monotonic() + scenario_timeout
+        proc, host, port = _spawn_server(
+            jdir, shards, num_servers, resume=False, deadline=deadline
+        )
+        try:
+            for event in events:
+                _post_event_until_accepted(host, port, event, deadline)
+            _status, stats = _server_http(host, port, "GET", "/stats")
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            rc = proc.wait(timeout=30)
+        if rc != 0:
+            raise ChaosInvariantError(f"reference server drain rc {rc}")
+        return stats
+
+    try:
+        reference = run_uninterrupted(base / "reference")
+        outcomes: List[ServerKillOutcome] = []
+        for kill_seq in points:
+            violations: List[str] = []
+            jdir = base / f"kill-{kill_seq}"
+            deadline = time.monotonic() + scenario_timeout
+            proc, host, port = _spawn_server(
+                jdir, shards, num_servers, resume=False, deadline=deadline
+            )
+            for event in events[:kill_seq]:
+                _post_event_until_accepted(host, port, event, deadline)
+            _torn_send(host, port, events[kill_seq])
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+
+            proc, host, port = _spawn_server(
+                jdir, shards, num_servers, resume=True, deadline=deadline
+            )
+            stats = None
+            replayed = -1
+            try:
+                _status, mid = _server_http(host, port, "GET", "/stats")
+                replayed = int(mid.get("replayed_events", -1))
+                if replayed < kill_seq:
+                    violations.append(
+                        f"kill {kill_seq}: only {replayed} events survived "
+                        f"into the resumed journal ({kill_seq} were "
+                        f"acknowledged pre-kill)"
+                    )
+                # Resend from the kill point: the torn event settles
+                # (fresh apply or dedupe hit), the rest serve normally.
+                for event in events[kill_seq:]:
+                    _post_event_until_accepted(host, port, event, deadline)
+                _status, stats = _server_http(host, port, "GET", "/stats")
+            finally:
+                proc.send_signal(signal.SIGTERM)
+                rc = proc.wait(timeout=30)
+            if rc != 0:
+                violations.append(f"kill {kill_seq}: resumed drain rc {rc}")
+            digest = (stats or {}).get("digest", "<none>")
+            if digest != reference["digest"]:
+                violations.append(
+                    f"kill {kill_seq}: merged decision digest {digest} != "
+                    f"uninterrupted reference {reference['digest']}"
+                )
+            outcomes.append(
+                ServerKillOutcome(
+                    kill_seq=kill_seq,
+                    replayed=replayed,
+                    digest=digest,
+                    reference_digest=reference["digest"],
+                    violations=violations,
+                )
+            )
+        return outcomes
+    finally:
+        if tmp is not None:
+            shutil.rmtree(tmp, ignore_errors=True)
 
 
 def chaos_report(

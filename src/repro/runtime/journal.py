@@ -98,6 +98,20 @@ class RunJournal:
         journal._fh.flush()
         return journal
 
+    def flush(self, fsync: bool = False) -> None:
+        """Flush buffered appends; optionally fsync (no-op for in-memory).
+
+        Callers that append with ``sync=False`` for throughput (batched
+        writers such as :class:`repro.service.server.CacheServer`) use
+        this as an explicit durability barrier: one ``fsync`` covers the
+        whole batch while the write-ahead discipline — durable before
+        observable — still holds.
+        """
+        if self._fh is not None:
+            self._fh.flush()
+            if fsync:
+                os.fsync(self._fh.fileno())
+
     def close(self) -> None:
         """Flush and close the backing file (no-op for in-memory)."""
         if self._fh is not None:

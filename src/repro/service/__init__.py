@@ -1,6 +1,12 @@
 """Multi-item service layer (exact per-item decomposition, sharded parallel)."""
 
-from .fabric import SEGMENT_PREFIX, ServicePool, active_segments
+from .fabric import (
+    SEGMENT_PREFIX,
+    CircuitOpenError,
+    RetryPolicy,
+    ServicePool,
+    active_segments,
+)
 from .sharding import SHARD_STRATEGIES, plan_shards
 from .multi import (
     TRANSPORTS,
@@ -10,15 +16,22 @@ from .multi import (
     multi_item_workload,
     solve_offline_multi,
 )
+from .server import CacheServer, ServerConfig, route_item, run_server
 
 __all__ = [
+    "CacheServer",
+    "CircuitOpenError",
     "MultiItemInstance",
+    "RetryPolicy",
     "SEGMENT_PREFIX",
     "SHARD_STRATEGIES",
+    "ServerConfig",
     "ServicePool",
     "TRANSPORTS",
     "active_segments",
     "plan_shards",
+    "route_item",
+    "run_server",
     "MultiItemOfflineResult",
     "MultiItemOnlineService",
     "multi_item_workload",

@@ -18,10 +18,16 @@ the service layer's wall clock.  This module removes it:
   un-pickling megabytes of arrays.
 * :class:`ServicePool` — a persistent, lazily spawned process pool that
   owns both regions, caches worker-side instance builds across calls,
-  survives worker crashes (broken pools are respawned and the call
-  retried — the arenas outlive the workers), and **guarantees unlink**
-  of every segment it created on ``close()``, garbage collection of the
-  service object, interpreter exit, and error paths.
+  survives worker crashes under a configurable :class:`RetryPolicy`
+  (broken pools are respawned and the unfinished shards retried with
+  jittered, capped exponential backoff — the same discipline as SC-R's
+  transfer retries — behind a circuit breaker that fails fast once the
+  workload keeps killing workers; the arenas outlive the workers), and
+  **guarantees unlink** of every segment it created on ``close()``,
+  garbage collection of the service object, interpreter exit, and error
+  paths.  ``close()`` is idempotent, thread-safe under concurrent
+  double-close, and bounds its worker join so interpreter shutdown can
+  never hang on a wedged worker.
 
 Segment lifetime rules (also documented in ``docs/API.md``):
 
@@ -42,11 +48,15 @@ from __future__ import annotations
 
 import atexit
 import os
+import random
+import threading
+import time
 import uuid
 import weakref
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -60,7 +70,15 @@ from ..online.base import OnlineAlgorithm
 from ..sim.recorder import OnlineRunResult
 from .sharding import plan_shards
 
-__all__ = ["ServicePool", "ServiceArena", "ResultRegion", "active_segments", "SEGMENT_PREFIX"]
+__all__ = [
+    "CircuitOpenError",
+    "RetryPolicy",
+    "ServicePool",
+    "ServiceArena",
+    "ResultRegion",
+    "active_segments",
+    "SEGMENT_PREFIX",
+]
 
 #: Prefix of every shared-memory segment this module creates.  CI and the
 #: leak tests scan ``/dev/shm`` for this prefix after runs.
@@ -360,8 +378,158 @@ def _worker_run_shard(
 
 
 # ---------------------------------------------------------------------------
+# Crash-recovery policy: retry/backoff + circuit breaker.
+# ---------------------------------------------------------------------------
+
+
+class CircuitOpenError(RuntimeError):
+    """The pool's circuit breaker is open: calls fail fast until cooldown."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Crash-recovery discipline for :class:`ServicePool` submissions.
+
+    A worker crash (``BrokenProcessPool``) breaks only the in-flight
+    call: the executor is respawned and the *unfinished* shards are
+    retried — completed shards keep their results — up to ``retries``
+    times, sleeping a jittered, capped exponential backoff between
+    attempts (``min(max_delay, base_delay · 2^attempt)`` scaled by a
+    uniform ``[1 - jitter, 1]`` draw, the same shape as SC-R's transfer
+    retries).  Jitter affects only *when* a retry runs, never any
+    result: solves are pure, so retried calls stay bit-identical.
+
+    Calls that exhaust their retries charge the pool's circuit breaker;
+    after ``breaker_threshold`` consecutive failed *calls* the breaker
+    opens and subsequent calls raise :class:`CircuitOpenError`
+    immediately — shedding instead of burning CPU respawning a pool the
+    workload keeps killing — until ``breaker_cooldown`` seconds pass,
+    when one half-open probe call is let through (success closes the
+    breaker, failure re-opens it).
+    """
+
+    retries: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    breaker_threshold: int = 3
+    breaker_cooldown: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError(
+                f"need 0 <= base_delay <= max_delay, got "
+                f"{self.base_delay}/{self.max_delay}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        if self.breaker_cooldown < 0:
+            raise ValueError(
+                f"breaker_cooldown must be >= 0, got {self.breaker_cooldown}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (0-based), jittered."""
+        base = min(self.max_delay, self.base_delay * (2.0 ** attempt))
+        return base * (1.0 - self.jitter * random.random())
+
+
+class _PoolBreaker:
+    """Consecutive-call-failure breaker (see :class:`RetryPolicy`)."""
+
+    def __init__(self, policy: RetryPolicy):
+        self.policy = policy
+        self.failures = 0
+        self.opened_until = 0.0
+        self.trips = 0
+
+    def check(self) -> None:
+        if (
+            self.failures >= self.policy.breaker_threshold
+            and time.monotonic() < self.opened_until
+        ):
+            raise CircuitOpenError(
+                f"service pool circuit open after {self.failures} "
+                f"consecutive failed calls; retry after "
+                f"{self.opened_until - time.monotonic():.2f}s"
+            )
+
+    def record_success(self) -> None:
+        self.failures = 0
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.failures >= self.policy.breaker_threshold:
+            self.opened_until = time.monotonic() + self.policy.breaker_cooldown
+            self.trips += 1
+
+    @property
+    def state(self) -> str:
+        return (
+            "open"
+            if self.failures >= self.policy.breaker_threshold
+            and time.monotonic() < self.opened_until
+            else "closed"
+        )
+
+
+# ---------------------------------------------------------------------------
 # The persistent pool.
 # ---------------------------------------------------------------------------
+
+
+def _close_pool_state(state: dict, join_timeout: Optional[float] = 5.0) -> None:
+    """Release a pool's executor and segments; idempotent and race-safe.
+
+    Operates on the pool's ``__dict__`` so ``weakref.finalize`` can fire
+    it without keeping the pool alive.  Explicit ``close()``, garbage
+    collection, and interpreter exit (finalize's atexit leg) may all
+    call this concurrently; the lock plus the pop-then-release dance
+    makes every ordering safe.  The executor join is bounded: workers
+    that outlive ``join_timeout`` are terminated, then killed, so
+    shutdown can never hang on a wedged worker.
+    """
+    lock = state.get("_close_lock")
+    if lock is None:  # pragma: no cover - partially constructed pool
+        return
+    with lock:
+        if state.get("_closed"):
+            return
+        state["_closed"] = True
+        executor = state.get("_executor")
+        state["_executor"] = None
+        services = dict(state.get("_services") or {})
+        if state.get("_services") is not None:
+            state["_services"].clear()
+    if executor is not None:
+        executor.shutdown(wait=False, cancel_futures=True)
+        deadline = (
+            time.monotonic() + join_timeout if join_timeout is not None else None
+        )
+        for proc in list((getattr(executor, "_processes", None) or {}).values()):
+            remaining = (
+                max(0.0, deadline - time.monotonic())
+                if deadline is not None
+                else None
+            )
+            proc.join(remaining)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(0.5)
+            if proc.is_alive():  # pragma: no cover - hard-wedged worker
+                proc.kill()
+                proc.join(0.5)
+    for entry in services.values():
+        _, arena, region, finalizer = entry
+        finalizer.detach()
+        arena.release()
+        region.release()
 
 
 class ServicePool:
@@ -373,6 +541,14 @@ class ServicePool:
         Worker count (``>= 1``).  Workers spawn lazily on the first
         :meth:`solve`/:meth:`serve` call and are reused across calls and
         across services until :meth:`close`.
+    retry:
+        Crash-recovery :class:`RetryPolicy` (respawn + jittered capped
+        backoff + circuit breaker).  The default retries three times;
+        ``RetryPolicy(retries=0)`` fails a call on the first break.
+    join_timeout:
+        Upper bound (seconds) on waiting for workers during
+        :meth:`close`; survivors are terminated, then killed.  ``None``
+        waits forever (the pre-hardening behaviour).
 
     Usage::
 
@@ -384,18 +560,35 @@ class ServicePool:
     Every shared segment the pool creates is unlinked on ``close()`` (the
     context manager calls it), when the owning service object is garbage
     collected, and at interpreter exit.  A crashed worker breaks only the
-    in-flight call: the pool respawns its executor and retries once —
-    the arenas are parent-owned and survive.
+    in-flight call: the pool respawns its executor and retries the
+    unfinished shards under ``retry`` — the arenas are parent-owned and
+    survive.  ``close()`` is idempotent and safe to race from explicit
+    calls, ``__del__``, ``weakref.finalize``, and atexit simultaneously.
     """
 
-    def __init__(self, processes: int):
+    def __init__(
+        self,
+        processes: int,
+        retry: Optional[RetryPolicy] = None,
+        join_timeout: Optional[float] = 5.0,
+    ):
         if processes < 1:
             raise ValueError(f"processes must be >= 1, got {processes}")
         self.processes = processes
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.join_timeout = join_timeout
+        self._breaker = _PoolBreaker(self.retry)
         self._executor: Optional[ProcessPoolExecutor] = None
         #: id(service) -> (weakref, ServiceArena, ResultRegion, finalizer)
         self._services: Dict[int, Tuple] = {}
         self._closed = False
+        self._close_lock = threading.Lock()
+        # The finalizer operates on __dict__, never self, so it cannot
+        # keep the pool alive; finalize's own atexit hook gives the
+        # interpreter-exit leg.
+        self._finalizer = weakref.finalize(
+            self, _close_pool_state, self.__dict__, join_timeout
+        )
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -413,21 +606,15 @@ class ServicePool:
         return self._ensure_executor()
 
     def close(self) -> None:
-        """Shut workers down and unlink every segment (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
-        if self._executor is not None:
-            self._executor.shutdown(wait=True, cancel_futures=True)
-            self._executor = None
-        for key in list(self._services):
-            entry = self._services.pop(key, None)
-            if entry is None:
-                continue
-            _, arena, region, finalizer = entry
-            finalizer.detach()
-            arena.release()
-            region.release()
+        """Shut workers down and unlink every segment.
+
+        Idempotent and race-safe: explicit calls, ``__del__``,
+        ``weakref.finalize`` and atexit may all fire concurrently and
+        each segment is still released exactly once.  The worker join is
+        bounded by ``join_timeout`` (wedged workers are terminated, then
+        killed), so interpreter shutdown can never hang here.
+        """
+        _close_pool_state(self.__dict__, self.join_timeout)
 
     def __enter__(self) -> "ServicePool":
         return self
@@ -479,20 +666,59 @@ class ServicePool:
     # -- submission with crash recovery --------------------------------------
 
     def _run_tasks(self, fn, tasks: List[tuple]) -> List[list]:
-        """Submit one task per shard; respawn + retry once on a broken pool."""
+        """Submit one task per shard, recovering crashes under ``retry``.
+
+        Completed shards keep their results across respawns; only the
+        unfinished ones are resubmitted, after a jittered backoff.  A
+        call that exhausts its retries charges the circuit breaker;
+        with the breaker open, calls raise :class:`CircuitOpenError`
+        immediately (the half-open probe after cooldown closes it again
+        on success).  Results are position-stable, so recovery never
+        affects merge order or values.
+        """
+        self._breaker.check()
+        policy = self.retry
+        results: List[Optional[list]] = [None] * len(tasks)
+        pending = list(range(len(tasks)))
         last_error: Optional[BaseException] = None
-        for attempt in range(2):
+        for attempt in range(policy.retries + 1):
             executor = (
-                self._ensure_executor() if attempt == 0 else self._respawn_executor()
+                self._ensure_executor() if last_error is None else self._respawn_executor()
             )
-            futures = [executor.submit(fn, *task) for task in tasks]
             try:
-                return [f.result() for f in futures]
+                # A pool that already noticed its dead workers raises
+                # from submit() itself, not just from result().
+                futures = {i: executor.submit(fn, *tasks[i]) for i in pending}
             except BrokenProcessPool as exc:
                 last_error = exc
+                if attempt < policy.retries:
+                    time.sleep(policy.delay(attempt))
+                continue
+            broken = False
+            still_pending = []
+            for i, future in futures.items():
+                try:
+                    results[i] = future.result()
+                except BrokenProcessPool as exc:
+                    last_error = exc
+                    broken = True
+                    still_pending.append(i)
+            pending = still_pending
+            if not pending:
+                self._breaker.record_success()
+                return results  # type: ignore[return-value]
+            if broken and attempt < policy.retries:
+                time.sleep(policy.delay(attempt))
+        # Leave no broken executor behind: the next call (if the breaker
+        # lets it through) starts from a fresh spawn.
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        self._breaker.record_failure()
         raise RuntimeError(
-            "service pool broke twice in a row (workers crashing on this "
-            "workload?)"
+            f"service pool broke {policy.retries + 1} attempts in a row "
+            f"({len(pending)}/{len(tasks)} shards unfinished — workers "
+            f"crashing on this workload?)"
         ) from last_error
 
     # -- public API ----------------------------------------------------------

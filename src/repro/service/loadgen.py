@@ -1,0 +1,348 @@
+"""Trace-replaying load generator for the live serving front-end.
+
+Feeds a merged, time-ordered event stream — from a columnar trace
+container or a synthetic multi-item workload — into a running
+:class:`~repro.service.server.CacheServer` over plain HTTP/1.1
+keep-alive connections, and reports latency percentiles, achieved
+throughput, and the shed/degraded accounting the robustness gates need.
+
+Two driving disciplines:
+
+* **open-loop** (``rate=<req/s>``) — every event has a *scheduled* send
+  time (``i / rate`` after start) and is fired at that time regardless
+  of how previous requests fared.  Latency is measured from the
+  scheduled time, not the actual send, so queueing delay inside the
+  generator counts against the server (no coordinated omission).  This
+  is the discipline for overload experiments: at 2× the sustainable
+  rate the server must shed with 429s rather than let latency grow
+  without bound.
+* **closed-loop** (``rate=None``) — a fixed set of workers send
+  back-to-back, retrying 429/503/connection errors with jittered capped
+  backoff until each event is accepted.  Because every event is
+  eventually accepted exactly once (the server dedupes resends), the
+  accepted-event sequence — and therefore the decision digest — is
+  load-independent.  This is the discipline the kill/resume chaos proof
+  drives.
+
+Events within one item must keep strictly increasing times (the
+streaming-DP contract); the closed-loop driver additionally keeps
+per-item *order* by routing every item to a fixed worker lane, so
+retries never reorder an item's events into 409 conflicts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time as _time
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "HttpClient",
+    "LoadResult",
+    "events_from_trace",
+    "synthetic_events",
+    "run_load",
+    "replay",
+]
+
+#: (item, time, server) — one request event on the wire.
+Event = Tuple[str, float, int]
+
+
+class HttpClient:
+    """Minimal asyncio HTTP/1.1 keep-alive client for JSON endpoints.
+
+    One instance owns one connection; it reconnects transparently after
+    a drop (server restart mid-chaos-run) on the next request.
+    """
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def _connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    async def request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Tuple[int, dict, Dict[str, str]]:
+        """One round trip; returns (status, json body, headers)."""
+        if self._writer is None or self._writer.is_closing():
+            await self._connect()
+        assert self._reader is not None and self._writer is not None
+        blob = json.dumps(body).encode("utf-8") if body is not None else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\nHost: {self.host}\r\n"
+            f"Content-Length: {len(blob)}\r\nConnection: keep-alive\r\n\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + blob)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        status = int(status_line.split()[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            key, _, value = line.decode("latin-1").partition(":")
+            headers[key.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        raw = await self._reader.readexactly(length) if length else b""
+        payload = json.loads(raw) if raw else {}
+        return status, payload, headers
+
+
+# ---------------------------------------------------------------------------
+# Event streams.
+# ---------------------------------------------------------------------------
+
+
+def events_from_trace(path: str, limit: Optional[int] = None) -> List[Event]:
+    """Merged time-ordered events from a columnar trace container."""
+    from ..workloads.columnar import ColumnarTrace
+
+    trace = ColumnarTrace.open(path)
+    times = np.asarray(trace.times, dtype=float)
+    servers = np.asarray(trace.servers, dtype=int)
+    item_ids = np.asarray(trace.item_ids, dtype=int)
+    order = np.argsort(times, kind="stable")
+    table = trace.item_table
+    events = [
+        (table[item_ids[i]], float(times[i]), int(servers[i])) for i in order
+    ]
+    return events[:limit] if limit is not None else events
+
+
+def synthetic_events(
+    items: int = 8,
+    count: int = 400,
+    num_servers: int = 8,
+    seed: int = 0,
+) -> List[Event]:
+    """Merged time-ordered events from a synthetic multi-item workload."""
+    from .multi import multi_item_workload
+
+    service = multi_item_workload(items, count, num_servers, rng=seed)
+    events: List[Event] = []
+    for name, instance in service.items.items():
+        # Index 0 is the boundary request r_0 (origin placement), not
+        # a wire event.
+        for t, s in zip(instance.t[1:], instance.srv[1:]):
+            events.append((name, float(t), int(s)))
+    events.sort(key=lambda e: e[1])
+    return events
+
+
+# ---------------------------------------------------------------------------
+# The generator.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LoadResult:
+    """What one load run observed (see :meth:`to_dict` for the report)."""
+
+    sent: int
+    statuses: Dict[int, int]
+    degraded: int
+    duplicates: int
+    retries: int
+    give_ups: int
+    latencies_ms: List[float]
+    elapsed: float
+    stats: Optional[dict] = None
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_ms), q))
+
+    @property
+    def accepted(self) -> int:
+        return self.statuses.get(200, 0)
+
+    @property
+    def shed(self) -> int:
+        return self.statuses.get(429, 0) + self.statuses.get(503, 0)
+
+    def to_dict(self) -> dict:
+        return {
+            "sent": self.sent,
+            "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
+            "accepted": self.accepted,
+            "shed": self.shed,
+            "shed_rate": self.shed / self.sent if self.sent else 0.0,
+            "degraded": self.degraded,
+            "duplicates": self.duplicates,
+            "retries": self.retries,
+            "give_ups": self.give_ups,
+            "p50_ms": self.percentile(50),
+            "p90_ms": self.percentile(90),
+            "p99_ms": self.percentile(99),
+            "elapsed_s": self.elapsed,
+            "achieved_rps": self.sent / self.elapsed if self.elapsed else 0.0,
+            "digest": (self.stats or {}).get("digest"),
+            "optimal_cost": (self.stats or {}).get("optimal_cost"),
+            "baseline_cost": (self.stats or {}).get("baseline_cost"),
+        }
+
+
+def _lane(item: str, lanes: int) -> int:
+    """Fixed worker lane per item, so retries cannot reorder an item."""
+    return zlib.crc32(item.encode("utf-8")) % lanes
+
+
+async def _send_once(
+    client: HttpClient, event: Event, result: LoadResult
+) -> Tuple[int, dict]:
+    item, t, server = event
+    status, payload, _ = await client.request(
+        "POST", "/request", {"item": item, "time": t, "server": server}
+    )
+    result.statuses[status] = result.statuses.get(status, 0) + 1
+    if status == 200:
+        if payload.get("degraded"):
+            result.degraded += 1
+        if payload.get("duplicate"):
+            result.duplicates += 1
+    return status, payload
+
+
+async def run_load(
+    host: str,
+    port: int,
+    events: Sequence[Event],
+    rate: Optional[float] = None,
+    concurrency: int = 8,
+    retries: int = 8,
+    backoff: float = 0.05,
+    fetch_stats: bool = True,
+) -> LoadResult:
+    """Drive ``events`` against a server; see the module docstring.
+
+    ``rate`` selects open-loop (target req/s, no retries — refused is
+    refused) versus closed-loop (``None``: retry-until-accepted).
+    """
+    result = LoadResult(
+        sent=0,
+        statuses={},
+        degraded=0,
+        duplicates=0,
+        retries=0,
+        give_ups=0,
+        latencies_ms=[],
+        elapsed=0.0,
+    )
+    loop = asyncio.get_running_loop()
+    started = loop.time()
+    lanes = max(1, int(concurrency))
+    clients = [HttpClient(host, port) for _ in range(lanes)]
+    rng = random.Random(1234)
+
+    if rate is not None:
+        # Open-loop: fire each event at its scheduled time; latency is
+        # measured from the *schedule*, so generator backlog counts.
+        sem = asyncio.Semaphore(lanes * 8)
+
+        async def fire(i: int, event: Event) -> None:
+            scheduled = started + i / rate
+            delay = scheduled - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            async with sem:
+                client = HttpClient(host, port)  # bursty: own connection
+                try:
+                    status, _payload = await _send_once(client, event, result)
+                except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                    result.statuses[-1] = result.statuses.get(-1, 0) + 1
+                    status = -1
+                finally:
+                    await client.close()
+                result.sent += 1
+                if status == 200:
+                    result.latencies_ms.append(
+                        (loop.time() - scheduled) * 1000.0
+                    )
+
+        await asyncio.gather(*(fire(i, ev) for i, ev in enumerate(events)))
+    else:
+        # Closed-loop: per-item lanes, retry shed/torn sends until
+        # accepted (or retries exhausted -> give_up).
+        queues: List[List[Event]] = [[] for _ in range(lanes)]
+        for event in events:
+            queues[_lane(event[0], lanes)].append(event)
+
+        async def drain(lane: int) -> None:
+            client = clients[lane]
+            for event in queues[lane]:
+                sent_at = loop.time()
+                for attempt in range(retries + 1):
+                    try:
+                        status, _payload = await _send_once(
+                            client, event, result
+                        )
+                    except (
+                        ConnectionError,
+                        OSError,
+                        asyncio.IncompleteReadError,
+                    ):
+                        await client.close()
+                        status = -1
+                        result.statuses[-1] = result.statuses.get(-1, 0) + 1
+                    if status not in (429, 503, -1):
+                        result.latencies_ms.append(
+                            (loop.time() - sent_at) * 1000.0
+                        )
+                        break
+                    if attempt < retries:
+                        result.retries += 1
+                        pause = min(2.0, backoff * (2**attempt))
+                        await asyncio.sleep(pause * (1 - 0.5 * rng.random()))
+                else:
+                    result.give_ups += 1
+                result.sent += 1
+
+        await asyncio.gather(*(drain(i) for i in range(lanes)))
+
+    result.elapsed = loop.time() - started
+    if fetch_stats:
+        probe = HttpClient(host, port)
+        try:
+            _status, stats, _ = await probe.request("GET", "/stats")
+            result.stats = stats
+        finally:
+            await probe.close()
+    for client in clients:
+        await client.close()
+    return result
+
+
+def replay(
+    host: str,
+    port: int,
+    events: Sequence[Event],
+    **kwargs,
+) -> LoadResult:
+    """Synchronous wrapper around :func:`run_load`."""
+    return asyncio.run(run_load(host, port, events, **kwargs))

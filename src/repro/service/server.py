@@ -1,0 +1,783 @@
+"""Resilient live request-serving front-end.
+
+Everything else in the repro is offline/batch; this module is the
+long-running surface: an asyncio HTTP/JSON server that accepts request
+events over the wire, routes them by item hash to per-shard
+:class:`~repro.offline.streaming.StreamingSolver` banks, and streams
+back serve/transfer decisions plus running cost and savings-vs-baseline
+gauges.  Robustness is the headline, not an afterthought:
+
+* **Admission control and bounded queues.**  Every shard owns a bounded
+  :class:`asyncio.Queue`; when it is full the request is refused with
+  ``429`` and a ``Retry-After`` hint — latency stays bounded because the
+  backlog does.  Between the *degrade watermark* and full, requests are
+  still accepted (and journaled) but receive the cheapest-feasible
+  decision — transfer from origin at cost ``λ`` — without touching the
+  DP, so the hot path sheds work before it sheds requests.
+* **Per-request deadline budgets.**  Each request carries a deadline
+  (``deadline_ms`` in the body, or the server default), expressed through
+  :class:`~repro.runtime.supervisor.RunBudget` semantics: the budget
+  bounds *this response's* wall clock, never any decision.  On expiry
+  the client gets a degraded-partial response (``degraded: true``,
+  ``status: "pending"``) while the accepted event still processes — a
+  later duplicate resend returns the settled decision.
+* **Per-shard circuit breakers.**  Unexpected processing failures trip a
+  shard's breaker after a threshold of consecutive errors; an open shard
+  sheds with ``503`` until its cooldown elapses (half-open probe next).
+  The offline verification pool carries its own
+  :class:`~repro.service.fabric.RetryPolicy` breaker.
+* **Graceful drain.**  SIGTERM (and SIGINT) stop admission (``/readyz``
+  flips to 503, new posts get 503 + ``Retry-After``), drain every shard
+  queue, fsync and close the journals, then exit 0.
+* **Crash-safe resume.**  Every accepted event is written ahead to a
+  per-shard :class:`~repro.runtime.journal.RunJournal` (fsync before the
+  response leaves) together with a *chained decision digest*.  A
+  SIGKILLed server restarted with ``resume=True`` replays its journals
+  through fresh solvers, re-verifies every recorded digest
+  (:class:`~repro.runtime.supervisor.ResumeDivergenceError` on the first
+  mismatch), and continues; the decision stream — and therefore the
+  digest chain — is bit-identical to an uninterrupted run over the same
+  accepted events.  Duplicate resends of already-journaled events are
+  answered from the decision index without being re-applied, so an
+  at-least-once client yields exactly-once state transitions.
+
+Decisions are the *prefix-optimal* choices of the streaming DP: after
+appending request ``i``, the item is served from cache iff
+``D(i) <= C(i-1) + μ·(t_i - t_{i-1}) + λ`` — the same rule
+:meth:`StreamingSolver.result` records.  The running ``optimal_cost``
+gauge is the exact off-line optimum of the prefix served so far; the
+``baseline_cost`` gauge is what the naive always-transfer policy would
+have paid on the same events (``μ·Δt + λ`` each — holding cost is
+mandatory in the model, so ``λ·n`` alone is *not* an upper bound), so
+``savings`` is a live regret-vs-offline meter for the naive policy.  ``GET /offline``
+re-solves the current snapshot through the shared-memory
+:class:`~repro.service.fabric.ServicePool` and cross-checks the
+streaming totals.
+
+The wire protocol is deliberately tiny HTTP/1.1 (keep-alive, JSON
+bodies) so the stdlib is enough on both ends; see ``docs/API.md`` for
+the endpoint and degradation contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..core.types import CostModel, InvalidInstanceError
+from ..offline.streaming import StreamingSolver
+from ..runtime.digest import digest_value
+from ..runtime.journal import RunJournal
+from ..runtime.supervisor import ResumeDivergenceError, RunBudget
+
+__all__ = ["ServerConfig", "CacheServer", "route_item", "run_server"]
+
+#: Reason phrases for the handful of statuses the server emits.
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def route_item(name: str, shards: int) -> int:
+    """Shard index of an item: stable content hash, balanced by design.
+
+    Uses ``zlib.crc32`` (never the salted builtin ``hash``) so placement
+    is identical across processes and runs — the same discipline as the
+    ``"hash"`` strategy of :func:`repro.service.sharding.plan_shards`.
+    Stability and balance are property-tested in
+    ``tests/service/test_server_properties.py``.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    return zlib.crc32(name.encode("utf-8")) % shards
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Knobs of one :class:`CacheServer`.
+
+    The degradation ladder, in order of increasing pressure:
+
+    1. queue depth below ``degrade_watermark × queue_depth`` — full
+       service (DP append, exact decision);
+    2. at or above the watermark but not full — accepted and journaled,
+       but answered with the cheapest-feasible decision (origin
+       transfer, cost ``λ``) without touching the DP;
+    3. queue full — refused with ``429`` + ``Retry-After``
+       (never journaled: the event did not enter the system);
+    4. shard breaker open, or draining — refused with ``503``.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    shards: int = 4
+    num_servers: int = 8
+    mu: float = 1.0
+    lam: float = 1.0
+    origin: int = 0
+    kernel: str = "auto"
+    #: Bounded per-shard queue depth (admission limit).
+    queue_depth: int = 256
+    #: Fraction of ``queue_depth`` beyond which service degrades.
+    degrade_watermark: float = 0.75
+    #: Default per-request deadline (ms); bodies may override per request.
+    deadline_ms: float = 1000.0
+    #: ``Retry-After`` hint (seconds) on 429/503 responses.
+    retry_after: float = 0.05
+    #: Consecutive shard-worker failures that open the shard breaker.
+    breaker_threshold: int = 5
+    #: Seconds an open shard breaker sheds before the half-open probe.
+    breaker_cooldown: float = 1.0
+    #: Directory for per-shard write-ahead journals (None = in-memory:
+    #: drain-safe but not crash-safe).
+    journal_dir: Optional[str] = None
+    #: Resume from existing journals instead of starting fresh.
+    resume: bool = False
+    #: Fsync journal appends before responding (the WAL discipline).
+    sync: bool = True
+    #: Worker pool for ``GET /offline`` verification solves (1 = serial).
+    pool_processes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if not 0.0 < self.degrade_watermark <= 1.0:
+            raise ValueError(
+                f"degrade_watermark must be in (0, 1], got {self.degrade_watermark}"
+            )
+        # Deadline validation rides on RunBudget's own contract.
+        RunBudget(max_seconds=self.deadline_ms / 1000.0)
+        if self.resume and self.journal_dir is None:
+            raise ValueError("resume=True requires journal_dir")
+
+    @property
+    def cost(self) -> CostModel:
+        return CostModel(mu=self.mu, lam=self.lam)
+
+
+class _ShardBreaker:
+    """Consecutive-failure circuit breaker guarding one shard worker."""
+
+    def __init__(self, threshold: int, cooldown: float):
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.failures = 0
+        self.opened_until = 0.0
+        self.trips = 0
+
+    def allow(self, now: float) -> bool:
+        """True iff the shard may accept work (closed or half-open)."""
+        return self.failures < self.threshold or now >= self.opened_until
+
+    def record_failure(self, now: float) -> None:
+        self.failures += 1
+        if self.failures >= self.threshold:
+            self.opened_until = now + self.cooldown
+            self.trips += 1
+
+    def record_success(self) -> None:
+        self.failures = 0
+
+    @property
+    def state(self) -> str:
+        return "open" if self.failures >= self.threshold else "closed"
+
+
+@dataclass
+class _Event:
+    """One admitted request event travelling through a shard queue."""
+
+    item: str
+    time: float
+    server: int
+    degraded: bool
+    future: "asyncio.Future[dict]" = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+class _Shard:
+    """One shard: solver bank, WAL, decision index, bounded queue."""
+
+    def __init__(self, index: int, config: ServerConfig):
+        self.index = index
+        self.config = config
+        self.solvers: Dict[str, StreamingSolver] = {}
+        self.queue: "asyncio.Queue[Optional[_Event]]" = asyncio.Queue(
+            maxsize=config.queue_depth
+        )
+        self.breaker = _ShardBreaker(
+            config.breaker_threshold, config.breaker_cooldown
+        )
+        self.journal: Optional[RunJournal] = None
+        self.seq = 0
+        self.digest = digest_value({"shard": index, "shards": config.shards})
+        #: (item, time) -> settled response payload, for duplicate resends.
+        self.index_by_key: Dict[Tuple[str, float], dict] = {}
+        self.processed = 0
+        self.degraded = 0
+        #: Running cost of the naive always-transfer policy over the
+        #: full-service events (``μ·Δt + λ`` each — the ``via_transfer``
+        #: branch taken at every step), the live upper bound on optimal.
+        self.baseline = 0.0
+        self.decisions = {"cache": 0, "transfer": 0}
+        #: Test hook: when set, the worker waits on it before each event.
+        self.gate: Optional[asyncio.Event] = None
+
+    # -- pure state transitions (shared by live serving and resume replay) --
+
+    def journal_path(self) -> Optional[str]:
+        if self.config.journal_dir is None:
+            return None
+        return str(Path(self.config.journal_dir) / f"shard-{self.index}.jsonl")
+
+    def open_journal(self) -> None:
+        path = self.journal_path()
+        self.journal = RunJournal.open_fresh(path, sync=False)
+        self.journal.append(
+            {
+                "seq": 0,
+                "kind": "begin",
+                "shard": self.index,
+                "shards": self.config.shards,
+                "m": self.config.num_servers,
+                "mu": self.config.mu,
+                "lam": self.config.lam,
+                "digest": self.digest,
+            }
+        )
+        self.flush_journal()
+
+    def flush_journal(self) -> None:
+        """Fsync appended records (the respond-after-durable barrier)."""
+        if self.journal is not None:
+            self.journal.flush(fsync=self.config.sync)
+
+    def apply(self, item: str, time: float, server: int, degraded: bool) -> dict:
+        """Apply one accepted event to shard state; returns the response.
+
+        Pure function of the accepted-event sequence: the same events in
+        the same order yield the same decisions, costs, and digest chain
+        regardless of wall clock, load, or process lifetime — this is
+        what makes kill/resume bit-identical.
+        """
+        cost = self.config.cost
+        if degraded:
+            decision, item_cost, event_cost = "transfer", 0.0, cost.lam
+            self.degraded += 1
+        else:
+            solver = self.solvers.get(item)
+            if solver is None:
+                solver = StreamingSolver(
+                    self.config.num_servers,
+                    cost=cost,
+                    origin=self.config.origin,
+                    kernel=self.config.kernel,
+                )
+                self.solvers[item] = solver
+            prev_t = solver.t[-1]
+            prev_c = solver.C[-1]
+            item_cost = solver.append(time, server)
+            via_transfer = prev_c + cost.mu * (time - prev_t) + cost.lam
+            decision = "cache" if solver.D[-1] <= via_transfer else "transfer"
+            event_cost = item_cost - prev_c
+            self.baseline += cost.mu * (time - prev_t) + cost.lam
+            self.decisions[decision] += 1
+        self.seq += 1
+        self.processed += 1
+        core = {
+            "kind": "degraded" if degraded else "request",
+            "item": item,
+            "time": time,
+            "server": server,
+            "decision": decision,
+            "cost": event_cost,
+        }
+        self.digest = digest_value([self.digest, core])
+        payload = {
+            "item": item,
+            "time": time,
+            "server": server,
+            "shard": self.index,
+            "seq": self.seq,
+            "decision": decision,
+            "cost": event_cost,
+            "item_cost": item_cost,
+            "degraded": degraded,
+            "duplicate": False,
+            "status": "done",
+        }
+        self.index_by_key[(item, time)] = payload
+        return payload
+
+    def journal_event(self, core_payload: dict) -> None:
+        """Write-ahead record for the event just applied."""
+        if self.journal is None:
+            return
+        self.journal.append(
+            {
+                "seq": self.seq,
+                "kind": "degraded" if core_payload["degraded"] else "request",
+                "item": core_payload["item"],
+                "time": core_payload["time"],
+                "server": core_payload["server"],
+                "digest": self.digest,
+            }
+        )
+
+    def resume_from_journal(self) -> int:
+        """Rebuild state by replaying the WAL; verify every digest.
+
+        Returns the number of replayed events.  Raises
+        :class:`ResumeDivergenceError` on the first digest mismatch —
+        resume never silently forks history.
+        """
+        path = self.journal_path()
+        assert path is not None
+        self.journal = RunJournal.load(path, sync=False)
+        replayed = 0
+        for record in self.journal.records:
+            if record["kind"] == "begin":
+                if record["digest"] != self.digest:
+                    raise ResumeDivergenceError(
+                        f"shard {self.index}: journal begin digest "
+                        f"{record['digest']} != {self.digest} (shard layout "
+                        f"or config changed under resume)"
+                    )
+                continue
+            self.apply(
+                record["item"],
+                record["time"],
+                record["server"],
+                record["kind"] == "degraded",
+            )
+            if record["digest"] != self.digest:
+                raise ResumeDivergenceError(
+                    f"shard {self.index}: resume diverged at seq "
+                    f"{record['seq']}: recomputed digest {self.digest} != "
+                    f"journaled {record['digest']}"
+                )
+            replayed += 1
+        return replayed
+
+    def optimal_cost(self) -> float:
+        return sum(s.optimal_cost for s in self.solvers.values())
+
+    def stats_row(self) -> dict:
+        return {
+            "shard": self.index,
+            "seq": self.seq,
+            "digest": self.digest,
+            "queue": self.queue.qsize(),
+            "items": len(self.solvers),
+            "processed": self.processed,
+            "degraded": self.degraded,
+            "breaker": self.breaker.state,
+            "breaker_trips": self.breaker.trips,
+        }
+
+
+class CacheServer:
+    """The asyncio request-serving front-end (see module docstring).
+
+    Usage (tests drive it in-process; the CLI via :func:`run_server`)::
+
+        server = CacheServer(ServerConfig(port=0, journal_dir="/tmp/j"))
+        await server.start()           # binds; resumes if configured
+        ...                            # HTTP traffic against server.port
+        await server.shutdown()        # drain, flush, close (SIGTERM path)
+    """
+
+    def __init__(self, config: ServerConfig):
+        self.config = config
+        self.shards = [_Shard(i, config) for i in range(config.shards)]
+        self.draining = False
+        self.started = False
+        self.replayed_events = 0
+        self.counters = {
+            "accepted": 0,
+            "shed_429": 0,
+            "shed_503": 0,
+            "duplicates": 0,
+            "conflicts": 0,
+            "errors": 0,
+            "deadline_expired": 0,
+        }
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._workers: List[asyncio.Task] = []
+        self._pool = None
+        self._closed = asyncio.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        if self.config.journal_dir is not None:
+            Path(self.config.journal_dir).mkdir(parents=True, exist_ok=True)
+        for shard in self.shards:
+            if self.config.resume and Path(shard.journal_path() or "").exists():
+                self.replayed_events += shard.resume_from_journal()
+            else:
+                shard.open_journal()
+            self._workers.append(asyncio.create_task(self._worker(shard)))
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.config.host, self.config.port
+        )
+        self.started = True
+        if self.config.journal_dir is not None:
+            # Discovery file for supervisors / the chaos driver: written
+            # only after the socket is bound, so its presence means ready.
+            meta = Path(self.config.journal_dir) / "server.json"
+            meta.write_text(
+                json.dumps({"host": self.config.host, "port": self.port}) + "\n"
+            )
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop admission, flush queues, close journals."""
+        if self.draining:
+            await self._closed.wait()
+            return
+        self.draining = True
+        for shard in self.shards:
+            await shard.queue.put(None)  # sentinel after all accepted work
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        for shard in self.shards:
+            shard.flush_journal()
+            if shard.journal is not None:
+                shard.journal.close()
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._closed.set()
+
+    async def wait_closed(self) -> None:
+        await self._closed.wait()
+
+    # -- admission + processing ----------------------------------------------
+
+    def _admit(self, item: str, time: float, server: int) -> Tuple[int, object]:
+        """Admission decision: (status, _Event | error payload)."""
+        if self.draining:
+            self.counters["shed_503"] += 1
+            return 503, {"error": "draining"}
+        shard = self.shards[route_item(item, self.config.shards)]
+        now = asyncio.get_running_loop().time()
+        if not shard.breaker.allow(now):
+            self.counters["shed_503"] += 1
+            return 503, {"error": "circuit open", "shard": shard.index}
+        key = (item, float(time))
+        hit = shard.index_by_key.get(key)
+        if hit is not None:
+            self.counters["duplicates"] += 1
+            return 200, dict(hit, duplicate=True)
+        solver = shard.solvers.get(item)
+        if solver is not None and float(time) <= solver.t[-1]:
+            self.counters["conflicts"] += 1
+            return 409, {
+                "error": f"stale event: item {item!r} horizon is "
+                f"{solver.t[-1]:.9g}, got {float(time):.9g}",
+            }
+        depth = shard.queue.qsize()
+        if depth >= self.config.queue_depth:
+            self.counters["shed_429"] += 1
+            return 429, {"error": "queue full", "shard": shard.index}
+        degraded = depth >= self.config.degrade_watermark * self.config.queue_depth
+        event = _Event(item=item, time=float(time), server=int(server), degraded=degraded)
+        event.future = asyncio.get_running_loop().create_future()
+        shard.queue.put_nowait(event)
+        self.counters["accepted"] += 1
+        return 200, event
+
+    async def _worker(self, shard: _Shard) -> None:
+        """Single writer for one shard's state, WAL, and decision index."""
+        loop = asyncio.get_running_loop()
+        while True:
+            if shard.gate is not None:  # test hook: hold the queue intact
+                await shard.gate.wait()
+            event = await shard.queue.get()
+            if event is None:
+                return
+            batch = [event]
+            # Opportunistically drain what is already queued so one fsync
+            # covers the whole batch (write-ahead still holds: responses
+            # resolve only after the flush below).
+            while not shard.queue.empty() and len(batch) < 64:
+                nxt = shard.queue.get_nowait()
+                if nxt is None:
+                    shard.queue.put_nowait(None)  # keep the drain sentinel
+                    break
+                batch.append(nxt)
+            settled: List[Tuple[_Event, dict]] = []
+            for ev in batch:
+                try:
+                    hit = shard.index_by_key.get((ev.item, ev.time))
+                    if hit is not None:
+                        # The same logical event was applied earlier in
+                        # this batch window (client retry overlapping its
+                        # own in-flight original): answer, don't re-apply.
+                        self.counters["duplicates"] += 1
+                        settled.append((ev, dict(hit, duplicate=True)))
+                        continue
+                    payload = shard.apply(ev.item, ev.time, ev.server, ev.degraded)
+                    shard.journal_event(payload)
+                    shard.breaker.record_success()
+                    settled.append((ev, payload))
+                except InvalidInstanceError as exc:
+                    # Client-shaped input error that slipped past admission
+                    # (e.g. equal-time race inside one batch): reject the
+                    # event without charging the breaker.
+                    settled.append((ev, {"error": str(exc), "_status": 400}))
+                except Exception as exc:  # noqa: BLE001 - breaker boundary
+                    shard.breaker.record_failure(loop.time())
+                    self.counters["errors"] += 1
+                    settled.append(
+                        (ev, {"error": f"internal: {exc}", "_status": 500})
+                    )
+            shard.flush_journal()
+            for ev, payload in settled:
+                if not ev.future.done():
+                    ev.future.set_result(payload)
+            await asyncio.sleep(0)  # yield to responders between batches
+
+    async def _respond_request(self, body: dict) -> Tuple[int, dict, list]:
+        try:
+            item = str(body["item"])
+            time = float(body["time"])
+            server = int(body["server"])
+        except (KeyError, TypeError, ValueError) as exc:
+            return 400, {"error": f"bad event: {exc}"}, []
+        deadline_ms = body.get("deadline_ms", self.config.deadline_ms)
+        try:
+            budget = RunBudget(max_seconds=float(deadline_ms) / 1000.0)
+        except (TypeError, ValueError) as exc:
+            return 400, {"error": f"bad deadline: {exc}"}, []
+        status, outcome = self._admit(item, time, server)
+        if status != 200:
+            retry = [("Retry-After", f"{self.config.retry_after:.3f}")] if status in (429, 503) else []
+            return status, outcome, retry
+        if not isinstance(outcome, _Event):
+            return status, outcome, []  # settled duplicate
+        try:
+            payload = await asyncio.wait_for(
+                asyncio.shield(outcome.future), timeout=budget.max_seconds
+            )
+        except asyncio.TimeoutError:
+            # Deadline budget expired: degraded-partial response; the
+            # accepted event still processes and a duplicate resend will
+            # return the settled decision.
+            self.counters["deadline_expired"] += 1
+            return 200, {
+                "item": item,
+                "shard": route_item(item, self.config.shards),
+                "decision": None,
+                "degraded": True,
+                "duplicate": False,
+                "status": "pending",
+            }, []
+        status = payload.pop("_status", 200) if "_status" in payload else 200
+        return status, payload, []
+
+    # -- endpoints ------------------------------------------------------------
+
+    def _stats(self) -> dict:
+        optimal = sum(s.optimal_cost() for s in self.shards)
+        processed = sum(s.processed for s in self.shards)
+        degraded = sum(s.degraded for s in self.shards)
+        baseline = sum(s.baseline for s in self.shards)
+        decisions = {"cache": 0, "transfer": 0}
+        for s in self.shards:
+            for k in decisions:
+                decisions[k] += s.decisions[k]
+        rows = [s.stats_row() for s in self.shards]
+        return {
+            "requests": dict(self.counters),
+            "items": sum(len(s.solvers) for s in self.shards),
+            "processed": processed,
+            "degraded_decisions": degraded,
+            "decisions": decisions,
+            "optimal_cost": optimal,
+            "baseline_cost": baseline,
+            "savings_vs_always_transfer": baseline - optimal,
+            "replayed_events": self.replayed_events,
+            "draining": self.draining,
+            "shards": rows,
+            "digest": digest_value([(r["shard"], r["seq"], r["digest"]) for r in rows]),
+        }
+
+    def _snapshot_items(self) -> Tuple[dict, float]:
+        """Freeze per-item instances + streaming total (in the event loop,
+        so the executor-side solve below never races shard workers)."""
+        items = {
+            name: solver.instance()
+            for shard in self.shards
+            for name, solver in sorted(shard.solvers.items())
+        }
+        return items, sum(s.optimal_cost() for s in self.shards)
+
+    def _offline_check(self, items: dict, streaming_total: float) -> dict:
+        """Re-solve a frozen snapshot through the service layer."""
+        from .fabric import CircuitOpenError, RetryPolicy, ServicePool
+        from .multi import MultiItemInstance, solve_offline_multi
+
+        if not items:
+            return {"error": "no items yet", "_status": 409}
+        service = MultiItemInstance(items)
+        if self.config.pool_processes > 1:
+            if self._pool is None:
+                self._pool = ServicePool(
+                    self.config.pool_processes, retry=RetryPolicy()
+                )
+            try:
+                off = self._pool.solve(service)
+            except CircuitOpenError as exc:
+                return {"error": str(exc), "_status": 503}
+        else:
+            off = solve_offline_multi(service, kernel=self.config.kernel)
+        offline_total = off.total_cost
+        drift = abs(offline_total - streaming_total)
+        return {
+            "items": len(items),
+            "offline_total": offline_total,
+            "streaming_total": streaming_total,
+            "match": drift <= 1e-9 * max(1.0, abs(offline_total)),
+        }
+
+    async def _dispatch(self, method: str, path: str, body: bytes) -> Tuple[int, dict, list]:
+        if path == "/healthz":
+            return 200, {"ok": True}, []
+        if path == "/readyz":
+            ready = self.started and not self.draining
+            breakers = [s.breaker.state for s in self.shards]
+            status = 200 if ready else 503
+            extra = [] if ready else [("Retry-After", f"{self.config.retry_after:.3f}")]
+            return status, {"ready": ready, "breakers": breakers}, extra
+        if path == "/stats" and method == "GET":
+            return 200, self._stats(), []
+        if path == "/offline" and method == "GET":
+            items, streaming_total = self._snapshot_items()
+            payload = await asyncio.get_running_loop().run_in_executor(
+                None, self._offline_check, items, streaming_total
+            )
+            return payload.pop("_status", 200), payload, []
+        if path == "/request" and method == "POST":
+            try:
+                parsed = json.loads(body or b"{}")
+            except json.JSONDecodeError as exc:
+                return 400, {"error": f"bad json: {exc}"}, []
+            return await self._respond_request(parsed)
+        if path == "/batch" and method == "POST":
+            try:
+                parsed = json.loads(body or b"{}")
+                events = parsed["events"]
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                return 400, {"error": f"bad batch: {exc}"}, []
+            results = []
+            for ev in events:
+                status, payload, _ = await self._respond_request(ev)
+                results.append({"status": status, **payload})
+            return 200, {"results": results}, []
+        if path in ("/request", "/batch", "/stats", "/offline"):
+            return 405, {"error": f"{method} not allowed on {path}"}, []
+        return 404, {"error": f"no such endpoint: {path}"}, []
+
+    # -- HTTP plumbing ---------------------------------------------------------
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                parts = line.decode("latin-1").split()
+                if len(parts) != 3:
+                    writer.write(self._render(400, {"error": "bad request line"}, [], False))
+                    await writer.drain()
+                    break
+                method, path, _version = parts
+                headers: Dict[str, str] = {}
+                while True:
+                    hline = await reader.readline()
+                    if hline in (b"\r\n", b"\n", b""):
+                        break
+                    key, _, value = hline.decode("latin-1").partition(":")
+                    headers[key.strip().lower()] = value.strip()
+                length = int(headers.get("content-length", "0") or "0")
+                body = await reader.readexactly(length) if length else b""
+                path = path.split("?", 1)[0]
+                try:
+                    status, payload, extra = await self._dispatch(method, path, body)
+                except Exception as exc:  # noqa: BLE001 - last-resort boundary
+                    self.counters["errors"] += 1
+                    status, payload, extra = 500, {"error": f"internal: {exc}"}, []
+                keep = headers.get("connection", "keep-alive").lower() != "close"
+                writer.write(self._render(status, payload, extra, keep))
+                await writer.drain()
+                if not keep:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionError, ValueError):
+            pass  # torn connection or unparseable framing: drop it
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    def _render(status: int, payload: dict, extra: list, keep: bool) -> bytes:
+        blob = json.dumps(payload).encode("utf-8")
+        head = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(blob)}",
+            f"Connection: {'keep-alive' if keep else 'close'}",
+        ]
+        head.extend(f"{k}: {v}" for k, v in extra)
+        return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + blob
+
+
+def run_server(config: ServerConfig) -> int:
+    """Blocking CLI entry: serve until SIGTERM/SIGINT, drain, exit 0."""
+
+    async def _main() -> int:
+        server = CacheServer(config)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                sig, lambda: asyncio.ensure_future(server.shutdown())
+            )
+        print(
+            f"serving on http://{config.host}:{server.port} "
+            f"({config.shards} shards, queue depth {config.queue_depth}, "
+            f"journal {config.journal_dir or '<memory>'}"
+            + (f", resumed {server.replayed_events} events" if config.resume else "")
+            + ")",
+            flush=True,
+        )
+        await server.wait_closed()
+        print("drained and stopped", flush=True)
+        return 0
+
+    return asyncio.run(_main())

@@ -1,0 +1,35 @@
+"""Shared fixtures for the service-layer tests.
+
+The ``/dev/shm`` leak scan used to live only in CI (and only after the
+dedicated fabric tests); here it is an autouse fixture, so *every*
+``tests/service/`` test asserts it leaked no shared-memory segments —
+whichever path created them (pool close, GC finalizer, crash recovery,
+the live server's verification pool).
+"""
+
+import gc
+import glob
+import os
+
+import pytest
+
+from repro.service.fabric import SEGMENT_PREFIX
+
+
+def shm_segments() -> set:
+    """Names of this prefix's segments visible in /dev/shm (Linux)."""
+    return {
+        os.path.basename(p) for p in glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*")
+    }
+
+
+@pytest.fixture(autouse=True)
+def no_shm_leaks():
+    """Fail any test that exits with segments it created still mapped."""
+    before = shm_segments()
+    yield
+    # Segments released via weakref.finalize need a collection first —
+    # a pool the test dropped without close() is sloppy but not a leak.
+    gc.collect()
+    leaked = shm_segments() - before
+    assert not leaked, f"leaked /dev/shm segments: {sorted(leaked)}"

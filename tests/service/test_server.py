@@ -1,0 +1,473 @@
+"""Live request-serving front-end tests.
+
+Property families:
+
+* **decision correctness** — wire decisions/costs equal the streaming
+  DP's prefix-optimal choices computed independently;
+* **exactly-once** — duplicate resends are answered from the decision
+  index (never re-applied), stale non-duplicates are 409s;
+* **degradation ladder** — watermark degrades, full queue sheds 429 +
+  ``Retry-After``, drain/breaker sheds 503; deadline expiry yields a
+  degraded-partial that later settles;
+* **resume** — a restarted server replays its journals to the same
+  merged decision digest as an uninterrupted run, including after a real
+  subprocess SIGKILL mid-load (chaos suite).
+
+Tests drive the server in-process inside one event loop per test
+(``asyncio.run`` on a scenario coroutine) — no pytest-asyncio needed.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.types import CostModel
+from repro.offline.streaming import StreamingSolver
+from repro.service.loadgen import (
+    HttpClient,
+    run_load,
+    synthetic_events,
+)
+from repro.service.server import CacheServer, ServerConfig, route_item
+
+
+def scenario(coro_fn):
+    """Run an async scenario to completion on a fresh loop."""
+    return asyncio.run(coro_fn())
+
+
+async def post_event(client, item, time, server, **extra):
+    body = {"item": item, "time": time, "server": server, **extra}
+    return await client.request("POST", "/request", body)
+
+
+class TestDecisions:
+    def test_wire_decisions_match_streaming_solver(self, tmp_path):
+        events = synthetic_events(items=5, count=120, num_servers=6, seed=3)
+
+        async def run():
+            server = CacheServer(
+                ServerConfig(journal_dir=str(tmp_path), shards=3, num_servers=6)
+            )
+            await server.start()
+            client = HttpClient(server.config.host, server.port)
+            responses = []
+            for item, t, s in events:
+                status, payload, _ = await post_event(client, item, t, s)
+                assert status == 200, payload
+                responses.append(payload)
+            await client.close()
+            await server.shutdown()
+            return responses
+
+        responses = scenario(run)
+        # Recompute ground truth per item with independent solvers.
+        solvers = {}
+        cost = CostModel(mu=1.0, lam=1.0)
+        for (item, t, s), payload in zip(events, responses):
+            solver = solvers.setdefault(
+                item, StreamingSolver(6, cost=cost, origin=0)
+            )
+            prev_t, prev_c = solver.t[-1], solver.C[-1]
+            total = solver.append(t, s)
+            via_transfer = prev_c + cost.mu * (t - prev_t) + cost.lam
+            expected = "cache" if solver.D[-1] <= via_transfer else "transfer"
+            assert payload["decision"] == expected, (item, t, payload)
+            assert payload["cost"] == total - prev_c
+            assert payload["item_cost"] == total
+            assert payload["degraded"] is False
+
+    def test_stats_gauges(self, tmp_path):
+        events = synthetic_events(items=4, count=80, num_servers=6, seed=9)
+
+        async def run():
+            server = CacheServer(
+                ServerConfig(journal_dir=str(tmp_path), shards=2, num_servers=6)
+            )
+            await server.start()
+            await run_load(
+                server.config.host, server.port, events, concurrency=2
+            )
+            client = HttpClient(server.config.host, server.port)
+            _, stats, _ = await client.request("GET", "/stats")
+            _, offline, _ = await client.request("GET", "/offline")
+            await client.close()
+            await server.shutdown()
+            return stats, offline
+
+        stats, offline = scenario(run)
+        assert stats["processed"] == len(events)
+        assert stats["requests"]["accepted"] == len(events)
+        # Savings vs always-transfer is nonnegative: optimal <= baseline.
+        assert stats["optimal_cost"] <= stats["baseline_cost"] + 1e-9
+        assert offline["match"] is True
+        assert offline["streaming_total"] == pytest.approx(
+            stats["optimal_cost"]
+        )
+
+
+class TestExactlyOnce:
+    def test_duplicate_resend_not_reapplied(self, tmp_path):
+        async def run():
+            server = CacheServer(
+                ServerConfig(journal_dir=str(tmp_path), shards=2)
+            )
+            await server.start()
+            client = HttpClient(server.config.host, server.port)
+            _, first, _ = await post_event(client, "x", 1.0, 2)
+            _, stats1, _ = await client.request("GET", "/stats")
+            _, dup, _ = await post_event(client, "x", 1.0, 2)
+            _, stats2, _ = await client.request("GET", "/stats")
+            await client.close()
+            await server.shutdown()
+            return first, dup, stats1, stats2
+
+        first, dup, stats1, stats2 = scenario(run)
+        assert dup["duplicate"] is True
+        assert dup["decision"] == first["decision"]
+        assert dup["seq"] == first["seq"]
+        # State did not advance: same digest, same processed count.
+        assert stats2["digest"] == stats1["digest"]
+        assert stats2["processed"] == stats1["processed"]
+        assert stats2["requests"]["duplicates"] == 1
+
+    def test_stale_event_conflicts(self, tmp_path):
+        async def run():
+            server = CacheServer(
+                ServerConfig(journal_dir=str(tmp_path), shards=1)
+            )
+            await server.start()
+            client = HttpClient(server.config.host, server.port)
+            await post_event(client, "x", 5.0, 1)
+            status, payload, _ = await post_event(client, "x", 3.0, 2)
+            await client.close()
+            await server.shutdown()
+            return status, payload
+
+        status, payload = scenario(run)
+        assert status == 409
+        assert "stale" in payload["error"]
+
+    def test_bad_event_rejected(self, tmp_path):
+        async def run():
+            server = CacheServer(
+                ServerConfig(journal_dir=str(tmp_path), shards=1)
+            )
+            await server.start()
+            client = HttpClient(server.config.host, server.port)
+            status, payload, _ = await client.request(
+                "POST", "/request", {"item": "x"}
+            )
+            status2, _, _ = await client.request(
+                "POST", "/request", {"item": "x", "time": 1.0, "server": 99}
+            )
+            await client.close()
+            await server.shutdown()
+            return status, payload, status2
+
+        status, payload, status2 = scenario(run)
+        assert status == 400
+        # Out-of-range server is caught by the worker's input boundary.
+        assert status2 == 400
+
+
+class TestDegradationLadder:
+    def test_queue_full_sheds_429_with_retry_after(self, tmp_path):
+        async def run():
+            config = ServerConfig(
+                journal_dir=str(tmp_path),
+                shards=1,
+                queue_depth=2,
+                degrade_watermark=1.0,
+            )
+            server = CacheServer(config)
+            gate = asyncio.Event()
+            server.shards[0].gate = gate  # hold the worker: queue stays full
+            await server.start()
+            client = HttpClient(server.config.host, server.port)
+            # Fill the queue (responses pend), then overflow it.
+            pending = [
+                asyncio.create_task(
+                    post_event(HttpClient(config.host, server.port), "x", t, 0)
+                )
+                for t in (1.0, 2.0)
+            ]
+            await asyncio.sleep(0.05)
+            status, payload, headers = await post_event(client, "x", 3.0, 0)
+            assert status == 429, payload
+            assert "retry-after" in headers
+            gate.set()
+            done = await asyncio.gather(*pending)
+            statuses = [d[0] for d in done]
+            await client.close()
+            await server.shutdown()
+            return statuses, server.counters["shed_429"]
+
+        statuses, shed = scenario(run)
+        assert statuses == [200, 200]
+        assert shed == 1
+
+    def test_watermark_degrades_to_cheapest_feasible(self, tmp_path):
+        async def run():
+            config = ServerConfig(
+                journal_dir=str(tmp_path),
+                shards=1,
+                queue_depth=4,
+                degrade_watermark=0.5,
+            )
+            server = CacheServer(config)
+            gate = asyncio.Event()
+            server.shards[0].gate = gate
+            await server.start()
+            tasks = [
+                asyncio.create_task(
+                    post_event(HttpClient(config.host, server.port), "x", t, 0)
+                )
+                for t in (1.0, 2.0, 3.0, 4.0)
+            ]
+            await asyncio.sleep(0.05)
+            gate.set()
+            done = await asyncio.gather(*tasks)
+            await server.shutdown()
+            return [d[1] for d in done]
+
+        payloads = scenario(run)
+        flags = [p["degraded"] for p in payloads]
+        # Depths 0,1 are below the watermark (2), depths 2,3 at/above it.
+        assert flags == [False, False, True, True]
+        for p in payloads[2:]:
+            assert p["decision"] == "transfer"
+            assert p["cost"] == 1.0  # lam: cheapest feasible, DP untouched
+
+    def test_deadline_expiry_degraded_partial_then_settles(self, tmp_path):
+        async def run():
+            config = ServerConfig(journal_dir=str(tmp_path), shards=1)
+            server = CacheServer(config)
+            gate = asyncio.Event()
+            server.shards[0].gate = gate
+            await server.start()
+            client = HttpClient(server.config.host, server.port)
+            status, partial, _ = await post_event(
+                client, "x", 1.0, 0, deadline_ms=50
+            )
+            gate.set()
+            await asyncio.sleep(0.05)  # let the accepted event settle
+            status2, settled, _ = await post_event(client, "x", 1.0, 0)
+            await client.close()
+            await server.shutdown()
+            return status, partial, status2, settled, dict(server.counters)
+
+        status, partial, status2, settled, counters = scenario(run)
+        assert status == 200
+        assert partial["degraded"] is True
+        assert partial["status"] == "pending"
+        assert partial["decision"] is None
+        assert counters["deadline_expired"] == 1
+        # The resend finds the event settled with a real decision.
+        assert status2 == 200
+        assert settled["status"] == "done"
+        assert settled["duplicate"] is True
+        assert settled["decision"] in ("cache", "transfer")
+
+    def test_drain_sheds_503_and_health_endpoints(self, tmp_path):
+        async def run():
+            config = ServerConfig(journal_dir=str(tmp_path), shards=1)
+            server = CacheServer(config)
+            gate = asyncio.Event()
+            server.shards[0].gate = gate
+            await server.start()
+            client = HttpClient(server.config.host, server.port)
+            h_status, h_body, _ = await client.request("GET", "/healthz")
+            r_status, r_body, _ = await client.request("GET", "/readyz")
+            # Start draining while the worker is held: admission closes.
+            drain = asyncio.create_task(server.shutdown())
+            await asyncio.sleep(0.02)
+            nr_status, nr_body, nr_headers = await client.request(
+                "GET", "/readyz"
+            )
+            p_status, p_body, _ = await post_event(client, "x", 1.0, 0)
+            await client.close()
+            gate.set()
+            await drain
+            return (h_status, h_body, r_status, r_body,
+                    nr_status, nr_headers, p_status, p_body)
+
+        (h_status, h_body, r_status, r_body,
+         nr_status, nr_headers, p_status, p_body) = scenario(run)
+        assert (h_status, h_body["ok"]) == (200, True)
+        assert (r_status, r_body["ready"]) == (200, True)
+        assert nr_status == 503
+        assert "retry-after" in nr_headers
+        assert p_status == 503
+        assert "draining" in p_body["error"]
+
+
+class TestResume:
+    def test_restart_resumes_to_identical_digest(self, tmp_path):
+        events = synthetic_events(items=4, count=60, num_servers=6, seed=11)
+        cut = 25
+        dir_a = tmp_path / "killed"
+        dir_b = tmp_path / "reference"
+
+        async def run():
+            config = ServerConfig(
+                journal_dir=str(dir_a), shards=2, num_servers=6
+            )
+            # First life: events[:cut], then clean shutdown (the
+            # subprocess SIGKILL variant is TestChaosKillResume).
+            server = CacheServer(config)
+            await server.start()
+            await run_load(
+                config.host, server.port, events[:cut], concurrency=1,
+                fetch_stats=False,
+            )
+            await server.shutdown()
+
+            resumed = CacheServer(
+                ServerConfig(
+                    journal_dir=str(dir_a), shards=2, num_servers=6,
+                    resume=True,
+                )
+            )
+            await resumed.start()
+            assert resumed.replayed_events == cut
+            await run_load(
+                resumed.config.host, resumed.port, events[cut:],
+                concurrency=1, fetch_stats=False,
+            )
+            client = HttpClient(resumed.config.host, resumed.port)
+            _, stats_resumed, _ = await client.request("GET", "/stats")
+            await client.close()
+            await resumed.shutdown()
+
+            reference = CacheServer(
+                ServerConfig(journal_dir=str(dir_b), shards=2, num_servers=6)
+            )
+            await reference.start()
+            await run_load(
+                reference.config.host, reference.port, events,
+                concurrency=1, fetch_stats=False,
+            )
+            client = HttpClient(reference.config.host, reference.port)
+            _, stats_ref, _ = await client.request("GET", "/stats")
+            await client.close()
+            await reference.shutdown()
+            return stats_resumed, stats_ref
+
+        stats_resumed, stats_ref = scenario(run)
+        assert stats_resumed["digest"] == stats_ref["digest"]
+        assert stats_resumed["optimal_cost"] == stats_ref["optimal_cost"]
+        assert [s["seq"] for s in stats_resumed["shards"]] == [
+            s["seq"] for s in stats_ref["shards"]
+        ]
+
+    def test_resume_replays_degraded_events_identically(self, tmp_path):
+        async def run():
+            config = ServerConfig(
+                journal_dir=str(tmp_path), shards=1, queue_depth=4,
+                degrade_watermark=0.5,
+            )
+            server = CacheServer(config)
+            gate = asyncio.Event()
+            server.shards[0].gate = gate
+            await server.start()
+            tasks = [
+                asyncio.create_task(
+                    post_event(HttpClient(config.host, server.port), "x", t, 0)
+                )
+                for t in (1.0, 2.0, 3.0, 4.0)
+            ]
+            await asyncio.sleep(0.05)
+            gate.set()
+            await asyncio.gather(*tasks)
+            digest = server.shards[0].digest
+            degraded = server.shards[0].degraded
+            await server.shutdown()
+
+            resumed = CacheServer(
+                ServerConfig(
+                    journal_dir=str(tmp_path), shards=1, queue_depth=4,
+                    degrade_watermark=0.5, resume=True,
+                )
+            )
+            await resumed.start()
+            out = (
+                digest, degraded,
+                resumed.shards[0].digest, resumed.shards[0].degraded,
+            )
+            await resumed.shutdown()
+            return out
+
+        digest, degraded, r_digest, r_degraded = scenario(run)
+        assert degraded == 2  # the watermark kicked in for depths 2,3
+        assert r_digest == digest
+        assert r_degraded == degraded
+
+    def test_resume_divergence_detected(self, tmp_path):
+        from repro.runtime.supervisor import ResumeDivergenceError
+
+        async def run():
+            config = ServerConfig(journal_dir=str(tmp_path), shards=1)
+            server = CacheServer(config)
+            await server.start()
+            client = HttpClient(config.host, server.port)
+            for t in (1.0, 2.0, 3.0):
+                await post_event(client, "x", t, 0)
+            await client.close()
+            await server.shutdown()
+
+        scenario(run)
+        # Corrupt one journaled event (same shape, different content).
+        path = tmp_path / "shard-0.jsonl"
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[2])
+        record["server"] = (record["server"] + 1) % 8
+        lines[2] = json.dumps(record)
+        path.write_text("\n".join(lines) + "\n")
+
+        async def resume():
+            server = CacheServer(
+                ServerConfig(journal_dir=str(tmp_path), shards=1, resume=True)
+            )
+            await server.start()
+
+        with pytest.raises(ResumeDivergenceError, match="diverged"):
+            scenario(resume)
+
+
+class TestChaosKillResume:
+    def test_subprocess_sigkill_resumes_bit_identically(self, tmp_path):
+        """Real SIGKILL against a server subprocess (2 seeded points)."""
+        from repro.faults.chaos import server_kill_resume_suite
+
+        events = synthetic_events(items=4, count=40, num_servers=6, seed=2)
+        outcomes = server_kill_resume_suite(
+            events,
+            kill_points=2,
+            base_seed=0,
+            shards=2,
+            num_servers=6,
+            work_dir=str(tmp_path),
+        )
+        assert len(outcomes) == 2
+        for o in outcomes:
+            assert o.ok, o.violations
+            assert o.digest == o.reference_digest
+            assert o.replayed >= o.kill_seq
+
+
+class TestRouting:
+    def test_route_item_validates(self):
+        with pytest.raises(ValueError, match="shards"):
+            route_item("x", 0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="queue_depth"):
+            ServerConfig(queue_depth=0)
+        with pytest.raises(ValueError, match="degrade_watermark"):
+            ServerConfig(degrade_watermark=1.5)
+        with pytest.raises(ValueError, match="resume"):
+            ServerConfig(resume=True)
+        with pytest.raises(ValueError):
+            ServerConfig(deadline_ms=-1.0)
