@@ -191,6 +191,27 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument(
         "--shards", type=int, default=2, help="server shards for --kill-server"
     )
+    ch.add_argument(
+        "--kill-replica", action="store_true",
+        help="cluster failover sweep: SIGKILL replicas of a live replicated "
+        "cluster at seeded points under load and assert the merged decision "
+        "stream is bit-identical to an uninterrupted single server",
+    )
+    ch.add_argument(
+        "--partition", action="store_true",
+        help="cluster failover sweep with network partitions (via per-replica "
+        "chaos proxies): one partition that heals mid-batch without failover "
+        "and one that rides through failover; implies a proxied cluster",
+    )
+    ch.add_argument(
+        "--cluster-replicas", type=int, default=3,
+        help="replica count for --kill-replica/--partition",
+    )
+    ch.add_argument(
+        "--proxy-seed", type=int, default=None,
+        help="optional NetworkFaultPlan seed to run the cluster sweep "
+        "behind lossy chaos proxies (latency/duplicates/torn writes)",
+    )
 
     sv = sub.add_parser(
         "supervise",
@@ -350,6 +371,89 @@ def build_parser() -> argparse.ArgumentParser:
         "--pool-processes", type=int, default=1,
         help="ServicePool size for GET /offline verification (1 = serial)",
     )
+    rp.add_argument(
+        "--dedupe-window", type=float, default=None,
+        help="bound the per-shard (item,time) dedupe map to this sliding "
+        "time window behind the shard frontier; evicted duplicates get 409 "
+        "(omit = unbounded, exact dedupe forever)",
+    )
+    rp.add_argument(
+        "--owned-shards", default=None,
+        help="comma-separated subset of [0,--shards) this replica serves "
+        "(requests for other shards get 421; used by the cluster supervisor)",
+    )
+    rp.add_argument(
+        "--meta-name", default="server.json",
+        help="discovery-file name inside --journal-dir",
+    )
+    rp.add_argument(
+        "--replicas", type=int, default=1,
+        help="run a replicated failover cluster of this many server "
+        "subprocesses instead of one in-process server (requires "
+        "--journal-dir; shards are partitioned round-robin and fail over "
+        "across replicas via the shared per-shard WALs)",
+    )
+    rp.add_argument(
+        "--proxy-seed", type=int, default=None,
+        help="with --replicas > 1: put a seeded chaos proxy in front of "
+        "every replica (NetworkFaultPlan seed; latency/duplication flags "
+        "use their defaults)",
+    )
+
+    px = sub.add_parser(
+        "proxy",
+        help="deterministic wire-chaos proxy in front of a serving endpoint",
+    )
+    px.add_argument("--upstream-host", default="127.0.0.1")
+    px.add_argument("--upstream-port", type=int, required=True)
+    px.add_argument("--host", default="127.0.0.1")
+    px.add_argument(
+        "--port", type=int, default=0, help="0 = ephemeral (see --meta)"
+    )
+    px.add_argument(
+        "--meta", default=None,
+        help="write {host, port} discovery JSON here once bound",
+    )
+    px.add_argument("--seed", type=int, default=0, help="perturbation seed")
+    px.add_argument(
+        "--latency", type=float, default=0.0,
+        help="base added latency per request (seconds)",
+    )
+    px.add_argument(
+        "--jitter", type=float, default=0.0,
+        help="uniform extra latency on top of --latency (seconds)",
+    )
+    px.add_argument(
+        "--reset-rate", type=float, default=0.0,
+        help="per-message probability of a mid-response connection reset",
+    )
+    px.add_argument(
+        "--torn-rate", type=float, default=0.0,
+        help="per-message probability of a byte-fragmented response",
+    )
+    px.add_argument(
+        "--dup-rate", type=float, default=0.0,
+        help="per-message probability the request is forwarded twice",
+    )
+    px.add_argument(
+        "--reorder-rate", type=float, default=0.0,
+        help="per-message probability the response is held (--reorder-hold) "
+        "so concurrent connections overtake it",
+    )
+    px.add_argument(
+        "--reorder-hold", type=float, default=0.05,
+        help="hold duration for reordered responses (seconds)",
+    )
+    px.add_argument(
+        "--blackhole", default=None, metavar="A:B[,C:D...]",
+        help="uptime windows (seconds) during which requests are accepted "
+        "but never answered",
+    )
+    px.add_argument(
+        "--partition-window", default=None, metavar="A:B[,C:D...]",
+        help="uptime windows (seconds) during which connections are dropped "
+        "and live relays aborted",
+    )
 
     lg = sub.add_parser(
         "loadgen", help="replay a trace against a running server"
@@ -359,7 +463,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="columnar trace container (omit for a synthetic workload)",
     )
     lg.add_argument("--host", default="127.0.0.1")
-    lg.add_argument("--port", type=int, required=True)
+    lg.add_argument(
+        "--port", type=int, default=None,
+        help="server port (required unless --cluster-map is given)",
+    )
+    lg.add_argument(
+        "--cluster-map", default=None,
+        help="drive a replicated cluster through its cluster.json routing "
+        "map (closed-loop, failover-aware redrive) instead of one server",
+    )
+    lg.add_argument(
+        "--connect-timeout", type=float, default=5.0,
+        help="per-connect timeout (seconds)",
+    )
+    lg.add_argument(
+        "--read-timeout", type=float, default=15.0,
+        help="per-request response timeout (seconds); a timed-out "
+        "connection is dropped and the event redriven through dedupe",
+    )
+    lg.add_argument(
+        "--hedge-ms", type=float, default=None,
+        help="cluster mode: fire a hedged duplicate on a fresh connection "
+        "if no answer after this many ms (dedupe-safe)",
+    )
     lg.add_argument(
         "--rate", type=float, default=None,
         help="open-loop target req/s (omit for closed-loop "
@@ -519,6 +645,8 @@ def _cmd_paper(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .faults import chaos
 
+    if args.kill_replica or args.partition:
+        return _cmd_chaos_cluster(args)
     if args.kill_server:
         return _cmd_chaos_server(args)
     if args.trace is not None:
@@ -612,6 +740,57 @@ def _cmd_chaos_server(args: argparse.Namespace) -> int:
     print(
         "all kill points resumed bit-identically "
         "(merged decision digests match the uninterrupted run)"
+    )
+    return 0
+
+
+def _cmd_chaos_cluster(args: argparse.Namespace) -> int:
+    from .analysis.tables import format_table
+    from .faults import chaos
+    from .service.loadgen import events_from_trace, synthetic_events
+
+    if args.trace is not None:
+        events = events_from_trace(args.trace, limit=args.n)
+    else:
+        events = synthetic_events(
+            items=args.items,
+            count=args.n,
+            num_servers=args.servers if args.servers is not None else args.m,
+            seed=args.seed,
+        )
+    outcomes = chaos.cluster_failover_suite(
+        events,
+        scenarios=args.kill_points,
+        base_seed=args.seed,
+        shards=args.shards,
+        replicas=args.cluster_replicas,
+        num_servers=args.servers if args.servers is not None else args.m,
+        include_kills=args.kill_replica or not args.partition,
+        include_partitions=args.partition,
+        proxy_seed=args.proxy_seed,
+    )
+    print(
+        format_table(
+            [o.row() for o in outcomes],
+            title=f"cluster failover: {len(events)} events, "
+            f"{args.cluster_replicas} replicas, {args.shards} shards, "
+            f"{len(outcomes)} scenarios"
+            + (f", proxy seed {args.proxy_seed}"
+               if args.proxy_seed is not None else ""),
+        )
+    )
+    failed = [o for o in outcomes if not o.ok]
+    if failed:
+        for o in failed:
+            for msg in o.violations:
+                print(f"INVARIANT VIOLATION: {msg}", file=sys.stderr)
+        print(
+            f"{len(failed)}/{len(outcomes)} scenarios FAILED", file=sys.stderr
+        )
+        return 1
+    print(
+        "all scenarios converged bit-identically "
+        "(merged cluster digests match the uninterrupted single server)"
     )
     return 0
 
@@ -824,9 +1003,57 @@ def _report_service(args, svc, off, online) -> int:
     return 0
 
 
+def _parse_windows(spec: Optional[str]):
+    """``"A:B,C:D"`` -> ``((A, B), (C, D))`` for NetworkFaultPlan windows."""
+    if not spec:
+        return ()
+    windows = []
+    for part in spec.split(","):
+        lo, _, hi = part.partition(":")
+        windows.append((float(lo), float(hi)))
+    return tuple(windows)
+
+
+def _plan_from_args(args: argparse.Namespace):
+    from .faults.plan import NetworkFaultPlan
+
+    return NetworkFaultPlan(
+        seed=args.seed,
+        latency=args.latency,
+        jitter=args.jitter,
+        reset_rate=args.reset_rate,
+        torn_rate=args.torn_rate,
+        dup_rate=args.dup_rate,
+        reorder_rate=args.reorder_rate,
+        reorder_hold=args.reorder_hold,
+        blackhole_windows=_parse_windows(args.blackhole),
+        partition_windows=_parse_windows(args.partition_window),
+    )
+
+
+def _cmd_proxy(args: argparse.Namespace) -> int:
+    from .service.proxy import run_proxy
+
+    return run_proxy(
+        args.upstream_host,
+        args.upstream_port,
+        plan=_plan_from_args(args),
+        host=args.host,
+        port=args.port,
+        meta_path=args.meta,
+    )
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service.server import ServerConfig, run_server
 
+    if args.replicas > 1:
+        return _cmd_serve_cluster(args)
+    owned = None
+    if args.owned_shards is not None:
+        owned = tuple(
+            int(s) for s in args.owned_shards.split(",") if s.strip() != ""
+        )
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -845,15 +1072,63 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         resume=args.resume,
         sync=not args.no_sync,
         pool_processes=args.pool_processes,
+        owned_shards=owned,
+        dedupe_window=args.dedupe_window,
+        meta_name=args.meta_name,
     )
     return run_server(config)
+
+
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    from .faults.plan import NetworkFaultPlan
+    from .service.cluster import ClusterConfig, run_cluster
+
+    if args.journal_dir is None:
+        print(
+            "error: --replicas > 1 requires --journal-dir "
+            "(the shared per-shard WALs are what failover resumes from)",
+            file=sys.stderr,
+        )
+        return 2
+    plan = None
+    if args.proxy_seed is not None:
+        plan = NetworkFaultPlan(seed=args.proxy_seed)
+    config = ClusterConfig(
+        journal_dir=args.journal_dir,
+        replicas=args.replicas,
+        shards=args.shards,
+        num_servers=args.m,
+        mu=args.mu,
+        lam=args.lam,
+        origin=args.origin,
+        kernel=args.kernel,
+        host=args.host,
+        queue_depth=args.queue_depth,
+        degrade_watermark=args.degrade_watermark,
+        deadline_ms=args.deadline_ms,
+        dedupe_window=args.dedupe_window,
+        sync=not args.no_sync,
+        proxy_plan=plan,
+    )
+    return run_cluster(config)
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     import json as _json
 
-    from .service.loadgen import events_from_trace, replay, synthetic_events
+    from .service.loadgen import (
+        events_from_trace,
+        replay,
+        replay_cluster,
+        synthetic_events,
+    )
 
+    if args.cluster_map is None and args.port is None:
+        print(
+            "error: --port is required unless --cluster-map is given",
+            file=sys.stderr,
+        )
+        return 2
     if args.trace is not None:
         events = events_from_trace(args.trace, limit=args.limit)
     else:
@@ -862,16 +1137,34 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         )
         if args.limit is not None:
             events = events[: args.limit]
-    result = replay(
-        args.host,
-        args.port,
-        events,
-        rate=args.rate,
-        concurrency=args.concurrency,
-        retries=args.retries,
-    )
+    if args.cluster_map is not None:
+        result = replay_cluster(
+            args.cluster_map,
+            events,
+            concurrency=args.concurrency,
+            retries=args.retries,
+            connect_timeout=args.connect_timeout,
+            read_timeout=args.read_timeout,
+            hedge=args.hedge_ms / 1000.0 if args.hedge_ms else None,
+        )
+    else:
+        result = replay(
+            args.host,
+            args.port,
+            events,
+            rate=args.rate,
+            concurrency=args.concurrency,
+            retries=args.retries,
+            connect_timeout=args.connect_timeout,
+            read_timeout=args.read_timeout,
+        )
     report = result.to_dict()
-    mode = f"open-loop @ {args.rate:g} req/s" if args.rate else "closed-loop"
+    if args.cluster_map is not None:
+        mode = "cluster closed-loop"
+    elif args.rate:
+        mode = f"open-loop @ {args.rate:g} req/s"
+    else:
+        mode = "closed-loop"
     print(
         f"{mode}: {report['sent']} events in {report['elapsed_s']:.2f}s "
         f"({report['achieved_rps']:.0f} req/s achieved)"
@@ -984,6 +1277,7 @@ _DISPATCH = {
     "supervise": _cmd_supervise,
     "service": _cmd_service,
     "serve": _cmd_serve,
+    "proxy": _cmd_proxy,
     "loadgen": _cmd_loadgen,
     "convert": _cmd_convert,
     "experiment": _cmd_experiment,

@@ -13,12 +13,14 @@ Entry point: :func:`repro.sim.engine.run_online_faulty`.
 """
 
 from .injector import FaultContext, FaultyRunResult
-from .plan import FaultEvent, FaultPlan, Outage
+from .plan import FaultEvent, FaultPlan, NetworkFaultPlan, Outage, Perturbation
 
 __all__ = [
     "FaultContext",
     "FaultEvent",
     "FaultPlan",
     "FaultyRunResult",
+    "NetworkFaultPlan",
     "Outage",
+    "Perturbation",
 ]

@@ -48,6 +48,7 @@ import signal
 import socket
 import subprocess
 import sys
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -64,9 +65,11 @@ from .plan import FaultPlan
 __all__ = [
     "ChaosInvariantError",
     "ChaosOutcome",
+    "ClusterFailoverOutcome",
     "ServerKillOutcome",
     "chaos_report",
     "check_kill_resume",
+    "cluster_failover_suite",
     "run_chaos_suite",
     "scenario_plans",
     "server_kill_points",
@@ -642,3 +645,300 @@ def chaos_report(
         for msg in o.violations:
             lines.append(f"  seed {o.seed}: {msg}")
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Replicated-cluster failover chaos (SIGKILL + network partitions).
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ClusterFailoverOutcome:
+    """One fault scenario of :func:`cluster_failover_suite`."""
+
+    kind: str  # "kill" | "partition-heal" | "partition-failover"
+    boundary: int  # event index the fault lands on
+    target: int  # replica index hit by the fault
+    failovers: int
+    digest: str
+    reference_digest: str
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def row(self) -> dict:
+        return {
+            "scenario": f"{self.kind}@{self.boundary}",
+            "target": self.target,
+            "failovers": self.failovers,
+            "digest-match": self.digest == self.reference_digest,
+            "status": "ok" if self.ok else "FAIL",
+        }
+
+
+def _cluster_route(map_path: str, item: str) -> Tuple[str, int]:
+    """Resolve ``item``'s owner address from the current routing map."""
+    from ..service.server import route_item
+
+    data = json.loads(Path(map_path).read_text())
+    shard = route_item(item, int(data["num_shards"]))
+    addr = data["shards"][str(shard)]
+    return str(addr["host"]), int(addr["port"])
+
+
+def _cluster_post_until_accepted(
+    map_path: str, event: tuple, deadline: float
+) -> dict:
+    """Cluster-aware closed-loop send: re-route + redrive until settled.
+
+    Retries through connection failures (the target may be partitioned,
+    dying, or already dead), ``421`` misroutes (the map moved under us —
+    re-read it), and ``429``/``503`` sheds; the server-side ``(item,
+    time)`` dedupe turns the at-least-once redrive into exactly-once.
+    """
+    item, t, server = event
+    body = {"item": item, "time": t, "server": server}
+    while True:
+        try:
+            host, port = _cluster_route(map_path, item)
+            status, payload = _server_http(
+                host, port, "POST", "/request", body, timeout=2.0
+            )
+        except (
+            OSError,
+            http.client.HTTPException,
+            ValueError,
+            KeyError,
+            json.JSONDecodeError,
+        ):
+            status, payload = -1, None
+        if status == 200 and payload.get("status") == "done":
+            return payload
+        if status == 409:
+            return payload  # settled: resend beyond the dedupe window
+        if status not in (200, 421, 429, 503, -1):
+            raise ChaosInvariantError(
+                f"unexpected status {status} for event {event}: {payload}"
+            )
+        if time.monotonic() > deadline:
+            raise ChaosInvariantError(
+                f"event {event} not settled before the deadline "
+                f"(last status {status})"
+            )
+        time.sleep(0.05)
+
+
+def cluster_failover_suite(
+    events: Sequence[tuple],
+    scenarios: int = 5,
+    base_seed: int = 0,
+    shards: int = 4,
+    replicas: int = 3,
+    num_servers: int = 8,
+    include_kills: bool = True,
+    include_partitions: bool = True,
+    proxy_seed: Optional[int] = None,
+    work_dir: Optional[str] = None,
+    scenario_timeout: float = 240.0,
+    heal_after: float = 0.75,
+) -> List["ClusterFailoverOutcome"]:
+    """Fail replicas of a live cluster; prove bit-identical convergence.
+
+    One uninterrupted single-server reference pass over ``events``
+    (time-sorted ``(item, time, server)``) fixes the merged
+    decision-stream digest.  Then, at ``scenarios`` seeded event
+    boundaries, a fresh ``replicas``-way cluster over the same events
+    suffers one of three faults aimed at the replica owning the
+    boundary event's shard:
+
+    * ``kill`` — the boundary event is written to the owner without
+      reading the response (in-flight at kill time), the owner is
+      SIGKILLed, and its shards fail over to survivors by resuming the
+      per-shard WALs; the torn event is then resent through dedupe.
+    * ``partition-heal`` — the owner's chaos proxy partitions (new
+      connections dropped, live relays aborted) and heals after
+      ``heal_after`` seconds, *mid-batch*; health thresholds are set to
+      ride it out, so the cluster must converge with **zero** failovers.
+    * ``partition-failover`` — the partition stays; the supervisor's
+      health probes (which go through the proxy, seeing what clients
+      see) declare the replica dead, fence it with SIGKILL, and fail
+      its shards over while the load loop redrives.
+
+    Every scenario must end with the cluster's merged digest — and each
+    per-shard ``(seq, digest)`` pair — equal to the reference: no
+    decision lost, duplicated, or reordered by any fault.  With
+    ``proxy_seed`` the whole sweep additionally runs behind lossy
+    seeded proxies (latency, duplicated requests, torn writes).
+    """
+    import tempfile
+
+    from ..service.cluster import ClusterConfig, ReplicaSet
+    from ..service.loadgen import cluster_stats
+    from ..service.server import route_item
+    from .plan import NetworkFaultPlan
+
+    events = list(events)
+    points = server_kill_points(len(events), scenarios, base_seed)
+    kinds: List[str] = []
+    cycle: List[str] = []
+    if include_kills:
+        cycle.append("kill")
+    if include_partitions:
+        cycle += ["partition-heal", "partition-failover"]
+    if not cycle:
+        raise ValueError("enable at least one of kills/partitions")
+    for i in range(len(points)):
+        kinds.append(cycle[i % len(cycle)])
+
+    root = Path(work_dir) if work_dir is not None else None
+    tmp = tempfile.mkdtemp(prefix="chaos-cluster-") if root is None else None
+    base = root if root is not None else Path(tmp)  # type: ignore[arg-type]
+    base.mkdir(parents=True, exist_ok=True)
+
+    lossy = (
+        NetworkFaultPlan(
+            seed=proxy_seed, latency=0.001, torn_rate=0.1, dup_rate=0.1
+        )
+        if proxy_seed is not None
+        else None
+    )
+
+    def run_reference(jdir: Path) -> dict:
+        deadline = time.monotonic() + scenario_timeout
+        proc, host, port = _spawn_server(
+            jdir, shards, num_servers, resume=False, deadline=deadline
+        )
+        try:
+            for event in events:
+                _post_event_until_accepted(host, port, event, deadline)
+            _status, stats = _server_http(host, port, "GET", "/stats")
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            rc = proc.wait(timeout=30)
+        if rc != 0:
+            raise ChaosInvariantError(f"reference server drain rc {rc}")
+        return stats
+
+    def run_scenario(kind: str, boundary: int, jdir: Path, reference: dict):
+        violations: List[str] = []
+        deadline = time.monotonic() + scenario_timeout
+        # Partitions are proxy switches, so those scenarios always run
+        # behind proxies (pass-through unless a lossy plan is given).
+        plan = lossy
+        if plan is None and kind != "kill":
+            plan = NetworkFaultPlan()
+        if kind == "partition-heal":
+            health = {"health_interval": 0.25, "health_failures": 10_000}
+        else:
+            health = {
+                "health_interval": 0.1,
+                "health_failures": 3,
+                "health_timeout": 0.3,
+            }
+        rs = ReplicaSet(
+            ClusterConfig(
+                journal_dir=str(jdir),
+                replicas=replicas,
+                shards=shards,
+                num_servers=num_servers,
+                sync=True,
+                proxy_plan=plan,
+                **health,
+            )
+        )
+        rs.start()
+        target = -1
+        try:
+            for event in events[:boundary]:
+                _cluster_post_until_accepted(rs.map_path, event, deadline)
+            shard = route_item(events[boundary][0], shards)
+            target = rs.owner_of(shard)
+            if kind == "kill":
+                # The boundary event is in flight (written, unanswered)
+                # when the SIGKILL lands: torn-tail WAL handoff.
+                host, port = _cluster_route(
+                    rs.map_path, events[boundary][0]
+                )
+                _torn_send(host, port, events[boundary])
+                rs.kill_replica(target)
+            elif kind == "partition-heal":
+                rs.set_partition(target, True)
+                healer = threading.Timer(
+                    heal_after, rs.set_partition, args=(target, False)
+                )
+                healer.start()
+            else:  # partition-failover: leave it on, health loop fences
+                rs.set_partition(target, True)
+            for event in events[boundary:]:
+                _cluster_post_until_accepted(rs.map_path, event, deadline)
+            if kind == "partition-failover":
+                # The failover may still be mid-flight after the last
+                # event settled on a survivor; wait for the ledger.
+                waited = time.monotonic()
+                while not rs.failover_log and time.monotonic() - waited < 30:
+                    time.sleep(0.05)
+            import asyncio as _asyncio
+
+            merged = _asyncio.run(cluster_stats(rs.map_path))
+            failovers = len(rs.failover_log)
+            if kind == "partition-heal" and failovers != 0:
+                violations.append(
+                    f"{kind}@{boundary}: healed partition still caused "
+                    f"{failovers} failover(s) — thresholds not ridden out"
+                )
+            if kind != "partition-heal" and failovers == 0:
+                violations.append(
+                    f"{kind}@{boundary}: no failover was recorded"
+                )
+            if merged["digest"] != reference["digest"]:
+                violations.append(
+                    f"{kind}@{boundary}: merged digest {merged['digest']} "
+                    f"!= reference {reference['digest']}"
+                )
+            ref_rows = {r["shard"]: r for r in reference["shards"]}
+            for row in merged["shards"]:
+                ref = ref_rows.get(row["shard"])
+                if ref is None or (row["seq"], row["digest"]) != (
+                    ref["seq"],
+                    ref["digest"],
+                ):
+                    violations.append(
+                        f"{kind}@{boundary}: shard {row['shard']} "
+                        f"(seq {row['seq']}, {row['digest']}) diverged "
+                        f"from reference (seq {ref['seq'] if ref else '?'})"
+                    )
+            return ClusterFailoverOutcome(
+                kind=kind,
+                boundary=boundary,
+                target=target,
+                failovers=failovers,
+                digest=merged["digest"],
+                reference_digest=reference["digest"],
+                violations=violations,
+            )
+        except ChaosInvariantError as exc:
+            violations.append(str(exc))
+            return ClusterFailoverOutcome(
+                kind=kind,
+                boundary=boundary,
+                target=target,
+                failovers=len(rs.failover_log),
+                digest="<none>",
+                reference_digest=reference["digest"],
+                violations=violations,
+            )
+        finally:
+            rs.stop()
+
+    try:
+        reference = run_reference(base / "reference")
+        outcomes: List[ClusterFailoverOutcome] = []
+        for kind, boundary in zip(kinds, points):
+            jdir = base / f"{kind}-{boundary}"
+            outcomes.append(run_scenario(kind, boundary, jdir, reference))
+        return outcomes
+    finally:
+        if tmp is not None:
+            shutil.rmtree(tmp, ignore_errors=True)

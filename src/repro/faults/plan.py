@@ -28,7 +28,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["Outage", "FaultEvent", "FaultPlan"]
+__all__ = [
+    "Outage",
+    "FaultEvent",
+    "FaultPlan",
+    "NetworkFaultPlan",
+    "Perturbation",
+]
 
 
 @dataclass(frozen=True, order=True)
@@ -252,3 +258,179 @@ class FaultPlan:
         for o in self.outages:
             lines.append(f"  down s{o.server}: [{o.start:.4g}, {o.end:.4g})")
         return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Wire-level fault plans (the ChaosProxy's schedule).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Perturbation:
+    """What the proxy does to one relayed message (one request/response).
+
+    All fields are drawn deterministically from the plan seed and the
+    ``(connection, message)`` coordinates, never from wall clock — the
+    same plan replayed over the same traffic applies the byte-identical
+    perturbation sequence.
+    """
+
+    #: Seconds to hold the request before forwarding it upstream.
+    delay: float = 0.0
+    #: Forward the request upstream twice (the server's dedupe path must
+    #: absorb the second copy; the proxy discards the extra response).
+    duplicate: bool = False
+    #: Abort the client connection after relaying this fraction of the
+    #: response bytes (``None`` = no reset).
+    reset_frac: Optional[float] = None
+    #: Torn-write fragment size in bytes (``None`` = single write).
+    fragment: Optional[int] = None
+    #: Extra seconds to hold the *response* before relaying it — under
+    #: concurrent connections this reorders completions.
+    hold: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        return (
+            self.delay == 0.0
+            and not self.duplicate
+            and self.reset_frac is None
+            and self.fragment is None
+            and self.hold == 0.0
+        )
+
+
+def _check_windows(windows, name: str) -> Tuple[Tuple[float, float], ...]:
+    out = []
+    for w in windows:
+        a, b = float(w[0]), float(w[1])
+        if b < a or a < 0.0:
+            raise ValueError(f"bad {name} window [{a}, {b}]")
+        out.append((a, b))
+    return tuple(sorted(out))
+
+
+@dataclass(frozen=True)
+class NetworkFaultPlan:
+    """A deterministic wire-level fault scenario for a chaos proxy.
+
+    Like :class:`FaultPlan`, this is plain data with no clock and no
+    mutable state: :meth:`perturbation` is a pure function of
+    ``(seed, connection, message)``, so two proxies driven by equal
+    plans over the same traffic inject byte-identical perturbation
+    sequences (property-tested in ``tests/service/test_proxy.py``).
+
+    Rates are per *message* (one HTTP request/response round trip);
+    window schedules are expressed in seconds of proxy uptime and are
+    OR-ed with the proxy's manual :attr:`~ChaosProxy.partition` /
+    :attr:`~ChaosProxy.blackhole` switches.
+    """
+
+    seed: int = 0
+    #: Base one-way forwarding latency (seconds) added to every request.
+    latency: float = 0.0
+    #: Max extra uniform jitter (seconds) on top of :attr:`latency`.
+    jitter: float = 0.0
+    #: Probability the client connection is reset mid-response.
+    reset_rate: float = 0.0
+    #: Probability the response is relayed in byte-level fragments.
+    torn_rate: float = 0.0
+    #: Probability the request is forwarded upstream twice.
+    dup_rate: float = 0.0
+    #: Probability the response is held :attr:`reorder_hold` seconds.
+    reorder_rate: float = 0.0
+    #: Hold duration (seconds) for reordered responses.
+    reorder_hold: float = 0.0
+    #: Uptime windows during which accepted requests stall (black-hole).
+    blackhole_windows: Tuple[Tuple[float, float], ...] = ()
+    #: Uptime windows during which the proxy drops every connection.
+    partition_windows: Tuple[Tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("reset_rate", "torn_rate", "dup_rate", "reorder_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1], got {rate}")
+        for name in ("latency", "jitter", "reorder_hold"):
+            value = getattr(self, name)
+            if value < 0.0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+        object.__setattr__(
+            self,
+            "blackhole_windows",
+            _check_windows(self.blackhole_windows, "blackhole"),
+        )
+        object.__setattr__(
+            self,
+            "partition_windows",
+            _check_windows(self.partition_windows, "partition"),
+        )
+
+    @property
+    def passthrough(self) -> bool:
+        """True iff the plan perturbs nothing (byte-transparent relay)."""
+        return (
+            self.latency == 0.0
+            and self.jitter == 0.0
+            and self.reset_rate == 0.0
+            and self.torn_rate == 0.0
+            and self.dup_rate == 0.0
+            and self.reorder_rate == 0.0
+            and not self.blackhole_windows
+            and not self.partition_windows
+        )
+
+    def partition_at(self, uptime: float) -> bool:
+        """True iff a scheduled partition window covers ``uptime``."""
+        return any(a <= uptime < b for a, b in self.partition_windows)
+
+    def blackhole_at(self, uptime: float) -> bool:
+        """True iff a scheduled black-hole window covers ``uptime``."""
+        return any(a <= uptime < b for a, b in self.blackhole_windows)
+
+    def perturbation(self, conn: int, msg: int) -> Perturbation:
+        """The perturbation applied to message ``msg`` of connection
+        ``conn`` — a pure function of ``(seed, conn, msg)``.
+
+        Every draw happens unconditionally and in a fixed order, so the
+        schedule of any one fault axis is independent of the rates of
+        the others (raising ``dup_rate`` never shifts which messages
+        get reset).
+        """
+        if conn < 0 or msg < 0:
+            raise ValueError(f"negative message coordinates ({conn}, {msg})")
+        rng = np.random.default_rng([abs(self.seed), conn, msg])
+        u_jitter = float(rng.random())
+        u_dup = float(rng.random())
+        u_reset = float(rng.random())
+        reset_frac = float(rng.random())
+        u_torn = float(rng.random())
+        fragment = int(rng.integers(1, 9))
+        u_hold = float(rng.random())
+        delay = self.latency + self.jitter * u_jitter
+        return Perturbation(
+            delay=delay if delay > 0.0 else 0.0,
+            duplicate=u_dup < self.dup_rate,
+            reset_frac=reset_frac if u_reset < self.reset_rate else None,
+            fragment=fragment if u_torn < self.torn_rate else None,
+            hold=self.reorder_hold if u_hold < self.reorder_rate else 0.0,
+        )
+
+    def schedule(self, conns: int, msgs: int) -> List[Perturbation]:
+        """The flat perturbation schedule over a ``conns × msgs`` grid
+        (row-major) — the replayable object two equal plans must agree
+        on byte for byte."""
+        return [
+            self.perturbation(c, k) for c in range(conns) for k in range(msgs)
+        ]
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        return (
+            f"NetworkFaultPlan(seed={self.seed}, latency={self.latency:g}"
+            f"+{self.jitter:g}j, reset={self.reset_rate:g}, "
+            f"torn={self.torn_rate:g}, dup={self.dup_rate:g}, "
+            f"reorder={self.reorder_rate:g}, "
+            f"blackholes={len(self.blackhole_windows)}, "
+            f"partitions={len(self.partition_windows)})"
+        )

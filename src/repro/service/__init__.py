@@ -17,10 +17,16 @@ from .multi import (
     solve_offline_multi,
 )
 from .server import CacheServer, ServerConfig, route_item, run_server
+from .proxy import ChaosProxy, run_proxy
+from .cluster import ClusterConfig, Replica, ReplicaSet, run_cluster
 
 __all__ = [
     "CacheServer",
+    "ChaosProxy",
     "CircuitOpenError",
+    "ClusterConfig",
+    "Replica",
+    "ReplicaSet",
     "MultiItemInstance",
     "RetryPolicy",
     "SEGMENT_PREFIX",
@@ -31,6 +37,8 @@ __all__ = [
     "active_segments",
     "plan_shards",
     "route_item",
+    "run_cluster",
+    "run_proxy",
     "run_server",
     "MultiItemOfflineResult",
     "MultiItemOnlineService",

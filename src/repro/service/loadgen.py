@@ -43,12 +43,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 __all__ = [
+    "ClusterClient",
+    "ClusterMap",
     "HttpClient",
     "LoadResult",
+    "cluster_stats",
     "events_from_trace",
     "synthetic_events",
+    "run_cluster_load",
     "run_load",
     "replay",
+    "replay_cluster",
 ]
 
 #: (item, time, server) — one request event on the wire.
@@ -60,17 +65,34 @@ class HttpClient:
 
     One instance owns one connection; it reconnects transparently after
     a drop (server restart mid-chaos-run) on the next request.
+
+    ``connect_timeout`` / ``read_timeout`` bound each phase of a round
+    trip: on expiry the connection is closed (a half-read response must
+    never be reused) and ``asyncio.TimeoutError`` propagates — the
+    closed-loop retry path then reconnects and redrives the request,
+    which the server's dedupe makes exactly-once.  ``None`` disables a
+    timeout; a black-holed server then hangs the caller, which is
+    exactly the failure mode these knobs exist to kill.
     """
 
-    def __init__(self, host: str, port: int):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout: Optional[float] = None,
+        read_timeout: Optional[float] = None,
+    ):
         self.host = host
         self.port = port
+        self.connect_timeout = connect_timeout
+        self.read_timeout = read_timeout
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
 
     async def _connect(self) -> None:
-        self._reader, self._writer = await asyncio.open_connection(
-            self.host, self.port
+        self._reader, self._writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port),
+            timeout=self.connect_timeout,
         )
 
     async def close(self) -> None:
@@ -81,6 +103,34 @@ class HttpClient:
             except (ConnectionError, OSError):
                 pass
             self._reader = self._writer = None
+
+    async def _read_response(self) -> Tuple[int, dict, Dict[str, str]]:
+        assert self._reader is not None
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        parts = status_line.split()
+        if len(parts) < 2 or not parts[1].isdigit():
+            # A connection reset can truncate the status line mid-byte;
+            # that is a dead connection, not a parse error.
+            raise ConnectionError(
+                f"malformed status line {status_line[:64]!r}"
+            )
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            key, _, value = line.decode("latin-1").partition(":")
+            headers[key.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        raw = await self._reader.readexactly(length) if length else b""
+        try:
+            payload = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as exc:
+            raise ConnectionError(f"truncated response body: {exc}") from exc
+        return status, payload, headers
 
     async def request(
         self, method: str, path: str, body: Optional[dict] = None
@@ -96,21 +146,15 @@ class HttpClient:
         )
         self._writer.write(head.encode("latin-1") + blob)
         await self._writer.drain()
-        status_line = await self._reader.readline()
-        if not status_line:
-            raise ConnectionError("server closed the connection")
-        status = int(status_line.split()[1])
-        headers: Dict[str, str] = {}
-        while True:
-            line = await self._reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            key, _, value = line.decode("latin-1").partition(":")
-            headers[key.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
-        raw = await self._reader.readexactly(length) if length else b""
-        payload = json.loads(raw) if raw else {}
-        return status, payload, headers
+        try:
+            return await asyncio.wait_for(
+                self._read_response(), timeout=self.read_timeout
+            )
+        except asyncio.TimeoutError:
+            # The connection now holds a half-read (or never-sent)
+            # response: poison — drop it before anyone reuses it.
+            await self.close()
+            raise
 
 
 # ---------------------------------------------------------------------------
@@ -238,11 +282,17 @@ async def run_load(
     retries: int = 8,
     backoff: float = 0.05,
     fetch_stats: bool = True,
+    connect_timeout: Optional[float] = 5.0,
+    read_timeout: Optional[float] = 15.0,
 ) -> LoadResult:
     """Drive ``events`` against a server; see the module docstring.
 
     ``rate`` selects open-loop (target req/s, no retries — refused is
-    refused) versus closed-loop (``None``: retry-until-accepted).
+    refused) versus closed-loop (``None``: retry-until-accepted).  A
+    request that exceeds ``read_timeout`` counts as a torn send: the
+    lane closes its connection, reconnects, and (closed-loop) redrives
+    the event through the server's dedupe path — a stalled or
+    black-holed server can no longer hang a lane forever.
     """
     result = LoadResult(
         sent=0,
@@ -257,7 +307,13 @@ async def run_load(
     loop = asyncio.get_running_loop()
     started = loop.time()
     lanes = max(1, int(concurrency))
-    clients = [HttpClient(host, port) for _ in range(lanes)]
+    clients = [
+        HttpClient(
+            host, port,
+            connect_timeout=connect_timeout, read_timeout=read_timeout,
+        )
+        for _ in range(lanes)
+    ]
     rng = random.Random(1234)
 
     if rate is not None:
@@ -271,10 +327,19 @@ async def run_load(
             if delay > 0:
                 await asyncio.sleep(delay)
             async with sem:
-                client = HttpClient(host, port)  # bursty: own connection
+                client = HttpClient(  # bursty: own connection
+                    host, port,
+                    connect_timeout=connect_timeout,
+                    read_timeout=read_timeout,
+                )
                 try:
                     status, _payload = await _send_once(client, event, result)
-                except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                except (
+                    ConnectionError,
+                    OSError,
+                    asyncio.IncompleteReadError,
+                    asyncio.TimeoutError,
+                ):
                     result.statuses[-1] = result.statuses.get(-1, 0) + 1
                     status = -1
                 finally:
@@ -306,6 +371,7 @@ async def run_load(
                         ConnectionError,
                         OSError,
                         asyncio.IncompleteReadError,
+                        asyncio.TimeoutError,
                     ):
                         await client.close()
                         status = -1
@@ -346,3 +412,342 @@ def replay(
 ) -> LoadResult:
     """Synchronous wrapper around :func:`run_load`."""
     return asyncio.run(run_load(host, port, events, **kwargs))
+
+
+# ---------------------------------------------------------------------------
+# Failover-aware cluster client.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClusterMap:
+    """One epoch of the cluster's shard-routing table.
+
+    Written atomically (tmp + rename) by
+    :class:`~repro.service.cluster.ReplicaSet` as ``cluster.json``;
+    clients reload it whenever a request lands on a non-owner (``421``)
+    or an endpoint stops answering.
+    """
+
+    epoch: int
+    num_shards: int
+    #: shard index -> (host, port) of the owning replica's data address.
+    endpoints: Dict[int, Tuple[str, int]]
+
+    @classmethod
+    def load(cls, path: str) -> "ClusterMap":
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        endpoints = {
+            int(shard): (str(addr["host"]), int(addr["port"]))
+            for shard, addr in data["shards"].items()
+        }
+        return cls(
+            epoch=int(data["epoch"]),
+            num_shards=int(data["num_shards"]),
+            endpoints=endpoints,
+        )
+
+    def endpoint_for(self, item: str) -> Tuple[str, int]:
+        shard = zlib.crc32(item.encode("utf-8")) % self.num_shards
+        return self.endpoints[shard]
+
+
+class ClusterClient:
+    """Failover-aware closed-loop client over a replicated cluster.
+
+    Routes every event to the replica owning its shard (per the latest
+    :class:`ClusterMap`), and on any failure — connection refused/reset,
+    read timeout, ``421`` misroute after a failover, ``429``/``503``
+    shed — reloads the map, reconnects, and *redrives the same request*.
+    The server's ``(item, time)`` dedupe makes the redrive exactly-once:
+    however many times an event is sent, it is applied at most once and
+    every send converges on the settled decision.
+
+    ``hedge``: optional hedged-read delay (seconds).  When a send shows
+    no response after the delay, a duplicate is fired on a *fresh*
+    connection (again dedupe-safe) and the first settled answer wins —
+    the standard tail-latency amputation under slow/lossy links.
+    """
+
+    def __init__(
+        self,
+        map_path: str,
+        connect_timeout: Optional[float] = 2.0,
+        read_timeout: Optional[float] = 5.0,
+        hedge: Optional[float] = None,
+    ):
+        self.map_path = map_path
+        self.connect_timeout = connect_timeout
+        self.read_timeout = read_timeout
+        self.hedge = hedge
+        self.map: Optional[ClusterMap] = None
+        self.refreshes = 0
+        self.redrives = 0
+        self.hedges = 0
+        self._clients: Dict[Tuple[str, int], HttpClient] = {}
+
+    def refresh(self) -> None:
+        """Reload the routing map (keeps the old one on a torn read)."""
+        try:
+            self.map = ClusterMap.load(self.map_path)
+            self.refreshes += 1
+        except (OSError, ValueError, KeyError):
+            pass  # mid-rename or missing: retry with the stale map
+
+    def _client_for(self, addr: Tuple[str, int]) -> HttpClient:
+        client = self._clients.get(addr)
+        if client is None:
+            client = HttpClient(
+                addr[0],
+                addr[1],
+                connect_timeout=self.connect_timeout,
+                read_timeout=self.read_timeout,
+            )
+            self._clients[addr] = client
+        return client
+
+    async def close(self) -> None:
+        for client in self._clients.values():
+            await client.close()
+        self._clients.clear()
+
+    async def _attempt(
+        self, addr: Tuple[str, int], body: dict, fresh: bool
+    ) -> Tuple[int, dict]:
+        if fresh:
+            client = HttpClient(
+                addr[0],
+                addr[1],
+                connect_timeout=self.connect_timeout,
+                read_timeout=self.read_timeout,
+            )
+            try:
+                status, payload, _ = await client.request(
+                    "POST", "/request", body
+                )
+                return status, payload
+            finally:
+                await client.close()
+        client = self._client_for(addr)
+        status, payload, _ = await client.request("POST", "/request", body)
+        return status, payload
+
+    async def send(self, event: Event) -> Tuple[int, dict]:
+        """One routed attempt (hedged when configured); may raise."""
+        if self.map is None:
+            self.refresh()
+        if self.map is None:
+            raise ConnectionError(f"no cluster map at {self.map_path}")
+        item, t, server = event
+        addr = self.map.endpoint_for(item)
+        body = {"item": item, "time": t, "server": server}
+        if self.hedge is None:
+            return await self._attempt(addr, body, fresh=False)
+        primary = asyncio.ensure_future(self._attempt(addr, body, fresh=True))
+        done, _pending = await asyncio.wait({primary}, timeout=self.hedge)
+        if primary in done:
+            return primary.result()
+        self.hedges += 1
+        backup = asyncio.ensure_future(self._attempt(addr, body, fresh=True))
+        tasks = {primary, backup}
+        try:
+            while tasks:
+                done, tasks = await asyncio.wait(
+                    tasks, return_when=asyncio.FIRST_COMPLETED
+                )
+                for task in done:
+                    if task.exception() is None:
+                        return task.result()
+            # Both attempts failed: surface the primary's error.
+            return primary.result()
+        finally:
+            for task in (primary, backup):
+                if not task.done():
+                    task.cancel()
+
+    async def send_until_done(
+        self,
+        event: Event,
+        result: Optional[LoadResult] = None,
+        retries: int = 64,
+        backoff: float = 0.05,
+        rng: Optional[random.Random] = None,
+    ) -> Optional[dict]:
+        """Redrive ``event`` until it settles; ``None`` on give-up.
+
+        Retryable outcomes: shed (``429``/``503``), misroute (``421``,
+        with a map refresh), deadline-degraded ``pending``, and any
+        transport failure (reset, refused, timeout — the endpoint's
+        client is dropped and the map refreshed, since a dead address
+        usually means a failover is in flight).
+        """
+        rng = rng if rng is not None else random.Random(4321)
+        for attempt in range(retries + 1):
+            try:
+                status, payload = await self.send(event)
+            except (
+                ConnectionError,
+                OSError,
+                asyncio.IncompleteReadError,
+                asyncio.TimeoutError,
+            ):
+                status, payload = -1, None
+                if self.map is not None:
+                    item = event[0]
+                    addr = self.map.endpoint_for(item)
+                    stale = self._clients.pop(addr, None)
+                    if stale is not None:
+                        await stale.close()
+            if result is not None:
+                result.statuses[status] = result.statuses.get(status, 0) + 1
+            if status == 200 and payload.get("status", "done") == "done":
+                if result is not None:
+                    if payload.get("degraded"):
+                        result.degraded += 1
+                    if payload.get("duplicate"):
+                        result.duplicates += 1
+                return payload
+            if status not in (200, 421, 429, 503, -1):
+                raise RuntimeError(
+                    f"unexpected status {status} for {event}: {payload}"
+                )
+            if status in (421, -1):
+                self.refresh()
+            if attempt < retries:
+                self.redrives += 1
+                if result is not None:
+                    result.retries += 1
+                pause = min(1.0, backoff * (2 ** min(attempt, 5)))
+                await asyncio.sleep(pause * (1 - 0.5 * rng.random()))
+        return None
+
+
+async def run_cluster_load(
+    map_path: str,
+    events: Sequence[Event],
+    concurrency: int = 4,
+    retries: int = 64,
+    backoff: float = 0.05,
+    connect_timeout: Optional[float] = 2.0,
+    read_timeout: Optional[float] = 5.0,
+    hedge: Optional[float] = None,
+    fetch_stats: bool = True,
+) -> LoadResult:
+    """Closed-loop cluster replay: per-item lanes, redrive-until-settled.
+
+    The cluster analogue of closed-loop :func:`run_load`: every event is
+    eventually applied exactly once (dedupe absorbs redrives and
+    hedges), so the merged decision stream — and its digest — is
+    independent of which replicas failed, when, or how often the client
+    had to re-route.
+    """
+    result = LoadResult(
+        sent=0,
+        statuses={},
+        degraded=0,
+        duplicates=0,
+        retries=0,
+        give_ups=0,
+        latencies_ms=[],
+        elapsed=0.0,
+    )
+    loop = asyncio.get_running_loop()
+    started = loop.time()
+    lanes = max(1, int(concurrency))
+    clients = [
+        ClusterClient(
+            map_path,
+            connect_timeout=connect_timeout,
+            read_timeout=read_timeout,
+            hedge=hedge,
+        )
+        for _ in range(lanes)
+    ]
+    queues: List[List[Event]] = [[] for _ in range(lanes)]
+    for event in events:
+        queues[_lane(event[0], lanes)].append(event)
+
+    async def drain(lane: int) -> None:
+        client = clients[lane]
+        rng = random.Random(1000 + lane)
+        for event in queues[lane]:
+            sent_at = loop.time()
+            payload = await client.send_until_done(
+                event, result, retries=retries, backoff=backoff, rng=rng
+            )
+            if payload is None:
+                result.give_ups += 1
+            else:
+                result.latencies_ms.append((loop.time() - sent_at) * 1000.0)
+            result.sent += 1
+
+    try:
+        await asyncio.gather(*(drain(i) for i in range(lanes)))
+        result.elapsed = loop.time() - started
+        if fetch_stats:
+            result.stats = await cluster_stats(map_path)
+    finally:
+        for client in clients:
+            await client.close()
+    return result
+
+
+async def cluster_stats(map_path: str, timeout: float = 5.0) -> dict:
+    """Merged ``/stats`` view of the whole cluster.
+
+    Gathers per-shard rows from every distinct endpoint in the map,
+    keeps each shard's row from its *owning* replica, and recomputes the
+    merged decision digest with the exact formula a single server
+    covering all shards uses — so a cluster and a lone reference server
+    over the same events produce comparable digests.
+    """
+    from ..runtime.digest import digest_value
+
+    cmap = ClusterMap.load(map_path)
+    by_addr: Dict[Tuple[str, int], List[int]] = {}
+    for shard, addr in cmap.endpoints.items():
+        by_addr.setdefault(addr, []).append(shard)
+    rows: Dict[int, dict] = {}
+    totals = {
+        "optimal_cost": 0.0,
+        "baseline_cost": 0.0,
+        "processed": 0,
+        "degraded_decisions": 0,
+    }
+    replicas = []
+    for addr, shards in sorted(by_addr.items()):
+        client = HttpClient(
+            addr[0], addr[1], connect_timeout=timeout, read_timeout=timeout
+        )
+        try:
+            _status, stats, _ = await client.request("GET", "/stats")
+        finally:
+            await client.close()
+        owned = set(shards)
+        for row in stats.get("shards", []):
+            if row["shard"] in owned:
+                rows[row["shard"]] = row
+        replicas.append({"addr": list(addr), "requests": stats.get("requests")})
+        # Replica-level gauges cover exactly its owned shards (ownership
+        # is disjoint across live replicas), so plain sums merge them.
+        totals["optimal_cost"] += float(stats.get("optimal_cost", 0.0))
+        totals["baseline_cost"] += float(stats.get("baseline_cost", 0.0))
+        totals["processed"] += int(stats.get("processed", 0))
+        totals["degraded_decisions"] += int(stats.get("degraded_decisions", 0))
+    ordered = [rows[s] for s in sorted(rows)]
+    return {
+        "epoch": cmap.epoch,
+        "num_shards": cmap.num_shards,
+        "shards": ordered,
+        "replicas": replicas,
+        "digest": digest_value(
+            [(r["shard"], r["seq"], r["digest"]) for r in ordered]
+        ),
+        **totals,
+    }
+
+
+def replay_cluster(map_path: str, events: Sequence[Event], **kwargs) -> LoadResult:
+    """Synchronous wrapper around :func:`run_cluster_load`."""
+    return asyncio.run(run_cluster_load(map_path, events, **kwargs))

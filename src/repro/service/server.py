@@ -65,6 +65,7 @@ import asyncio
 import json
 import signal
 import zlib
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -84,6 +85,7 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",
+    421: "Misdirected Request",
     429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
@@ -123,6 +125,12 @@ class ServerConfig:
     host: str = "127.0.0.1"
     port: int = 0
     shards: int = 4
+    #: Shard indices this server owns (``None`` = all of them).  A
+    #: request routed to a shard outside this set is answered ``421``
+    #: so a cluster-aware client refreshes its routing map; a
+    #: :class:`~repro.service.cluster.ReplicaSet` moves shards between
+    #: replicas at runtime via ``POST /admin/acquire``.
+    owned_shards: Optional[Tuple[int, ...]] = None
     num_servers: int = 8
     mu: float = 1.0
     lam: float = 1.0
@@ -149,10 +157,32 @@ class ServerConfig:
     sync: bool = True
     #: Worker pool for ``GET /offline`` verification solves (1 = serial).
     pool_processes: int = 1
+    #: Sliding dedupe-window width in event-time units (``None`` =
+    #: unbounded).  Entries of the ``(item, time)`` decision index older
+    #: than ``frontier - dedupe_window`` are evicted; a resend of an
+    #: evicted event is answered ``409`` exactly like a stale non-dup.
+    dedupe_window: Optional[float] = None
+    #: Discovery-file name written into ``journal_dir`` once the socket
+    #: is bound (cluster supervisors give each replica its own name so
+    #: replicas can share one journal directory).
+    meta_name: str = "server.json"
 
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.owned_shards is not None:
+            owned = tuple(sorted(set(int(s) for s in self.owned_shards)))
+            if not owned:
+                raise ValueError("owned_shards must not be empty")
+            if owned[0] < 0 or owned[-1] >= self.shards:
+                raise ValueError(
+                    f"owned_shards {owned} outside [0, {self.shards})"
+                )
+            object.__setattr__(self, "owned_shards", owned)
+        if self.dedupe_window is not None and not self.dedupe_window > 0.0:
+            raise ValueError(
+                f"dedupe_window must be positive, got {self.dedupe_window}"
+            )
         if self.queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
         if not 0.0 < self.degrade_watermark <= 1.0:
@@ -225,7 +255,17 @@ class _Shard:
         self.seq = 0
         self.digest = digest_value({"shard": index, "shards": config.shards})
         #: (item, time) -> settled response payload, for duplicate resends.
+        #: Bounded by ``config.dedupe_window``: a sliding window keyed to
+        #: the shard's event-time frontier (see :meth:`_evict_dedupe`).
         self.index_by_key: Dict[Tuple[str, float], dict] = {}
+        #: Apply-order ledger of live dedupe entries (time, key).
+        self.dedupe_order: "deque[Tuple[float, Tuple[str, float]]]" = deque()
+        #: Max event time applied on this shard (the window frontier).
+        self.frontier = float("-inf")
+        #: Max event time ever evicted from the dedupe index: resends at
+        #: or below this can no longer be told apart from stale events,
+        #: so admission answers them 409.
+        self.evicted_horizon = float("-inf")
         self.processed = 0
         self.degraded = 0
         #: Running cost of the naive always-transfer policy over the
@@ -320,7 +360,28 @@ class _Shard:
             "status": "done",
         }
         self.index_by_key[(item, time)] = payload
+        if time > self.frontier:
+            self.frontier = time
+        if self.config.dedupe_window is not None:
+            self.dedupe_order.append((time, (item, time)))
+            self._evict_dedupe()
         return payload
+
+    def _evict_dedupe(self) -> None:
+        """Slide the dedupe window up to the shard's time frontier.
+
+        Entries are evicted in apply order once their event time falls
+        behind ``frontier - dedupe_window``; per-item times are strictly
+        increasing, so apply order tracks event time closely enough that
+        the index size stays proportional to the window, never to the
+        run length (regression-tested in ``test_server.py``).
+        """
+        cutoff = self.frontier - self.config.dedupe_window
+        while self.dedupe_order and self.dedupe_order[0][0] < cutoff:
+            t_old, key = self.dedupe_order.popleft()
+            self.index_by_key.pop(key, None)
+            if t_old > self.evicted_horizon:
+                self.evicted_horizon = t_old
 
     def journal_event(self, core_payload: dict) -> None:
         """Write-ahead record for the event just applied."""
@@ -402,7 +463,17 @@ class CacheServer:
 
     def __init__(self, config: ServerConfig):
         self.config = config
-        self.shards = [_Shard(i, config) for i in range(config.shards)]
+        owned = (
+            config.owned_shards
+            if config.owned_shards is not None
+            else tuple(range(config.shards))
+        )
+        #: Owned shards by global shard index.  A cluster supervisor can
+        #: grow this set at runtime via ``POST /admin/acquire``; routing
+        #: (:func:`route_item`) is always over ``config.shards`` total.
+        self.shards: Dict[int, _Shard] = {
+            i: _Shard(i, config) for i in owned
+        }
         self.draining = False
         self.started = False
         self.replayed_events = 0
@@ -412,6 +483,7 @@ class CacheServer:
             "shed_503": 0,
             "duplicates": 0,
             "conflicts": 0,
+            "misrouted": 0,
             "errors": 0,
             "deadline_expired": 0,
         }
@@ -430,7 +502,7 @@ class CacheServer:
     async def start(self) -> None:
         if self.config.journal_dir is not None:
             Path(self.config.journal_dir).mkdir(parents=True, exist_ok=True)
-        for shard in self.shards:
+        for shard in self.shards.values():
             if self.config.resume and Path(shard.journal_path() or "").exists():
                 self.replayed_events += shard.resume_from_journal()
             else:
@@ -443,10 +515,45 @@ class CacheServer:
         if self.config.journal_dir is not None:
             # Discovery file for supervisors / the chaos driver: written
             # only after the socket is bound, so its presence means ready.
-            meta = Path(self.config.journal_dir) / "server.json"
+            meta = Path(self.config.journal_dir) / self.config.meta_name
             meta.write_text(
-                json.dumps({"host": self.config.host, "port": self.port}) + "\n"
+                json.dumps(
+                    {
+                        "host": self.config.host,
+                        "port": self.port,
+                        "shards": self.config.shards,
+                        "owned": sorted(self.shards),
+                    }
+                )
+                + "\n"
             )
+
+    def acquire_shard(self, index: int) -> int:
+        """Take ownership of shard ``index`` (the failover handoff).
+
+        Resumes from the shard's per-shard WAL when one exists — digest
+        verification included, so the acquired state is provably the
+        dead owner's durable prefix — or opens a fresh journal when it
+        does not.  Returns the number of replayed events.  Must run on
+        the server's event loop.
+        """
+        if not 0 <= index < self.config.shards:
+            raise ValueError(
+                f"shard {index} outside [0, {self.config.shards})"
+            )
+        if index in self.shards:
+            return 0
+        shard = _Shard(index, self.config)
+        path = shard.journal_path()
+        replayed = 0
+        if path is not None and Path(path).exists():
+            replayed = shard.resume_from_journal()
+            self.replayed_events += replayed
+        else:
+            shard.open_journal()
+        self.shards[index] = shard
+        self._workers.append(asyncio.create_task(self._worker(shard)))
+        return replayed
 
     async def shutdown(self) -> None:
         """Graceful drain: stop admission, flush queues, close journals."""
@@ -454,10 +561,10 @@ class CacheServer:
             await self._closed.wait()
             return
         self.draining = True
-        for shard in self.shards:
+        for shard in self.shards.values():
             await shard.queue.put(None)  # sentinel after all accepted work
         await asyncio.gather(*self._workers, return_exceptions=True)
-        for shard in self.shards:
+        for shard in self.shards.values():
             shard.flush_journal()
             if shard.journal is not None:
                 shard.journal.close()
@@ -479,7 +586,15 @@ class CacheServer:
         if self.draining:
             self.counters["shed_503"] += 1
             return 503, {"error": "draining"}
-        shard = self.shards[route_item(item, self.config.shards)]
+        index = route_item(item, self.config.shards)
+        shard = self.shards.get(index)
+        if shard is None:
+            self.counters["misrouted"] += 1
+            return 421, {
+                "error": f"shard {index} not owned here",
+                "shard": index,
+                "owned": sorted(self.shards),
+            }
         now = asyncio.get_running_loop().time()
         if not shard.breaker.allow(now):
             self.counters["shed_503"] += 1
@@ -489,6 +604,16 @@ class CacheServer:
         if hit is not None:
             self.counters["duplicates"] += 1
             return 200, dict(hit, duplicate=True)
+        if float(time) <= shard.evicted_horizon:
+            # The dedupe window has slid past this instant: a resend of
+            # an applied event and a stale newcomer are no longer
+            # distinguishable, so both get the stale-event answer.
+            self.counters["conflicts"] += 1
+            return 409, {
+                "error": f"event at t={float(time):.9g} is behind the "
+                f"dedupe window (evicted horizon "
+                f"{shard.evicted_horizon:.9g})",
+            }
         solver = shard.solvers.get(item)
         if solver is not None and float(time) <= solver.t[-1]:
             self.counters["conflicts"] += 1
@@ -599,18 +724,19 @@ class CacheServer:
     # -- endpoints ------------------------------------------------------------
 
     def _stats(self) -> dict:
-        optimal = sum(s.optimal_cost() for s in self.shards)
-        processed = sum(s.processed for s in self.shards)
-        degraded = sum(s.degraded for s in self.shards)
-        baseline = sum(s.baseline for s in self.shards)
+        shards = [self.shards[i] for i in sorted(self.shards)]
+        optimal = sum(s.optimal_cost() for s in shards)
+        processed = sum(s.processed for s in shards)
+        degraded = sum(s.degraded for s in shards)
+        baseline = sum(s.baseline for s in shards)
         decisions = {"cache": 0, "transfer": 0}
-        for s in self.shards:
+        for s in shards:
             for k in decisions:
                 decisions[k] += s.decisions[k]
-        rows = [s.stats_row() for s in self.shards]
+        rows = [s.stats_row() for s in shards]
         return {
             "requests": dict(self.counters),
-            "items": sum(len(s.solvers) for s in self.shards),
+            "items": sum(len(s.solvers) for s in shards),
             "processed": processed,
             "degraded_decisions": degraded,
             "decisions": decisions,
@@ -628,10 +754,10 @@ class CacheServer:
         so the executor-side solve below never races shard workers)."""
         items = {
             name: solver.instance()
-            for shard in self.shards
-            for name, solver in sorted(shard.solvers.items())
+            for index in sorted(self.shards)
+            for name, solver in sorted(self.shards[index].solvers.items())
         }
-        return items, sum(s.optimal_cost() for s in self.shards)
+        return items, sum(s.optimal_cost() for s in self.shards.values())
 
     def _offline_check(self, items: dict, streaming_total: float) -> dict:
         """Re-solve a frozen snapshot through the service layer."""
@@ -666,10 +792,36 @@ class CacheServer:
             return 200, {"ok": True}, []
         if path == "/readyz":
             ready = self.started and not self.draining
-            breakers = [s.breaker.state for s in self.shards]
+            breakers = [
+                self.shards[i].breaker.state for i in sorted(self.shards)
+            ]
             status = 200 if ready else 503
             extra = [] if ready else [("Retry-After", f"{self.config.retry_after:.3f}")]
-            return status, {"ready": ready, "breakers": breakers}, extra
+            return status, {
+                "ready": ready,
+                "breakers": breakers,
+                "owned": sorted(self.shards),
+            }, extra
+        if path == "/admin/acquire" and method == "POST":
+            if self.draining:
+                return 503, {"error": "draining"}, []
+            try:
+                parsed = json.loads(body or b"{}")
+                index = int(parsed["shard"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                return 400, {"error": f"bad acquire: {exc}"}, []
+            try:
+                replayed = self.acquire_shard(index)
+            except ValueError as exc:
+                return 400, {"error": str(exc)}, []
+            except ResumeDivergenceError as exc:
+                self.counters["errors"] += 1
+                return 500, {"error": f"acquire diverged: {exc}"}, []
+            return 200, {
+                "shard": index,
+                "replayed": replayed,
+                "owned": sorted(self.shards),
+            }, []
         if path == "/stats" and method == "GET":
             return 200, self._stats(), []
         if path == "/offline" and method == "GET":
@@ -695,7 +847,7 @@ class CacheServer:
                 status, payload, _ = await self._respond_request(ev)
                 results.append({"status": status, **payload})
             return 200, {"results": results}, []
-        if path in ("/request", "/batch", "/stats", "/offline"):
+        if path in ("/request", "/batch", "/stats", "/offline", "/admin/acquire"):
             return 405, {"error": f"{method} not allowed on {path}"}, []
         return 404, {"error": f"no such endpoint: {path}"}, []
 
@@ -768,9 +920,14 @@ def run_server(config: ServerConfig) -> int:
             loop.add_signal_handler(
                 sig, lambda: asyncio.ensure_future(server.shutdown())
             )
+        owned = (
+            f"owning {','.join(map(str, sorted(server.shards)))} of "
+            if config.owned_shards is not None
+            else ""
+        )
         print(
             f"serving on http://{config.host}:{server.port} "
-            f"({config.shards} shards, queue depth {config.queue_depth}, "
+            f"({owned}{config.shards} shards, queue depth {config.queue_depth}, "
             f"journal {config.journal_dir or '<memory>'}"
             + (f", resumed {server.replayed_events} events" if config.resume else "")
             + ")",

@@ -471,3 +471,80 @@ class TestRouting:
             ServerConfig(resume=True)
         with pytest.raises(ValueError):
             ServerConfig(deadline_ms=-1.0)
+
+
+class TestDedupeWindow:
+    """Bounded ``(item, time)`` dedupe map (memory-growth regression)."""
+
+    def test_index_stays_bounded_and_evicted_resends_409(self, tmp_path):
+        """Unbounded, the decision index grows with every event ever
+        applied; with a window it tracks only the recent past, and a
+        resend from beyond the window gets the stale-event 409."""
+        count = 200
+
+        async def run():
+            server = CacheServer(
+                ServerConfig(
+                    journal_dir=str(tmp_path), shards=1, num_servers=4,
+                    dedupe_window=10.0,
+                )
+            )
+            await server.start()
+            client = HttpClient(server.config.host, server.port)
+            for i in range(1, count + 1):
+                status, payload, _ = await post_event(
+                    client, "hot", float(i), i % 4
+                )
+                assert status == 200, payload
+            shard = server.shards[0]
+            # Window [frontier - 10, frontier] holds ~11 live entries —
+            # two orders of magnitude under the unbounded count.
+            assert len(shard.index_by_key) <= 12
+            assert len(shard.dedupe_order) == len(shard.index_by_key)
+            assert shard.evicted_horizon >= count - 13
+
+            # In-window resend: still answered from the decision index.
+            status, payload, _ = await post_event(
+                client, "hot", float(count), count % 4
+            )
+            assert status == 200 and payload["duplicate"]
+            # Evicted resend: indistinguishable from stale, so 409.
+            status, payload, _ = await post_event(client, "hot", 1.0, 1)
+            assert status == 409
+            assert "dedupe window" in payload["error"]
+            await client.close()
+            await server.shutdown()
+
+        scenario(run)
+
+    def test_window_does_not_change_decisions(self, tmp_path):
+        """The window bounds the *dedupe* map only: decision streams and
+        digests are identical with and without it."""
+        events = synthetic_events(items=4, count=120, num_servers=6, seed=21)
+
+        async def digest_with(window, jdir):
+            server = CacheServer(
+                ServerConfig(
+                    journal_dir=str(jdir), shards=2, num_servers=6,
+                    dedupe_window=window,
+                )
+            )
+            await server.start()
+            res = await run_load(
+                server.config.host, server.port, events, concurrency=2
+            )
+            await server.shutdown()
+            return res.stats["digest"]
+
+        async def run():
+            bounded = await digest_with(0.5, tmp_path / "bounded")
+            unbounded = await digest_with(None, tmp_path / "unbounded")
+            assert bounded == unbounded
+
+        scenario(run)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError, match="dedupe_window"):
+            ServerConfig(dedupe_window=0.0)
+        with pytest.raises(ValueError, match="owned_shards"):
+            ServerConfig(shards=2, owned_shards=(5,))
