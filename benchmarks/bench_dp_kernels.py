@@ -15,6 +15,13 @@ Standalone script (also runnable under pytest) benchmarking the
   failure in full mode; in ``--quick`` mode (CI smoke on shared
   runners) the grid shrinks and the gate only soft-warns, because
   timings on noisy boxes are advisory.
+* **batch series** — ``solve_offline_batch`` (one instance-major kernel
+  call over a whole Zipf-skewed multi-item workload) vs the per-item
+  frontier loop.  Identity across every item and every result field is
+  unconditional — quick mode included; the ≥5x batch speedup gate is
+  hard in full mode when the compiled C sweep is available and
+  soft-warns otherwise (``--quick``, or Python-sweep fallback boxes
+  with no C compiler).
 * **vectorize crossover** — times the reference kernel's scalar pivot
   loop vs its numpy gather across ``m``; the measured crossover is what
   calibrates ``_VECTORIZE_MIN_M`` in :mod:`repro.offline.dp`.
@@ -39,9 +46,18 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 if str(ROOT / "src") not in sys.path:  # standalone invocation without install
     sys.path.insert(0, str(ROOT / "src"))
 
-from repro import SpeculativeCaching, solve_offline  # noqa: E402
+from repro import (  # noqa: E402
+    SpeculativeCaching,
+    multi_item_workload,
+    solve_offline,
+    solve_offline_batch,
+)
 from repro.analysis import format_table  # noqa: E402
-from repro.kernels import replay_fault_free, solve_offline_frontier  # noqa: E402
+from repro.kernels import (  # noqa: E402
+    batch_sweep_backend,
+    replay_fault_free,
+    solve_offline_frontier,
+)
 from repro.sim.engine import run_online  # noqa: E402
 from repro.workloads import poisson_zipf_instance  # noqa: E402
 
@@ -53,6 +69,11 @@ JSON_PATH = ROOT / "BENCH_dp_kernels.json"
 #: Headline grid point of the ISSUE's speedup gate.
 HEADLINE = {"n": 100_000, "m": 64}
 SPEEDUP_GATE = 3.0
+
+#: Batched-kernel gate: one solve_offline_batch call over the service
+#: workload must beat the per-item frontier loop by this factor (hard in
+#: full mode with the compiled C sweep; soft otherwise).
+BATCH_SPEEDUP_GATE = 5.0
 
 
 def _best_of(fn, repeats):
@@ -116,15 +137,61 @@ def run_bench(quick: bool) -> dict:
             }
         )
 
+    # Batched instance-major kernel vs the per-item frontier loop over a
+    # multi-item service workload (identity unconditional; speedup gated).
+    if quick:
+        b_items, b_total, b_m = 24, 24 * 250, 8
+    else:
+        b_items, b_total, b_m = 96, 96 * 1600, 24
+    svc = multi_item_workload(b_items, b_total, b_m, rng=96)
+    t_item, res_item = _best_of(
+        lambda: {
+            name: solve_offline_frontier(inst)
+            for name, inst in svc.items.items()
+        },
+        repeats,
+    )
+    t_batch, res_batch = _best_of(
+        lambda: solve_offline_batch(svc.items), repeats
+    )
+    batch_identical = all(
+        res_batch[k].C.tobytes() == res_item[k].C.tobytes()
+        and res_batch[k].D.tobytes() == res_item[k].D.tobytes()
+        and res_batch[k].served_by_cache.tobytes()
+        == res_item[k].served_by_cache.tobytes()
+        and res_batch[k].choice_d_tag.tobytes()
+        == res_item[k].choice_d_tag.tobytes()
+        and res_batch[k].choice_d_k.tobytes()
+        == res_item[k].choice_d_k.tobytes()
+        for k in svc.items
+    )
+    if not batch_identical:
+        failures.append(
+            f"batch kernel diverged from per-item frontier "
+            f"(items={b_items}, n_total={b_total}, m={b_m})"
+        )
+    batch_row = {
+        "items": b_items,
+        "n_total": b_total,
+        "m": b_m,
+        "backend": batch_sweep_backend(),
+        "per_item_frontier_s": t_item,
+        "batch_s": t_batch,
+        "speedup": t_item / t_batch if t_batch > 0 else float("inf"),
+        "bit_identical": batch_identical,
+    }
+
     # Reference-kernel vectorization crossover (calibrates _VECTORIZE_MIN_M).
     cross_rows = []
     for m in cross_ms:
         inst = poisson_zipf_instance(cross_n, m, rate=1.0, zipf_s=0.9, rng=m)
         t_scalar, res_s = _best_of(
-            lambda: solve_offline(inst, vectorized=False), repeats
+            lambda: solve_offline(inst, vectorized=False, kernel="reference"),
+            repeats,
         )
         t_vec, res_v = _best_of(
-            lambda: solve_offline(inst, vectorized=True), repeats
+            lambda: solve_offline(inst, vectorized=True, kernel="reference"),
+            repeats,
         )
         if not _identical(res_s, res_v):
             failures.append(f"vectorized reference diverged at m={m}")
@@ -184,7 +251,13 @@ def run_bench(quick: bool) -> dict:
             "threshold": SPEEDUP_GATE,
             "measured": headline["speedup"] if headline else None,
         },
+        "batch_gate": {
+            "threshold": BATCH_SPEEDUP_GATE,
+            "measured": batch_row["speedup"],
+            "backend": batch_row["backend"],
+        },
         "kernel_grid": kernel_rows,
+        "batch_series": [batch_row],
         "vectorize_crossover": {
             "n": cross_n,
             "rows": cross_rows,
@@ -225,6 +298,8 @@ def main(argv=None) -> int:
     emit(
         "dp_kernels",
         format_table(payload["kernel_grid"], precision=4)
+        + "\n\nbatch kernel (one call vs per-item frontier loop):\n"
+        + format_table(payload["batch_series"], precision=4)
         + "\n\nvectorize crossover (reference kernel, n="
         + str(payload["vectorize_crossover"]["n"])
         + "):\n"
@@ -262,6 +337,25 @@ def main(argv=None) -> int:
         print(
             f"speedup gate passed: {gate['measured']:.2f}x >= "
             f"{SPEEDUP_GATE}x at n={HEADLINE['n']}, m={HEADLINE['m']}"
+        )
+
+    bgate = payload["batch_gate"]
+    if bgate["measured"] < BATCH_SPEEDUP_GATE:
+        msg = (
+            f"batch speedup gate: measured {bgate['measured']:.2f}x < "
+            f"{BATCH_SPEEDUP_GATE}x (backend={bgate['backend']})"
+        )
+        # Hard only where it's meaningful: full mode with the compiled
+        # sweep.  Quick CI smoke and Python-fallback boxes soft-warn.
+        if args.quick or bgate["backend"] != "c":
+            print(f"WARNING (soft): {msg}", file=sys.stderr)
+        else:
+            print(f"FAILED: {msg}", file=sys.stderr)
+            return 1
+    else:
+        print(
+            f"batch speedup gate passed: {bgate['measured']:.2f}x >= "
+            f"{BATCH_SPEEDUP_GATE}x (backend={bgate['backend']})"
         )
     return 0
 

@@ -32,6 +32,11 @@ Hard checks ride along with the timings:
 * **speedup** — the new end-to-end pipeline must be ≥1.5× the old one
   at 4 processes.  Asserted only when the machine actually has ≥4
   usable cores; the JSON records the measured ratio honestly either way.
+* **batch kernel** — the serial multi-item solve (batched instance-major
+  kernel, the ``kernel="auto"`` default) must be ≥5× the per-item
+  frontier loop at the largest grid point, with a byte-identical cost
+  surface.  Identity is unconditional; the speedup is hard on full runs
+  with the compiled C sweep.
 * **no leaks** — ``active_segments()`` must be empty at the end.
 
 ``SERVICE_BENCH_SMOKE=1`` shrinks everything to seconds for CI smoke
@@ -59,10 +64,16 @@ from repro import (
     solve_offline_multi,
 )
 from repro.analysis import format_table
+from repro.kernels import batch_sweep_backend
 from repro.service.fabric import active_segments
 from repro.workloads.traces import TraceRecord, read_trace, write_trace
 
 from _util import emit
+
+#: Minimum serial speedup of the batched kernel over the per-item
+#: frontier loop at the largest grid point (hard when the compiled sweep
+#: is available on a full run; recorded honestly either way).
+BATCH_SPEEDUP_GATE = 5.0
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 JSON_PATH = ROOT / "BENCH_service_throughput.json"
@@ -157,15 +168,44 @@ def _convert_rss_kb(csv_path, dest, chunk_rows):
 
 
 def _bench_transports(cpus):
-    """Section 1 (+5): transport grid with unconditional bit-identity."""
+    """Section 1 (+5): transport grid with unconditional bit-identity.
+
+    The serial row is the batched instance-major kernel (the default for
+    multi-item solves since P8); a ``serial-frontier`` row times the old
+    per-item loop on the same workload so the JSON records the batch
+    kernel's serial speedup, gated ≥5x at the largest grid point when
+    the compiled sweep is available.
+    """
     rows, json_rows = [], []
+    batch_gate = None
     for num_items in ITEM_GRID:
         svc = multi_item_workload(
             num_items, num_items * PER_ITEM, M, rng=num_items
         )
         t_serial, off_serial = _best_of(lambda: solve_offline_multi(svc), REPEATS)
         canon_serial = _canonical_costs(off_serial)
-        points = [("serial", 1, t_serial, canon_serial)]
+        t_item, off_item = _best_of(
+            lambda: solve_offline_multi(svc, kernel="frontier"), REPEATS
+        )
+        # Semantics gate (unconditional): the batched kernel must not
+        # move the cost surface a single byte vs the per-item path.
+        assert _canonical_costs(off_item) == canon_serial, (
+            f"batch kernel cost surface diverged from per-item frontier "
+            f"at items={num_items}"
+        )
+        serial_speedup = t_item / t_serial if t_serial > 0 else float("inf")
+        batch_gate = {
+            "items": num_items,
+            "per_item_frontier_seconds": t_item,
+            "batch_seconds": t_serial,
+            "serial_speedup": serial_speedup,
+            "backend": batch_sweep_backend(),
+            "threshold": BATCH_SPEEDUP_GATE,
+        }
+        points = [
+            ("serial", 1, t_serial, canon_serial),
+            ("serial-frontier", 1, t_item, canon_serial),
+        ]
         for procs in [p for p in PROC_GRID if p > 1]:
             t_pickle, off_pickle = _best_of(
                 lambda: solve_offline_multi(
@@ -217,7 +257,16 @@ def _bench_transports(cpus):
                     ).hexdigest()[:16],
                 }
             )
-    return rows, json_rows
+    # Perf gate: serial batch ≥5x serial per-item frontier at the
+    # largest grid point.  Hard only on full runs with the compiled
+    # sweep — the Python fallback records its honest ratio instead.
+    if not SMOKE and batch_gate["backend"] == "c":
+        assert batch_gate["serial_speedup"] >= BATCH_SPEEDUP_GATE, (
+            f"batch kernel only {batch_gate['serial_speedup']:.2f}x the "
+            f"per-item frontier loop at items={batch_gate['items']} "
+            f"(gate {BATCH_SPEEDUP_GATE}x)"
+        )
+    return rows, json_rows, batch_gate
 
 
 def _bench_phases():
@@ -344,7 +393,7 @@ def _bench_end_to_end(tmp, cpus):
 
 def test_service_throughput(benchmark):
     cpus = _usable_cpus()
-    rows, json_rows = _bench_transports(cpus)
+    rows, json_rows, batch_gate = _bench_transports(cpus)
     phases = _bench_phases()
     with tempfile.TemporaryDirectory() as d:
         tmp = pathlib.Path(d)
@@ -381,6 +430,7 @@ def test_service_throughput(benchmark):
         "ingest equals CSV ingest item by item",
         "shm_note": "shm rows are persistent-pool steady state (segments "
         "attached, worker instance caches warm)",
+        "batch_gate": batch_gate,
         "rows": json_rows,
         "phases": phases,
         "ingest": ingest,
@@ -391,6 +441,10 @@ def test_service_throughput(benchmark):
     emit(
         "service_throughput",
         format_table(rows, precision=4)
+        + "\n\nserial batch kernel ({backend} sweep, items={items}): "
+        "per-item {per_item_frontier_seconds:.4f}s, batch "
+        "{batch_seconds:.4f}s ({serial_speedup:.1f}x, gate "
+        "{threshold}x)".format(**batch_gate)
         + "\n\nshm phases (items={items}, {processes} procs): "
         "pack {serialize_attach_seconds:.4f}s, first {first_call_seconds:.4f}s, "
         "steady {steady_call_seconds:.4f}s, merge {merge_seconds:.4f}s".format(

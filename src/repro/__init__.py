@@ -39,6 +39,7 @@ from .offline import (
 )
 from .emulator import EmulationReport, LatencyModel, emulate
 from .faults import FaultContext, FaultPlan, FaultyRunResult, Outage
+from .kernels import solve_offline_batch
 from .offline import StreamingSolver
 from .online import (
     AlwaysTransfer,
@@ -129,6 +130,7 @@ __all__ = [
     "run_online_faulty",
     "solve_exact",
     "solve_offline",
+    "solve_offline_batch",
     "solve_offline_bisect",
     "solve_offline_naive",
     "validate_schedule",

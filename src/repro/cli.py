@@ -107,8 +107,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(KERNELS),
         default="auto",
         help="off-line DP sweep: frontier (O(n+m+P) fast path), reference "
-        "(paper-shaped O(mn)), or auto (default; picks frontier) — "
-        "bit-identical results either way",
+        "(paper-shaped O(mn)), batch (instance-major batched kernel; one "
+        "sweep per multi-item service or shard, compiled C when a system "
+        "compiler exists), or auto (default; frontier per item, batch for "
+        "multi-item solves) — bit-identical results either way",
     )
     sub = p.add_subparsers(dest="command", required=True)
 

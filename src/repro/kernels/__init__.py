@@ -17,6 +17,12 @@ bit-identical to its reference twin:
 * :mod:`repro.kernels.replay` — an array-backed replay loop for the
   fault-free online engine: request times/servers as native Python
   scalars hoisted out of numpy, no per-event object dispatch.
+* :mod:`repro.kernels.batch` — the batched instance-major DP sweep:
+  a whole multi-item service packed into concatenated ragged columns
+  and solved with ONE kernel call (compiled C sweep when a system
+  compiler exists, transliterated Python loop otherwise).  Selected
+  via ``solve_offline(kernel="batch")`` / ``solve_offline_batch``;
+  the service layer's shard workers call it once per shard.
 
 Determinism contract: a kernel never changes *what* is computed, only
 *how fast*.  ``C``/``D`` vectors, ``served_by_cache``, backtracking
@@ -26,6 +32,11 @@ gates on this unconditionally, and ``tests/offline/test_kernels.py``
 property-tests it on random instances (ties, degenerate fleets).
 """
 
+from .batch import (
+    BatchLayout,
+    batch_sweep_backend,
+    solve_offline_batch,
+)
 from .frontier import FrontierState, solve_offline_frontier
 from .prescan import (
     build_pivot_matrix,
@@ -36,6 +47,9 @@ from .prescan import (
 from .replay import replay_fault_free
 
 __all__ = [
+    "BatchLayout",
+    "batch_sweep_backend",
+    "solve_offline_batch",
     "FrontierState",
     "solve_offline_frontier",
     "build_pivot_matrix",

@@ -24,6 +24,7 @@ by ``λ``, so the transfer branch can only win when the servers differ).
 
 from __future__ import annotations
 
+import warnings
 from typing import Union
 
 import numpy as np
@@ -34,7 +35,7 @@ from .result import FROM_C, FROM_D, OfflineResult
 __all__ = ["solve_offline", "optimal_cost", "KERNELS"]
 
 #: Valid ``kernel=`` values for :func:`solve_offline`.
-KERNELS = ("auto", "frontier", "reference")
+KERNELS = ("auto", "frontier", "reference", "batch")
 
 #: ``vectorized="auto"`` switches the reference kernel to the numpy
 #: pivot gather at this fleet size.  Calibrated from the measured
@@ -62,12 +63,21 @@ def solve_offline(
         Reference-kernel knob: ``True`` gathers each request's pivot
         candidates with numpy (faster for large ``m``), ``False`` uses
         the scalar loop (faster for small ``m``), ``"auto"`` picks by
-        ``m`` (:data:`_VECTORIZE_MIN_M`).  Passing an explicit boolean
-        implies ``kernel="reference"``.
+        ``m`` (:data:`_VECTORIZE_MIN_M`).  An explicit boolean pins
+        ``kernel="reference"``: combined with the default
+        ``kernel="auto"`` this emits a :class:`UserWarning` naming the
+        downgrade (pass ``kernel="reference"`` to silence it), and
+        combined with ``kernel="frontier"`` or ``kernel="batch"`` —
+        kernels that have no vectorized knob — it raises ``ValueError``.
     kernel:
         ``"reference"`` runs the per-request ``O(mn)`` sweep above;
         ``"frontier"`` runs the amortised ``O(n + m + P)`` kernel
         (:func:`repro.kernels.frontier.solve_offline_frontier`);
+        ``"batch"`` routes through the batched instance-major kernel
+        (:func:`repro.kernels.batch.solve_offline_batch`, compiled C
+        sweep when available — for a single instance this mostly
+        matters as a correctness cross-check; the payoff is batching
+        whole services);
         ``"auto"`` (default) picks the frontier kernel unless an
         explicit ``vectorized`` boolean pins the reference path.
         Every kernel returns byte-identical results — the choice is
@@ -89,15 +99,31 @@ def solve_offline(
                 f"vectorized must be True, False or 'auto', "
                 f"got {vectorized!r} (strings like 'false' are not coerced)"
             )
+        if kernel == "batch":
+            from ..kernels.batch import solve_offline_batch
+
+            return next(iter(solve_offline_batch([("", instance)]).values()))
         if kernel != "reference":
             from ..kernels.frontier import solve_offline_frontier
 
             return solve_offline_frontier(instance)
         vectorized = instance.num_servers >= _VECTORIZE_MIN_M
-    elif kernel == "frontier":
+    elif kernel in ("frontier", "batch"):
         raise ValueError(
-            "kernel='frontier' has no vectorized knob; pass "
+            f"kernel={kernel!r} has no vectorized knob; pass "
             "vectorized='auto' (the default) or kernel='reference'"
+        )
+    elif kernel == "auto":
+        # An explicit boolean can only mean the reference sweep.  That
+        # downgrade used to be silent (the docstring said "implies
+        # kernel='reference'" and nothing surfaced it); make it loud and
+        # pin the kernel so the combination stays unambiguous.
+        warnings.warn(
+            "explicit vectorized= boolean pins kernel='reference' "
+            "(kernel='auto' would otherwise pick the frontier kernel); "
+            "pass kernel='reference' to silence this warning",
+            UserWarning,
+            stacklevel=2,
         )
     n = instance.n
     t, srv = instance.t, instance.srv

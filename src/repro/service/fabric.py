@@ -341,13 +341,54 @@ def _worker_solve_shard(
     """Solve one shard, writing result arrays into the shared region.
 
     Returns only ``(item name, solver tag)`` pairs — the arrays never
-    cross the pipe.
+    cross the pipe.  With ``kernel`` ``"auto"``/``"batch"`` the whole
+    shard is solved by ONE call to the batched instance-major kernel,
+    packed straight from the arena's zero-copy column views — no
+    instance construction (and no pivot-matrix build) in the worker at
+    all.  ``"frontier"``/``"reference"`` keep the per-item path with
+    its cached instance builds.
     """
+    from ..kernels.batch import BatchLayout, solve_layout
+
     res_shm = _WORKER_RESULTS.get(result_name)
     if res_shm is None:
         res_shm = _attach_untracked(result_name)
         _worker_cache_put(_WORKER_RESULTS, result_name, res_shm)
     out: List[Tuple[str, str]] = []
+    if kernel in ("auto", "batch"):
+        shm, _ = _worker_arena(arena_name)
+        m, mu, lam = meta
+        layout = BatchLayout.from_columns(
+            [
+                (
+                    name,
+                    np.frombuffer(shm.buf, np.float64, n, t_off),
+                    np.frombuffer(shm.buf, np.int64, n, srv_off),
+                    m,
+                    mu,
+                    lam,
+                    origin,
+                    start,
+                )
+                for name, n, t_off, srv_off, origin, start, _mode in entries
+            ]
+        )
+        results = solve_layout(layout)
+        for entry, res_entry, res in zip(entries, result_entries, results):
+            views = _result_views(res_shm.buf, res_entry)
+            for view, src in zip(
+                views,
+                (
+                    res.C,
+                    res.D,
+                    res.served_by_cache,
+                    res.choice_d_tag,
+                    res.choice_d_k,
+                ),
+            ):
+                view[:] = src  # copy out of the batch's shared arrays
+            out.append((entry[0], res.solver))
+        return out
     for entry, res_entry in zip(entries, result_entries):
         inst = _worker_instance(arena_name, meta, entry)
         res = solve_offline(inst, kernel=kernel)

@@ -276,10 +276,14 @@ def solve_offline_multi(
         ``"size"`` (default) or ``"hash"``; see
         :func:`repro.service.sharding.plan_shards`.
     kernel:
-        DP sweep per item — ``"auto"`` / ``"frontier"`` /
-        ``"reference"``, forwarded to
-        :func:`repro.offline.dp.solve_offline` serially and carried
-        into the workers in parallel runs.
+        DP sweep — ``"auto"`` / ``"frontier"`` / ``"reference"`` /
+        ``"batch"``.  ``"auto"`` (default) and ``"batch"`` solve the
+        whole service (serially) or each shard (in workers) with ONE
+        call to the batched instance-major kernel
+        (:func:`repro.kernels.batch.solve_offline_batch`);
+        ``"frontier"``/``"reference"`` run
+        :func:`repro.offline.dp.solve_offline` per item.  All choices
+        are bit-identical.
     transport:
         ``"shm"`` (default) ships shards through the zero-copy
         shared-memory fabric (:mod:`repro.service.fabric`);
@@ -306,6 +310,16 @@ def solve_offline_multi(
             service, shards=shards, shard_strategy=shard_strategy, kernel=kernel
         )
     if processes is None or processes == 1:
+        if kernel in ("auto", "batch"):
+            # One batched kernel call for the whole service: the packed
+            # instance-major sweep (repro.kernels.batch) replaces the
+            # per-item solve_offline loop — same arrays bit-for-bit,
+            # but the per-item Python orchestration cost is gone.
+            from ..kernels.batch import solve_offline_batch
+
+            return MultiItemOfflineResult(
+                per_item=solve_offline_batch(service.items)
+            )
         return MultiItemOfflineResult(
             per_item={
                 name: solve_offline(inst, kernel=kernel)

@@ -28,10 +28,13 @@ of strategy or shard count.
 
 from __future__ import annotations
 
+import heapq
 import zlib
+from dataclasses import replace
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from ..core.instance import ProblemInstance
+from ..kernels.batch import BatchLayout, solve_layout
 from ..offline.dp import solve_offline
 from ..offline.result import OfflineResult
 from ..online.base import OnlineAlgorithm
@@ -82,11 +85,18 @@ def plan_shards(
             bins[zlib.crc32(name.encode("utf-8")) % shards].append(name)
     else:  # size: LPT greedy, ties broken by input order then bin index
         order = sorted(range(len(names)), key=lambda i: (-items[names[i]].n, i))
-        loads = [0] * shards
+        # Heap keyed (load, bin index): each placement is O(log shards)
+        # instead of the former loads.index(min(loads)) linear scan —
+        # O(items log shards) total, not O(items × shards).  The heap
+        # pops the lexicographic minimum, which is exactly the scan's
+        # answer (lightest bin, lowest index among ties), so plans are
+        # byte-identical to the old loop (golden-pinned in
+        # tests/service/test_sharding.py).
+        heap = [(0, b) for b in range(shards)]
         for i in order:
-            b = loads.index(min(loads))
+            load, b = heapq.heappop(heap)
             bins[b].append(names[i])
-            loads[b] += items[names[i]].n
+            heapq.heappush(heap, (load + items[names[i]].n, b))
         input_rank = {name: i for i, name in enumerate(names)}
         for b in bins:
             b.sort(key=input_rank.__getitem__)
@@ -147,24 +157,43 @@ def _solve_shard(
     """Solve every item in one shard with the fast DP (pickle transport).
 
     ``kernel`` selects the DP sweep (``"auto"``/``"frontier"``/
-    ``"reference"``, see :func:`repro.offline.dp.solve_offline`) — the
-    choice travels with the shard so workers and the serial path run
-    the same code, and results stay bit-identical regardless.
+    ``"reference"``/``"batch"``, see :func:`repro.offline.dp.solve_offline`)
+    — the choice travels with the shard so workers and the serial path
+    run the same code, and results stay bit-identical regardless.
 
-    The rebuilt instance is stripped from each result before it crosses
-    back over the pool boundary — the parent holds the equivalent object
-    and re-attaches it on merge, so only the DP's cost/choice vectors pay
-    the return pickle.  (The shm transport goes further: workers write
-    those vectors into a preallocated shared result region and return
-    only ``(name, solver)`` acks — see
+    ``"auto"`` and ``"batch"`` solve the whole shard with ONE call to the
+    batched instance-major kernel, straight from the descriptors' raw
+    columns (:meth:`repro.kernels.batch.BatchLayout.from_columns`) —
+    no per-item instance rebuild, no pivot-matrix build, no per-item
+    Python loop.  ``"frontier"``/``"reference"`` keep the per-item path.
+
+    Instances never cross back over the pool boundary — the parent holds
+    the equivalent object and re-attaches it on merge, so only the DP's
+    cost/choice vectors pay the return pickle.  The batch path's results
+    are born instance-free; the per-item path strips via
+    ``dataclasses.replace`` rather than mutating the solver's returned
+    object in place (batch results are views into shared stacked arrays,
+    and the same discipline keeps every result object immutable-by-
+    convention).  (The shm transport goes further: workers write the
+    vectors into a preallocated shared result region and return only
+    ``(name, solver)`` acks — see
     :func:`repro.service.fabric._worker_solve_shard`.)
     """
+    if kernel in ("auto", "batch"):
+        layout = BatchLayout.from_columns(
+            [
+                (name, t, srv, m, cost.mu, cost.lam, origin, start)
+                for name, t, srv, m, cost, origin, start, _mode in descs
+            ]
+        )
+        return list(zip(layout.names, solve_layout(layout)))
     out: List[Tuple[str, OfflineResult]] = []
     for desc in descs:
         name, inst = _unpack_item(desc)
         res = solve_offline(inst, kernel=kernel)
-        res.instance = None  # re-attached by the merging parent
-        out.append((name, res))
+        # Strip a *copy*, never the returned object: solvers may hand
+        # back views into shared arrays.
+        out.append((name, replace(res, instance=None, _schedule=None)))
     return out
 
 

@@ -14,6 +14,7 @@ from repro import (
 from repro.schedule import migration_only_cost
 
 from ..conftest import make_instance
+from .test_kernels import assert_bit_identical
 
 
 class TestBasics:
@@ -83,8 +84,8 @@ class TestSolverAgreement:
         t = np.cumsum(rng.uniform(0.05, 1.0, size=120))
         srv = rng.integers(0, 60, size=120)
         inst = ProblemInstance.from_arrays(t, srv, num_servers=60)
-        a = solve_offline(inst, vectorized=True)
-        b = solve_offline(inst, vectorized=False)
+        a = solve_offline(inst, vectorized=True, kernel="reference")
+        b = solve_offline(inst, vectorized=False, kernel="reference")
         assert a.agrees_with(b)
 
     def test_unknown_vectorized_string_rejected(self, rng):
@@ -97,8 +98,45 @@ class TestSolverAgreement:
             with pytest.raises(ValueError, match="vectorized"):
                 solve_offline(inst, vectorized=bad)
         assert solve_offline(inst, vectorized="auto").agrees_with(
-            solve_offline(inst, vectorized=False)
+            solve_offline(inst, vectorized=False, kernel="reference")
         )
+
+    @pytest.mark.parametrize("vectorized", [True, False, "auto"])
+    @pytest.mark.parametrize("kernel", ["auto", "frontier", "reference", "batch"])
+    def test_dispatch_matrix(self, rng, vectorized, kernel):
+        # Every (vectorized, kernel) combination either solves
+        # bit-identically to the scalar reference, warns, or raises —
+        # never silently downgrades.  Regression for the knob matrix: an
+        # explicit bool with kernel="auto" used to silently pin the
+        # reference kernel.
+        t = np.cumsum(rng.uniform(0.05, 1.0, size=40))
+        srv = rng.integers(0, 5, size=40)
+        inst = ProblemInstance.from_arrays(t, srv, num_servers=5)
+        golden = solve_offline(inst, vectorized=False, kernel="reference")
+        if isinstance(vectorized, bool) and kernel in ("frontier", "batch"):
+            with pytest.raises(ValueError, match="vectorized"):
+                solve_offline(inst, vectorized=vectorized, kernel=kernel)
+            return
+        if isinstance(vectorized, bool) and kernel == "auto":
+            with pytest.warns(UserWarning, match="kernel='reference'"):
+                res = solve_offline(inst, vectorized=vectorized, kernel=kernel)
+        else:
+            res = solve_offline(inst, vectorized=vectorized, kernel=kernel)
+        assert_bit_identical(golden, res)
+
+    def test_explicit_bool_with_kernel_auto_warns(self, rng):
+        t = np.cumsum(rng.uniform(0.05, 1.0, size=10))
+        srv = rng.integers(0, 3, size=10)
+        inst = ProblemInstance.from_arrays(t, srv, num_servers=3)
+        with pytest.warns(UserWarning, match="pins kernel='reference'"):
+            solve_offline(inst, vectorized=True)
+        # Naming the reference kernel explicitly keeps the bool silent.
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            solve_offline(inst, vectorized=True, kernel="reference")
+            solve_offline(inst, vectorized=False, kernel="reference")
 
     def test_bisect_pivot_mode_instance(self, rng):
         t = np.cumsum(rng.uniform(0.05, 1.0, size=50))

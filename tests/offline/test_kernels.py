@@ -100,8 +100,10 @@ class TestFrontierVsReference:
     @settings(**_SETTINGS)
     def test_vectorized_reference_also_identical(self, inst):
         # Three-way: scalar reference == vectorized reference == frontier.
-        scalar = solve_offline(inst, vectorized=False)
-        assert_bit_identical(scalar, solve_offline(inst, vectorized=True))
+        scalar = solve_offline(inst, vectorized=False, kernel="reference")
+        assert_bit_identical(
+            scalar, solve_offline(inst, vectorized=True, kernel="reference")
+        )
         assert_bit_identical(scalar, solve_offline(inst, kernel="frontier"))
 
     def test_kernel_auto_routes_to_frontier(self):

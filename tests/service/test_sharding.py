@@ -1,5 +1,7 @@
 """Sharded parallel service-layer tests: plans and bit-identity."""
 
+import pickle
+
 import numpy as np
 import pytest
 
@@ -9,8 +11,19 @@ from repro import (
     multi_item_workload,
     solve_offline_multi,
 )
+from repro.kernels import solve_offline_frontier
 from repro.service import SHARD_STRATEGIES, plan_shards
-from repro.service.sharding import _pack_item, _unpack_item
+from repro.service.sharding import _pack_item, _solve_shard, _unpack_item
+
+from ..conftest import make_instance
+
+
+def _sized_items(sizes):
+    """Items whose only interesting property is their request count."""
+    return {
+        name: make_instance([float(i) for i in range(1, n + 1)], [0] * n, m=1)
+        for name, n in sizes.items()
+    }
 
 
 def _service(num_items=6, n_total=180, m=5, rng=11):
@@ -58,6 +71,28 @@ class TestPlanShards:
             s for s in expected if s
         ]
 
+    def test_size_strategy_golden_plan(self):
+        # Golden pin for the heap-based LPT: (load, bin-index) heap pops
+        # must reproduce the former linear-scan `loads.index(min(loads))`
+        # placements exactly — lightest bin first, lowest index on load
+        # ties.  Hand-traced: b,d (the 9s) seed bins 0,1; a,f stack on
+        # bin 2; c takes the 9-vs-9 tie to bin 0; e lands on bin 1.
+        items = _sized_items({"a": 5, "b": 9, "c": 3, "d": 9, "e": 2, "f": 5})
+        assert plan_shards(items, 3, strategy="size") == [
+            ["b", "c"],
+            ["d", "e"],
+            ["a", "f"],
+        ]
+
+    def test_size_strategy_golden_plan_all_ties(self):
+        # Equal sizes: every placement is a load tie, so the plan is
+        # decided purely by the bin-index tie-break.
+        items = _sized_items({k: 4 for k in "abcde"})
+        assert plan_shards(items, 2, strategy="size") == [
+            ["a", "c", "e"],
+            ["b", "d"],
+        ]
+
     def test_invalid_arguments(self):
         svc = _service()
         with pytest.raises(ValueError, match="shards"):
@@ -75,6 +110,53 @@ class TestPlanShards:
         assert np.array_equal(rebuilt.B, inst.B)
         assert rebuilt.cost == inst.cost
         assert rebuilt.origin == inst.origin
+
+
+class TestShardWorkerImmutability:
+    """Workers must never mutate solver results in place.
+
+    The old workers stripped ``res.instance = None`` on the object the
+    solver returned.  With the batched kernel, shard-mates' results are
+    views into ONE stacked buffer per field, so in-place habits would
+    corrupt neighbours; workers now strip a ``dataclasses.replace`` copy
+    and batch results ship read-only.
+    """
+
+    @pytest.mark.parametrize("kernel", ["frontier", "batch"])
+    def test_worker_results_match_fresh_solves(self, kernel):
+        svc = _service(num_items=5, n_total=100)
+        descs = [_pack_item(name, inst) for name, inst in svc.items.items()]
+        out = _solve_shard(descs, kernel=kernel)
+        assert [name for name, _ in out] == list(svc.items)
+        for name, res in out:
+            assert res.instance is None  # instances never cross the pool
+            golden = solve_offline_frontier(svc.items[name])
+            assert res.C.tobytes() == golden.C.tobytes()
+            assert res.D.tobytes() == golden.D.tobytes()
+            assert res.choice_d_k.tobytes() == golden.choice_d_k.tobytes()
+
+    def test_batch_arrays_survive_shard_round_trip(self):
+        svc = _service(num_items=5, n_total=100)
+        descs = [_pack_item(name, inst) for name, inst in svc.items.items()]
+        out = _solve_shard(descs, kernel="batch")
+        # In-place mutation — the old stripping style — fails loudly
+        # instead of silently corrupting shard-mates' views.
+        with pytest.raises(ValueError):
+            out[0][1].C[...] = 0.0
+        # Pool pickle round-trip: every shard-mate's vectors come back
+        # byte-identical even though they share stacked buffers.
+        blobs = {name: pickle.dumps(res) for name, res in out}
+        for name, blob in blobs.items():
+            back = pickle.loads(blob)
+            golden = solve_offline_frontier(svc.items[name])
+            assert back.C.tobytes() == golden.C.tobytes()
+            assert back.D.tobytes() == golden.D.tobytes()
+            assert (
+                back.served_by_cache.tobytes()
+                == golden.served_by_cache.tobytes()
+            )
+            assert back.choice_d_tag.tobytes() == golden.choice_d_tag.tobytes()
+            assert back.choice_d_k.tobytes() == golden.choice_d_k.tobytes()
 
 
 class TestParallelBitIdentity:
