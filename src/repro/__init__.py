@@ -65,7 +65,18 @@ from .service import (
     plan_shards,
     solve_offline_multi,
 )
-from .workloads import ColumnarTrace, convert_csv, mine_instance_columnar
+from .workloads import (
+    ColumnarTrace,
+    CostEstimate,
+    WorkloadStats,
+    convert_csv,
+    estimate_offline_cost,
+    exact_offline_cost,
+    mine_instance_columnar,
+    profile_trace,
+    sample_columnar,
+    sample_trace,
+)
 from .schedule import (
     Schedule,
     render_schedule,
@@ -121,6 +132,13 @@ __all__ = [
     "solve_offline_multi",
     "convert_csv",
     "mine_instance_columnar",
+    "CostEstimate",
+    "WorkloadStats",
+    "estimate_offline_cost",
+    "exact_offline_cost",
+    "profile_trace",
+    "sample_columnar",
+    "sample_trace",
     "double_transfer",
     "emulate",
     "optimal_cost",

@@ -13,7 +13,12 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["BootstrapCI", "bootstrap_ci", "bootstrap_mean_ratio"]
+__all__ = [
+    "BootstrapCI",
+    "bootstrap_ci",
+    "bootstrap_mean_ratio",
+    "bootstrap_t_ci",
+]
 
 
 @dataclass(frozen=True)
@@ -85,6 +90,55 @@ def bootstrap_ci(
         estimate=float(statistic(data)),
         lo=float(np.quantile(stats, alpha)),
         hi=float(np.quantile(stats, 1.0 - alpha)),
+        confidence=confidence,
+        resamples=resamples,
+    )
+
+
+def bootstrap_t_ci(
+    sample: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    rng: Optional[np.random.Generator] = None,
+) -> BootstrapCI:
+    """Bootstrap-*t* (studentized) CI for the **mean** of ``sample``.
+
+    Resamples the t-statistic ``(mean* - mean) / se*`` and inverts its
+    empirical quantiles around the analytic standard error — second-order
+    accurate, so it keeps closer-to-nominal coverage than the percentile
+    method on small, skewed samples (Hall 1988).  The trace-sampling
+    estimator leans on this: at a 1-5% item sample the tail often holds
+    only 10-30 observations.
+
+    Degenerate samples (fewer than two points, or zero variance) return
+    a point interval.
+    """
+    data = np.asarray(list(sample), dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("need a non-empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if resamples < 1:
+        raise ValueError(f"resamples must be >= 1, got {resamples}")
+    n = data.size
+    mean = float(data.mean())
+    if n < 2 or float(data.std(ddof=1)) == 0.0:
+        return BootstrapCI(mean, mean, mean, confidence, resamples)
+    se = float(data.std(ddof=1)) / np.sqrt(n)
+    g = rng if rng is not None else np.random.default_rng(0)
+    idx = g.integers(0, n, size=(resamples, n))
+    draws = data[idx]
+    r_mean = draws.mean(axis=1)
+    r_se = draws.std(axis=1, ddof=1) / np.sqrt(n)
+    ok = r_se > 0
+    if not ok.any():
+        return BootstrapCI(mean, mean, mean, confidence, resamples)
+    t = (r_mean[ok] - mean) / r_se[ok]
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapCI(
+        estimate=mean,
+        lo=float(mean - np.quantile(t, 1.0 - alpha) * se),
+        hi=float(mean - np.quantile(t, alpha) * se),
         confidence=confidence,
         resamples=resamples,
     )

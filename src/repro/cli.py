@@ -325,6 +325,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="rows parsed per chunk (bounds peak memory)",
     )
 
+    sa = sub.add_parser(
+        "sample",
+        help="hash-sample a columnar trace's items into a smaller container",
+    )
+    sa.add_argument("src", help="columnar container (or CSV trace) path")
+    sa.add_argument("dest", help="output columnar container path")
+    sa.add_argument(
+        "--rate", type=float, default=0.1,
+        help="item sampling rate p in (0, 1]; an item is kept iff "
+        "hash(item, seed) < p * 2^64",
+    )
+    sa.add_argument("--seed", type=int, default=0, help="hash seed")
+    sa.add_argument(
+        "--window", default=None, metavar="T0:T1",
+        help="keep only rows with T0 <= time < T1",
+    )
+    sa.add_argument(
+        "--chunk-rows", type=int, default=1 << 20,
+        help="rows scanned per chunk (bounds peak memory)",
+    )
+    sa.add_argument(
+        "--estimate", action="store_true",
+        help="also estimate the full-trace offline cost from the sample "
+        "(Horvitz-Thompson + bootstrap CI)",
+    )
+    sa.add_argument(
+        "--confidence", type=float, default=0.95,
+        help="confidence level of the --estimate interval",
+    )
+    sa.add_argument(
+        "--top-exact", type=int, default=64,
+        help="heaviest items solved exactly by --estimate "
+        "(certainty stratum)",
+    )
+
+    pf = sub.add_parser(
+        "profile",
+        help="single-pass workload profile of a columnar trace",
+    )
+    pf.add_argument("trace", help="columnar container (or CSV trace) path")
+    pf.add_argument(
+        "--bins", type=int, default=48,
+        help="log-spaced interarrival histogram bins",
+    )
+    pf.add_argument(
+        "--top", type=int, default=10, help="items in the per-item table"
+    )
+    pf.add_argument(
+        "--predictability-items", type=int, default=8,
+        help="heaviest items to run the LZ/Fano predictability estimate on",
+    )
+    pf.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the profile as JSON ('-' for stdout)",
+    )
+
     rp = sub.add_parser(
         "serve", help="run the resilient live request-serving front-end"
     )
@@ -1210,6 +1266,93 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_columnar(path: str) -> "object":
+    """Open a columnar container, or columnarise a CSV trace in memory."""
+    from .workloads.columnar import ColumnarTrace, is_columnar
+    from .workloads.traces import read_trace
+
+    if is_columnar(path):
+        return ColumnarTrace.open(path)
+    return ColumnarTrace.from_records(read_trace(path))
+
+
+def _parse_window(spec: Optional[str]) -> Optional[tuple]:
+    if spec is None:
+        return None
+    try:
+        t0, t1 = spec.split(":", 1)
+        return (float(t0), float(t1))
+    except ValueError:
+        raise ValueError(
+            f"--window must look like T0:T1, got {spec!r}"
+        ) from None
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    from .workloads.sampling import estimate_offline_cost, sample_columnar
+
+    trace = _open_columnar(args.src)
+    stats = sample_columnar(
+        trace,
+        args.dest,
+        rate=args.rate,
+        seed=args.seed,
+        window=_parse_window(args.window),
+        chunk_rows=args.chunk_rows,
+    )
+    print(
+        f"sampled {args.src} -> {args.dest} at rate {stats.rate} "
+        f"(seed {stats.seed}): kept {stats.rows_kept}/{stats.rows_in} rows "
+        f"({stats.row_fraction:.2%}), {stats.items_kept}/{stats.items_in} "
+        f"items"
+    )
+    if args.estimate:
+        est = estimate_offline_cost(
+            trace,
+            rate=args.rate,
+            seed=args.seed,
+            cost=CostModel(mu=args.mu, lam=args.lam),
+            origin=args.origin,
+            confidence=args.confidence,
+            top_exact=args.top_exact,
+            kernel="batch" if args.kernel == "batch" else "auto",
+            chunk_rows=args.chunk_rows,
+        )
+        print(
+            f"estimated offline cost {est.estimate:.6g} "
+            f"[{est.ci_lo:.6g}, {est.ci_hi:.6g}]@{est.confidence:.0%} "
+            f"(solved {est.items_solved}/{est.items_total} items, "
+            f"{est.solve_fraction:.2%} of rows)"
+        )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from .workloads.profiler import profile_trace
+
+    stats = profile_trace(
+        _open_columnar(args.trace),
+        bins=args.bins,
+        predictability_items=args.predictability_items,
+        top_items=args.top,
+    )
+    # With JSON going to stdout, keep stdout pipe-parseable: the human
+    # table would otherwise prefix the payload and break json.load.
+    if args.json != "-":
+        print(stats.describe(top=args.top))
+    if args.json is not None:
+        payload = _json.dumps(stats.to_dict(top=args.top), indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            Path(args.json).write_text(payload + "\n")
+            print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .analysis.experiments import list_experiments, run_experiment
 
@@ -1282,6 +1425,8 @@ _DISPATCH = {
     "proxy": _cmd_proxy,
     "loadgen": _cmd_loadgen,
     "convert": _cmd_convert,
+    "sample": _cmd_sample,
+    "profile": _cmd_profile,
     "experiment": _cmd_experiment,
     "svg": _cmd_svg,
     "sensitivity": _cmd_sensitivity,

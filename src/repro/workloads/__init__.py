@@ -20,22 +20,41 @@ from .columnar import (
     read_columnar,
     write_columnar,
 )
+from .profiler import ItemStats, WorkloadStats, profile_trace
+from .sampling import (
+    CostEstimate,
+    SampleStats,
+    estimate_offline_cost,
+    exact_offline_cost,
+    item_hash,
+    sample_columnar,
+    sample_trace,
+    sampled_items,
+    solve_trace_costs,
+)
 from .traces import TraceRecord, mine_instance, read_trace, write_trace
 from .trajectory import MarkovMobility, RandomWaypoint, merge_streams
 
 __all__ = [
     "ColumnarTrace",
+    "CostEstimate",
+    "ItemStats",
     "MarkovMobility",
     "RandomWaypoint",
+    "SampleStats",
     "TraceRecord",
+    "WorkloadStats",
     "arrival_gaps",
     "choose_servers",
     "convert_csv",
     "diurnal_instance",
     "diurnal_rate",
     "empirical_entropy",
+    "estimate_offline_cost",
+    "exact_offline_cost",
     "flash_crowd_instance",
     "is_columnar",
+    "item_hash",
     "lz_entropy_rate",
     "max_predictability",
     "merge_streams",
@@ -43,10 +62,15 @@ __all__ = [
     "mine_instance_columnar",
     "mmpp_instance",
     "poisson_zipf_instance",
+    "profile_trace",
     "random_instance",
     "read_columnar",
     "read_trace",
     "renewal_instance",
+    "sample_columnar",
+    "sample_trace",
+    "sampled_items",
+    "solve_trace_costs",
     "write_columnar",
     "write_trace",
     "zipf_weights",

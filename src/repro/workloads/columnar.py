@@ -31,6 +31,7 @@ from __future__ import annotations
 import csv
 import io
 import json
+import os
 import shutil
 import struct
 from pathlib import Path
@@ -121,6 +122,7 @@ class ColumnarTrace:
         self._rows = lengths.pop() if lengths else 0
         self._path: Optional[Path] = None
         self._offsets: Dict[str, int] = {}
+        self._closed = False
 
     # -- lazy reader ---------------------------------------------------------
 
@@ -150,9 +152,35 @@ class ColumnarTrace:
         self._offsets = {
             name: int(header["columns"][name]["offset"]) for name, _ in _COLUMNS
         }
+        self._closed = False
         return self
 
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the column buffers — memmap handles included.
+
+        After ``close()`` every column access raises; long-running
+        sweeps over many traces use this (or the context-manager form)
+        instead of relying on GC to drop the mappings.  Idempotent.
+        """
+        self._columns.clear()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "ColumnarTrace":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
     def _column(self, name: str) -> np.ndarray:
+        if self._closed:
+            raise ValueError("I/O operation on closed ColumnarTrace")
         col = self._columns.get(name)
         if col is None:  # lazy mmap on first touch
             dtype = dict(_COLUMNS)[name]
@@ -332,19 +360,29 @@ def convert_csv(
     :func:`repro.workloads.traces.read_trace` exactly, so
     ``convert_csv`` + :func:`mine_instance_columnar` reproduce
     ``mine_instance`` on the CSV bit-for-bit.
+
+    Failure is clean: the container is assembled in a ``.tmp`` sibling
+    that is atomically renamed over ``dest`` only on success, and every
+    spill file (and the temp file) is removed on any exception — an
+    aborted conversion leaves neither orphaned spills nor a partial
+    container behind.
     """
     if chunk_rows < 1:
         raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
     dest = Path(dest)
+    tmp = dest.with_name(dest.name + ".tmp")
     own = isinstance(src, (str, Path))
-    fh = open(src, "r", newline="") if own else src
-    spills = {
-        name: open(dest.with_name(dest.name + f".{name}.spill"), "w+b")
-        for name, _ in _COLUMNS
-    }
+    fh = None
+    spills: Dict[str, io.BufferedRandom] = {}
     interned: Dict[str, int] = {}
     rows = 0
+    ok = False
     try:
+        fh = open(src, "r", newline="") if own else src
+        for name, _ in _COLUMNS:
+            spills[name] = open(
+                dest.with_name(dest.name + f".{name}.spill"), "w+b"
+            )
         reader = csv.reader(fh)
         fields = next(reader, None)
         if fields is None or "time" not in fields:
@@ -381,7 +419,7 @@ def convert_csv(
         flush()
 
         header_bytes, offsets = _build_header(rows, tuple(interned))
-        with open(dest, "wb") as out:
+        with open(tmp, "wb") as out:
             out.write(MAGIC)
             out.write(struct.pack("<Q", len(header_bytes)))
             out.write(header_bytes)
@@ -389,13 +427,17 @@ def convert_csv(
                 _pad_to(out, offsets[name])
                 spills[name].seek(0)
                 shutil.copyfileobj(spills[name], out)
+        os.replace(tmp, dest)
+        ok = True
         return rows
     finally:
-        if own:
+        if own and fh is not None:
             fh.close()
-        for name, spill in spills.items():
+        for spill in spills.values():
             spill.close()
             Path(spill.name).unlink(missing_ok=True)
+        if not ok:
+            tmp.unlink(missing_ok=True)
 
 
 # ---------------------------------------------------------------------------

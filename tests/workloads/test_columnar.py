@@ -206,3 +206,97 @@ class TestMiningIdentity:
         for k in sa.items:
             assert sa.items[k] == sb.items[k]
             assert sa.items[k].t.tobytes() == sb.items[k].t.tobytes()
+
+
+class TestCloseLifecycle:
+    def test_close_releases_and_raises(self, tmp_path):
+        path = tmp_path / "t.col"
+        write_columnar(sample_records(), path)
+        trace = read_columnar(path)
+        assert trace.times.shape[0] == len(sample_records())  # map a column
+        trace.close()
+        assert trace.closed
+        for attr in ("times", "servers", "users", "item_ids"):
+            with pytest.raises(ValueError, match="closed ColumnarTrace"):
+                getattr(trace, attr)
+        with pytest.raises(ValueError, match="closed ColumnarTrace"):
+            trace.to_records()
+
+    def test_close_is_idempotent(self, tmp_path):
+        path = tmp_path / "t.col"
+        write_columnar(sample_records(), path)
+        trace = read_columnar(path)
+        trace.close()
+        trace.close()
+        assert trace.closed
+
+    def test_context_manager_closes(self, tmp_path):
+        path = tmp_path / "t.col"
+        write_columnar(sample_records(), path)
+        with read_columnar(path) as trace:
+            assert not trace.closed
+            assert trace.rows == len(sample_records())
+        assert trace.closed
+        with pytest.raises(ValueError, match="closed ColumnarTrace"):
+            trace.times
+
+    def test_context_manager_propagates_exceptions(self, tmp_path):
+        path = tmp_path / "t.col"
+        write_columnar(sample_records(), path)
+        with pytest.raises(RuntimeError, match="boom"):
+            with read_columnar(path) as trace:
+                raise RuntimeError("boom")
+        assert trace.closed
+
+    def test_in_memory_trace_closes_too(self):
+        trace = ColumnarTrace.from_records(sample_records())
+        with trace:
+            assert trace.rows == len(sample_records())
+        with pytest.raises(ValueError, match="closed ColumnarTrace"):
+            trace.item_ids
+
+    def test_rows_and_metadata_survive_close(self, tmp_path):
+        path = tmp_path / "t.col"
+        write_columnar(sample_records(), path)
+        trace = read_columnar(path)
+        trace.close()
+        assert trace.rows == len(sample_records())
+        assert trace.item_table  # header metadata stays readable
+
+
+class TestConverterFailureCleanup:
+    def test_mid_conversion_failure_leaves_nothing(self, tmp_path):
+        """A parse failure after spill flushes leaves no spills, no
+        partial container, and no temp file behind."""
+        csv_path = tmp_path / "t.csv"
+        lines = ["time,server"]
+        lines += [f"{i / 10}, {i % 3}" for i in range(10)]
+        lines.append("broken,xx")
+        csv_path.write_text("\n".join(lines) + "\n")
+        dest = tmp_path / "t.col"
+        with pytest.raises(InvalidInstanceError, match="bad trace line 12"):
+            convert_csv(csv_path, dest, chunk_rows=2)  # several flushes first
+        assert not list(tmp_path.glob("*.spill"))
+        assert not list(tmp_path.glob("*.tmp"))
+        assert not dest.exists()
+
+    def test_failure_does_not_clobber_existing_dest(self, tmp_path):
+        """Re-converting onto an existing container atomically: a failed
+        run must leave the old container untouched."""
+        csv_path = tmp_path / "t.csv"
+        write_trace(sample_records(), csv_path)
+        dest = tmp_path / "t.col"
+        convert_csv(csv_path, dest)
+        good = dest.read_bytes()
+        bad_csv = tmp_path / "bad.csv"
+        bad_csv.write_text("time,server\n1.0,0\nnope,1\n")
+        with pytest.raises(InvalidInstanceError):
+            convert_csv(bad_csv, dest)
+        assert dest.read_bytes() == good
+        assert not list(tmp_path.glob("*.spill"))
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_unreadable_source_leaves_nothing(self, tmp_path):
+        with pytest.raises(OSError):
+            convert_csv(tmp_path / "missing.csv", tmp_path / "t.col")
+        assert not list(tmp_path.glob("*"))

@@ -40,6 +40,60 @@ class TestEntropyEstimators:
         assert empirical_entropy(seq) == pytest.approx(3.0)
 
 
+class TestVectorizedBitIdentity:
+    """The whole-array entropy estimators must match their scalar twins
+    bit for bit — the profiler calls them per item, so the vectorized
+    forms are the production path and the scalar scans the oracle."""
+
+    def test_lz_matches_reference_random(self, rng):
+        from repro.workloads.predictability import _lz_entropy_rate_reference
+
+        for _ in range(25):
+            n = int(rng.integers(2, 80))
+            m = int(rng.integers(2, 7))
+            seq = rng.integers(0, m, size=n)
+            assert lz_entropy_rate(seq) == _lz_entropy_rate_reference(seq)
+
+    def test_lz_matches_reference_structured(self):
+        from repro.workloads.predictability import _lz_entropy_rate_reference
+
+        cases = [
+            [0, 1] * 30,
+            [0, 0, 1, 1] * 20,
+            list(range(10)) * 8,
+            [5] * 10 + [7] * 10,
+            [1, 2, 1, 2, 1, 3],
+            [0, 1],
+            [1, 0, 0, 0, 0, 0],
+        ]
+        for seq in cases:
+            assert lz_entropy_rate(seq) == _lz_entropy_rate_reference(seq)
+
+    def test_empirical_matches_reference(self, rng):
+        from repro.workloads.predictability import (
+            _empirical_entropy_reference,
+        )
+
+        for _ in range(25):
+            n = int(rng.integers(1, 200))
+            lo = int(rng.integers(-50, 0))
+            hi = int(rng.integers(1, 50))
+            seq = rng.integers(lo, hi, size=n)
+            assert empirical_entropy(seq) == _empirical_entropy_reference(seq)
+
+    def test_empirical_sparse_values_fall_back_to_sort(self):
+        from repro.workloads.predictability import (
+            _empirical_entropy_reference,
+        )
+
+        seq = [0, 10**12, 0, 10**12, 5]  # dense bincount would be absurd
+        assert empirical_entropy(seq) == _empirical_entropy_reference(seq)
+
+    def test_lz_accepts_ndarray_and_list(self):
+        seq = [0, 1, 0, 1, 1, 0, 2]
+        assert lz_entropy_rate(seq) == lz_entropy_rate(np.asarray(seq))
+
+
 class TestMaxPredictability:
     def test_zero_entropy_fully_predictable(self):
         assert max_predictability(0.0, 5) == 1.0
