@@ -207,30 +207,42 @@ def run_bench(quick: bool) -> dict:
         (r["m"] for r in cross_rows if r["vectorized_wins"]), None
     )
 
-    # Replay fast path: identical run, measured speedup.
+    # Replay series: stepwise driver baseline vs each fast path — the
+    # array-backed replay (fast=True), the hook-driven replay_fault_free,
+    # and the batched online kernel (kernel="vector").  Every row must
+    # reproduce the driver's cost/counters/transfers exactly.
     inst = poisson_zipf_instance(replay_n, replay_m, rate=1.0, rng=3)
-    t_fast, run_fast = _best_of(
-        lambda: replay_fault_free(SpeculativeCaching(), inst), repeats
-    )
     t_step, run_step = _best_of(
         lambda: run_online(SpeculativeCaching(), inst, fast=False), repeats
     )
-    replay_same = (
-        run_fast.cost == run_step.cost
-        and run_fast.counters == run_step.counters
-        and run_fast.schedule.transfers == run_step.schedule.transfers
-    )
-    if not replay_same:
-        failures.append("replay fast path diverged from stepwise driver")
-    replay_row = {
-        "n": replay_n,
-        "m": replay_m,
-        "policy": "sc",
-        "driver_s": t_step,
-        "fast_s": t_fast,
-        "speedup": t_step / t_fast if t_fast > 0 else float("inf"),
-        "identical": replay_same,
-    }
+    replay_contenders = [
+        ("fast", lambda: run_online(SpeculativeCaching(), inst, kernel="event")),
+        ("replay_fault_free", lambda: replay_fault_free(SpeculativeCaching(), inst)),
+        ("vector", lambda: run_online(SpeculativeCaching(), inst, kernel="vector")),
+    ]
+    replay_rows = []
+    for label, fn in replay_contenders:
+        t_run, run = _best_of(fn, repeats)
+        same = (
+            run.cost == run_step.cost
+            and run.counters == run_step.counters
+            and run.schedule.transfers == run_step.schedule.transfers
+            and run.schedule.intervals == run_step.schedule.intervals
+        )
+        if not same:
+            failures.append(f"replay path '{label}' diverged from stepwise driver")
+        replay_rows.append(
+            {
+                "n": replay_n,
+                "m": replay_m,
+                "policy": "sc",
+                "path": label,
+                "driver_s": t_step,
+                "path_s": t_run,
+                "speedup": t_step / t_run if t_run > 0 else float("inf"),
+                "identical": same,
+            }
+        )
 
     headline = next(
         (
@@ -263,7 +275,7 @@ def run_bench(quick: bool) -> dict:
             "rows": cross_rows,
             "first_m_where_vectorized_wins": crossover,
         },
-        "replay_fast_path": replay_row,
+        "replay_fast_path": replay_rows,
         "failures": failures,
     }
     return payload
@@ -304,8 +316,8 @@ def main(argv=None) -> int:
         + str(payload["vectorize_crossover"]["n"])
         + "):\n"
         + format_table(payload["vectorize_crossover"]["rows"], precision=4)
-        + "\n\nreplay fast path:\n"
-        + format_table([payload["replay_fast_path"]], precision=4),
+        + "\n\nreplay series (stepwise driver vs fast paths):\n"
+        + format_table(payload["replay_fast_path"], precision=4),
         header="P2: DP kernel grid — frontier vs reference "
         f"(identity asserted per point; gate ≥{SPEEDUP_GATE}x at "
         f"n={HEADLINE['n']}, m={HEADLINE['m']})",

@@ -6,7 +6,9 @@ from .competitive import (
     alternating_adversary,
     cyclic_adversary,
     empirical_ratio,
+    ratio_grid,
     ratio_statistics,
+    ttl_gamma_sweep,
 )
 from .bootstrap import BootstrapCI, bootstrap_ci, bootstrap_mean_ratio
 from .calibration import PRICE_POINTS, PricingPlan, calibrate, describe_window
@@ -45,8 +47,10 @@ __all__ = [
     "list_experiments",
     "never_delete_cost",
     "parallel_map",
+    "ratio_grid",
     "ratio_statistics",
     "ratio_study",
+    "ttl_gamma_sweep",
     "round_robin_envelope",
     "run_experiment",
     "single_server_optimal",

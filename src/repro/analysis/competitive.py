@@ -6,23 +6,42 @@ benchmark suite:
 
 * :func:`empirical_ratio` — one algorithm, one instance, one ratio.
 * :func:`ratio_statistics` — ratio distribution over a workload family.
+* :func:`ratio_grid` — a whole algorithm grid over shared instances,
+  with OPT solved ONCE per instance and reused across the grid.
+* :func:`ttl_gamma_sweep` — the TTL(γ) window ablation as one batched
+  γ-grid call (per-item column prep hoisted out of the γ loop).
 * Adversarial generators probing how close SC gets to its bound:
   :func:`cyclic_adversary` requests servers round-robin with the gap set
   to a multiple of the speculative window ``Δt = λ/μ`` (just past the
   window is the painful spot: SC pays the dead copy's rent *and* the
   transfer), and :func:`adversarial_gap_sweep` scans that multiple for
   the worst ratio.
+
+Execution model: every multi-instance entry point packs its instances
+into one :class:`~repro.kernels.batch.BatchLayout` and pairs ONE batched
+online-kernel call with ONE batched DP call per instance block — no
+per-instance Python dispatch on the hot path.  Results are bit-identical
+to the per-event/per-item loops (both kernels are differentially gated),
+and ``kernel="event"`` pins the per-event oracle path for audits.  All
+OPT solves route through the single :func:`_opt_costs` seam, which the
+solve-count regression test stubs to pin "OPT solved once per instance".
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..core.instance import ProblemInstance
 from ..core.types import CostModel
+from ..kernels.batch import BatchLayout, solve_layout
+from ..kernels.online import (
+    run_online_layout,
+    sweep_layout,
+    vector_policy_config,
+)
 from ..offline.dp import solve_offline
 from ..online.base import OnlineAlgorithm
 from ..online.speculative import SpeculativeCaching
@@ -31,19 +50,78 @@ __all__ = [
     "empirical_ratio",
     "RatioStats",
     "ratio_statistics",
+    "ratio_grid",
+    "ttl_gamma_sweep",
     "cyclic_adversary",
     "alternating_adversary",
     "adversarial_gap_sweep",
 ]
 
 
+def _opt_costs(instances: Sequence[ProblemInstance]) -> List[float]:
+    """``Π(OPT)`` per instance via ONE batched DP call.
+
+    The single seam every harness entry point routes OPT solves through:
+    grids and γ-sweeps call it once per instance block and reuse the
+    costs across every algorithm/γ, and the solve-count regression test
+    stubs it to pin that contract.  The batched kernel is bit-identical
+    to per-instance ``solve_offline`` (gated by the benchmark suite), so
+    ratios match the historic per-item harness exactly.
+    """
+    if not instances:
+        return []
+    layout = BatchLayout.from_instances(
+        [(str(i), inst) for i, inst in enumerate(instances)]
+    )
+    return [res.optimal_cost for res in solve_layout(layout)]
+
+
+def _online_costs(
+    instances: Sequence[ProblemInstance],
+    algorithm_factory: Callable[[], OnlineAlgorithm],
+    kernel: str = "auto",
+) -> List[float]:
+    """``Π(ALG)`` per instance; one batched kernel call when eligible."""
+    probe = algorithm_factory()
+    config = vector_policy_config(probe) if kernel != "event" else None
+    if config is not None:
+        window_factor, epoch_size, _name = config
+        layout = BatchLayout.from_instances(
+            [(str(i), inst) for i, inst in enumerate(instances)]
+        )
+        return [
+            run.cost for run in run_online_layout(layout, window_factor, epoch_size)
+        ]
+    if kernel == "vector":
+        raise ValueError(
+            f"kernel='vector' requires a plain SpeculativeCaching policy, "
+            f"got {type(probe).__name__}; use kernel='event' or 'auto'"
+        )
+    return [
+        algorithm_factory().run(inst, kernel=kernel).cost for inst in instances
+    ]
+
+
+def _ratios(costs: Sequence[float], opts: Sequence[float]) -> List[float]:
+    return [
+        cost / opt if opt > 0 else float("inf") for cost, opt in zip(costs, opts)
+    ]
+
+
 def empirical_ratio(
-    instance: ProblemInstance, algorithm: Optional[OnlineAlgorithm] = None
+    instance: ProblemInstance,
+    algorithm: Optional[OnlineAlgorithm] = None,
+    kernel: str = "auto",
+    opt_cost: Optional[float] = None,
 ) -> float:
-    """``Π(ALG) / Π(OPT)`` on one instance (ALG defaults to SC)."""
+    """``Π(ALG) / Π(OPT)`` on one instance (ALG defaults to SC).
+
+    ``opt_cost`` short-circuits the OPT solve when the caller already
+    holds it (grid sweeps solve OPT once per instance and reuse it).
+    """
     algorithm = algorithm if algorithm is not None else SpeculativeCaching()
-    online_cost = algorithm.run(instance).cost
-    opt = solve_offline(instance).optimal_cost
+    online_cost = algorithm.run(instance, kernel=kernel).cost
+    opt = solve_offline(instance).optimal_cost if opt_cost is None else opt_cost
     return online_cost / opt if opt > 0 else float("inf")
 
 
@@ -84,12 +162,98 @@ class RatioStats:
 def ratio_statistics(
     instances: Iterable[ProblemInstance],
     algorithm_factory: Callable[[], OnlineAlgorithm] = SpeculativeCaching,
+    kernel: str = "auto",
 ) -> RatioStats:
-    """Ratio distribution of an algorithm family over many instances."""
-    ratios = [empirical_ratio(inst, algorithm_factory()) for inst in instances]
-    if not ratios:
+    """Ratio distribution of an algorithm family over many instances.
+
+    One batched online call + one batched DP call over the whole block
+    (per-instance loops only for vector-ineligible policies or
+    ``kernel="event"``); ratios are bit-identical either way.
+    """
+    insts = list(instances)
+    if not insts:
         raise ValueError("need at least one instance")
-    return RatioStats(np.asarray(ratios))
+    opts = _opt_costs(insts)
+    costs = _online_costs(insts, algorithm_factory, kernel=kernel)
+    return RatioStats(np.asarray(_ratios(costs, opts)))
+
+
+def ratio_grid(
+    instances: Iterable[ProblemInstance],
+    algorithms: Mapping[str, Callable[[], OnlineAlgorithm]],
+    kernel: str = "auto",
+) -> Dict[str, RatioStats]:
+    """Ratio distributions for a whole algorithm grid over shared instances.
+
+    OPT is solved ONCE per instance (one batched DP call) and reused
+    across every algorithm — the historic harness re-solved it per
+    algorithm on the same instance.  Returns ``{algorithm name:
+    RatioStats}`` in the mapping's order.
+    """
+    insts = list(instances)
+    if not insts:
+        raise ValueError("need at least one instance")
+    if not algorithms:
+        raise ValueError("need at least one algorithm")
+    opts = _opt_costs(insts)
+    return {
+        name: RatioStats(
+            np.asarray(_ratios(_online_costs(insts, factory, kernel=kernel), opts))
+        )
+        for name, factory in algorithms.items()
+    }
+
+
+def ttl_gamma_sweep(
+    instances: Iterable[ProblemInstance],
+    gammas: Sequence[float],
+    epoch_size: Optional[int] = None,
+    kernel: str = "auto",
+) -> List[dict]:
+    """TTL(γ) window ablation over shared instances; one row per γ.
+
+    The γ-grid broadcasts over window values: instances are packed once
+    and :func:`repro.kernels.online.sweep_layout` hoists the per-item
+    column prep out of the γ loop, so widening the grid costs only the
+    state-machine replay.  OPT is solved ONCE (one batched DP call) and
+    reused by every γ.  Rows carry ``gamma``, ``mean``, ``worst``,
+    ``p95`` and the raw ``ratios`` list; ``kernel="event"`` re-runs the
+    per-event oracle per γ instead (bit-identical, for audits).
+    """
+    insts = list(instances)
+    if not insts:
+        raise ValueError("need at least one instance")
+    gammas = [float(g) for g in gammas]
+    opts = _opt_costs(insts)
+    rows: List[dict] = []
+    if kernel != "event":
+        layout = BatchLayout.from_instances(
+            [(str(i), inst) for i, inst in enumerate(insts)]
+        )
+        grid = sweep_layout(layout, gammas, epoch_size)
+        cost_rows = [[run.cost for run in runs] for runs in grid]
+    else:
+        cost_rows = [
+            [
+                SpeculativeCaching(window_factor=g, epoch_size=epoch_size)
+                .run(inst, kernel="event")
+                .cost
+                for inst in insts
+            ]
+            for g in gammas
+        ]
+    for g, costs in zip(gammas, cost_rows):
+        stats = RatioStats(np.asarray(_ratios(costs, opts)))
+        rows.append(
+            {
+                "gamma": g,
+                "mean": stats.mean,
+                "worst": stats.worst,
+                "p95": stats.p95,
+                "ratios": [float(r) for r in stats.ratios],
+            }
+        )
+    return rows
 
 
 def cyclic_adversary(
@@ -137,28 +301,28 @@ def adversarial_gap_sweep(
     rounds: int = 20,
     gap_factors: Optional[Sequence[float]] = None,
     cost: Optional[CostModel] = None,
+    kernel: str = "auto",
 ) -> List[dict]:
     """Scan gap factors for the worst SC ratio; rows sorted by factor.
 
     Returns one dict per factor with keys ``gap_factor``, ``ratio``,
     ``sc_cost``, ``opt_cost`` — the series behind the competitive-ratio
-    benchmark's adversarial panel.
+    benchmark's adversarial panel.  The whole scan is two batched kernel
+    calls (one online, one DP) over every generated instance.
     """
     if gap_factors is None:
         gap_factors = np.concatenate(
             [np.linspace(0.2, 0.95, 6), np.linspace(1.001, 3.0, 12)]
         )
-    rows = []
-    for gf in gap_factors:
-        inst = cyclic_adversary(m, rounds, float(gf), cost=cost)
-        sc_cost = SpeculativeCaching().run(inst).cost
-        opt = solve_offline(inst).optimal_cost
-        rows.append(
-            {
-                "gap_factor": float(gf),
-                "sc_cost": sc_cost,
-                "opt_cost": opt,
-                "ratio": sc_cost / opt if opt else float("inf"),
-            }
-        )
-    return rows
+    insts = [cyclic_adversary(m, rounds, float(gf), cost=cost) for gf in gap_factors]
+    opts = _opt_costs(insts)
+    sc_costs = _online_costs(insts, SpeculativeCaching, kernel=kernel)
+    return [
+        {
+            "gap_factor": float(gf),
+            "sc_cost": sc_cost,
+            "opt_cost": opt,
+            "ratio": sc_cost / opt if opt else float("inf"),
+        }
+        for gf, sc_cost, opt in zip(gap_factors, sc_costs, opts)
+    ]

@@ -110,13 +110,19 @@ def _measure_kwargs(measure: Callable[..., Mapping[str, Any]], point: Dict) -> D
     return dict(measure(**point))
 
 
-def _one_ratio(workload_fn: Callable, seed: int, algo_factory: Callable) -> float:
-    from ..offline.dp import solve_offline
+def _ratio_block(
+    workload_fn: Callable,
+    seeds: Sequence[int],
+    algo_factory: Callable,
+    kernel: str = "auto",
+) -> List[float]:
+    """Ratios for one seed block: ONE batched online + ONE batched DP call."""
+    from .competitive import _online_costs, _opt_costs, _ratios
 
-    inst = workload_fn(seed)
-    opt = solve_offline(inst).optimal_cost
-    cost = algo_factory().run(inst).cost
-    return cost / opt if opt > 0 else float("inf")
+    insts = [workload_fn(int(s)) for s in seeds]
+    opts = _opt_costs(insts)
+    costs = _online_costs(insts, algo_factory, kernel=kernel)
+    return _ratios(costs, opts)
 
 
 def ratio_study(
@@ -124,14 +130,33 @@ def ratio_study(
     seeds: Sequence[int],
     algo_factory: Callable[[], Any],
     processes: Optional[int] = None,
+    kernel: str = "auto",
+    block_size: Optional[int] = None,
 ) -> List[float]:
     """Per-seed ``Π(ALG)/Π(OPT)`` ratios, optionally across a pool.
 
     ``workload_fn(seed)`` builds the instance; ``algo_factory()`` builds
     a fresh policy.  Both must be module-level for ``processes > 1``.
+
+    Seeds are chunked into blocks (default: one per process) and each
+    block is measured with ONE batched online-kernel call paired with
+    ONE batched DP call — no per-seed Python dispatch.  Results are
+    flattened back in seed order, so the study is bit-identical to the
+    historic per-seed loop regardless of ``processes`` or
+    ``block_size``; ``kernel="event"`` pins the per-event oracle path.
     """
-    return parallel_map(
-        _one_ratio,
-        [(workload_fn, int(s), algo_factory) for s in seeds],
+    seeds = [int(s) for s in seeds]
+    if not seeds:
+        return []
+    if block_size is None:
+        workers = processes if processes is not None and processes > 1 else 1
+        block_size = max(1, -(-len(seeds) // workers))
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    blocks = [seeds[i : i + block_size] for i in range(0, len(seeds), block_size)]
+    results = parallel_map(
+        _ratio_block,
+        [(workload_fn, block, algo_factory, kernel) for block in blocks],
         processes=processes,
     )
+    return [r for block in results for r in block]

@@ -23,6 +23,13 @@ bit-identical to its reference twin:
   compiler exists, transliterated Python loop otherwise).  Selected
   via ``solve_offline(kernel="batch")`` / ``solve_offline_batch``;
   the service layer's shard workers call it once per shard.
+* :mod:`repro.kernels.online` — the online twin of the batch DP: a
+  whole SC/TTL(γ) run (decisions, epochs, copy-seconds, cost, digest)
+  replayed over native scalar columns without per-event hook dispatch,
+  plus batched entry points over the same :class:`BatchLayout` ragged
+  columns so a multi-item shard or a TTL γ-grid is one kernel call.
+  Selected via ``run_online(kernel="vector")`` (the ``"auto"`` default
+  for plain ``SpeculativeCaching``).
 
 Determinism contract: a kernel never changes *what* is computed, only
 *how fast*.  ``C``/``D`` vectors, ``served_by_cache``, backtracking
@@ -38,6 +45,16 @@ from .batch import (
     solve_offline_batch,
 )
 from .frontier import FrontierState, solve_offline_frontier
+from .online import (
+    ONLINE_KERNELS,
+    OnlineKernelRun,
+    decision_digest,
+    run_online_batch,
+    run_online_layout,
+    run_online_vector,
+    sweep_layout,
+    vectorizable,
+)
 from .prescan import (
     build_pivot_matrix,
     per_server_lists,
@@ -52,6 +69,14 @@ __all__ = [
     "solve_offline_batch",
     "FrontierState",
     "solve_offline_frontier",
+    "ONLINE_KERNELS",
+    "OnlineKernelRun",
+    "decision_digest",
+    "run_online_batch",
+    "run_online_layout",
+    "run_online_vector",
+    "sweep_layout",
+    "vectorizable",
     "build_pivot_matrix",
     "per_server_lists",
     "prescan_arrays",

@@ -94,8 +94,15 @@ class OnlineAlgorithm(abc.ABC):
         """Algorithm-specific mutable state folded into the digest."""
         return {}
 
-    def run(self, instance: ProblemInstance) -> OnlineRunResult:
-        """Convenience: drive this algorithm with the standard engine."""
+    def run(
+        self, instance: ProblemInstance, kernel: str = "auto"
+    ) -> OnlineRunResult:
+        """Convenience: drive this algorithm with the standard engine.
+
+        ``kernel`` selects the execution path (``"auto"`` / ``"event"``
+        / ``"vector"``, see :func:`repro.sim.engine.run_online`); all
+        paths produce bit-identical results.
+        """
         from ..sim.engine import run_online
 
-        return run_online(self, instance)
+        return run_online(self, instance, kernel=kernel)

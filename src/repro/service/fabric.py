@@ -407,14 +407,56 @@ def _worker_run_shard(
     meta: Tuple[int, float, float],
     entries: Sequence[ArenaEntry],
     policy_factory: Callable[[], OnlineAlgorithm],
+    kernel: str = "auto",
 ) -> List[Tuple[str, OnlineRunResult]]:
     """Serve one shard online.  Inputs arrive zero-copy via the arena;
     results (schedules, counters — policy artefacts, not fixed-size
-    arrays) return through the pipe as in the pickled transport."""
+    arrays) return through the pipe as in the pickled transport.
+
+    With a vector-eligible policy (plain ``SpeculativeCaching``) and
+    ``kernel`` ``"auto"``/``"vector"``, the whole shard is served by ONE
+    batched online-kernel call packed straight from the arena's
+    zero-copy column views — no instance construction in the worker at
+    all — bit-identical to the per-item loop."""
+    from ..kernels.batch import BatchLayout
+    from ..kernels.online import run_online_layout, vector_policy_config
+
+    probe = policy_factory()
+    config = vector_policy_config(probe) if kernel != "event" else None
+    if config is not None:
+        if not entries:
+            return []
+        window_factor, epoch_size, algo_name = config
+        shm, _ = _worker_arena(arena_name)
+        m, mu, lam = meta
+        layout = BatchLayout.from_columns(
+            [
+                (
+                    name,
+                    np.frombuffer(shm.buf, np.float64, n, t_off),
+                    np.frombuffer(shm.buf, np.int64, n, srv_off),
+                    m,
+                    mu,
+                    lam,
+                    origin,
+                    start,
+                )
+                for name, n, t_off, srv_off, origin, start, _mode in entries
+            ]
+        )
+        runs = run_online_layout(
+            layout, window_factor, epoch_size, algorithm_name=algo_name
+        )
+        return [(name, run.to_result()) for name, run in zip(layout.names, runs)]
+    if kernel == "vector":
+        raise ValueError(
+            f"kernel='vector' requires a plain SpeculativeCaching policy, "
+            f"got {type(probe).__name__}; use kernel='event' or 'auto'"
+        )
     out: List[Tuple[str, OnlineRunResult]] = []
     for entry in entries:
         inst = _worker_instance(arena_name, meta, entry)
-        out.append((entry[0], policy_factory().run(inst)))
+        out.append((entry[0], policy_factory().run(inst, kernel=kernel)))
     return out
 
 
@@ -817,8 +859,15 @@ class ServicePool:
         policy_factory: Callable[[], OnlineAlgorithm],
         shards: Optional[int] = None,
         shard_strategy: str = "size",
+        kernel: str = "auto",
     ) -> Dict[str, OnlineRunResult]:
-        """Zero-copy-input parallel online serve; returns item -> run."""
+        """Zero-copy-input parallel online serve; returns item -> run.
+
+        ``kernel`` selects the workers' online execution path
+        (``"auto"`` / ``"event"`` / ``"vector"``, see
+        :func:`repro.sim.engine.run_online`); with an eligible policy
+        each worker serves its whole shard with one batched kernel call.
+        """
         from ..analysis.parallel import _check_picklable_callable
 
         _check_picklable_callable(policy_factory)
@@ -831,6 +880,7 @@ class ServicePool:
                 meta,
                 [arena.entries[name] for name in shard],
                 policy_factory,
+                kernel,
             )
             for shard in plan
         ]

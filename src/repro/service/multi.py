@@ -368,6 +368,7 @@ class MultiItemOnlineService:
         shard_strategy: str = "size",
         transport: str = "shm",
         pool: Optional["ServicePool"] = None,
+        kernel: str = "auto",
     ) -> "MultiItemOnlineService":
         """Serve every item's stream; returns self for chaining.
 
@@ -383,12 +384,29 @@ class MultiItemOnlineService:
         gets a fresh policy from the factory, so ``runs`` is
         bit-identical to a serial run: same key order, same costs, same
         counters.
+
+        ``kernel`` selects the online execution path (``"auto"`` /
+        ``"event"`` / ``"vector"``): with an eligible policy (plain
+        ``SpeculativeCaching``), ``"auto"`` serves the whole item batch
+        — or each worker its whole shard — with ONE batched
+        online-kernel call instead of a per-item hook replay, still
+        bit-identical to the serial per-item loop.
         """
+        from ..kernels.online import (
+            ONLINE_KERNELS,
+            run_online_batch,
+            vector_policy_config,
+        )
+
         if processes is not None and processes < 1:
             raise ValueError(f"processes must be >= 1, got {processes}")
         if transport not in TRANSPORTS:
             raise ValueError(
                 f"transport must be one of {TRANSPORTS}, got {transport!r}"
+            )
+        if kernel not in ONLINE_KERNELS:
+            raise ValueError(
+                f"unknown online kernel {kernel!r}; valid: {ONLINE_KERNELS}"
             )
         if pool is not None:
             self.runs = pool.serve(
@@ -396,13 +414,33 @@ class MultiItemOnlineService:
                 self.policy_factory,
                 shards=shards,
                 shard_strategy=shard_strategy,
+                kernel=kernel,
             )
             return self
         if processes is None or processes == 1:
-            self.runs = {
-                name: self.policy_factory().run(inst)
-                for name, inst in service.items.items()
-            }
+            config = (
+                vector_policy_config(self.policy_factory())
+                if kernel != "event"
+                else None
+            )
+            if config is not None:
+                window_factor, epoch_size, algo_name = config
+                self.runs = run_online_batch(
+                    service.items,
+                    window_factor=window_factor,
+                    epoch_size=epoch_size,
+                    algorithm_name=algo_name,
+                )
+            elif kernel == "vector":
+                raise ValueError(
+                    "kernel='vector' requires a plain SpeculativeCaching "
+                    "policy; use kernel='event' or 'auto'"
+                )
+            else:
+                self.runs = {
+                    name: self.policy_factory().run(inst, kernel=kernel)
+                    for name, inst in service.items.items()
+                }
             return self
         if transport == "shm":
             from .fabric import ServicePool
@@ -413,11 +451,12 @@ class MultiItemOnlineService:
                     self.policy_factory,
                     shards=shards,
                     shard_strategy=shard_strategy,
+                    kernel=kernel,
                 )
             return self
         _check_picklable_callable(self.policy_factory)
         tasks = [
-            (self.policy_factory,) + task
+            (self.policy_factory,) + task + (kernel,)
             for task in _shard_tasks(service, shards or processes, shard_strategy)
         ]
         results = parallel_map(_run_shard, tasks, processes=processes)

@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Sequence, Tuple
 
 from ..core.instance import ProblemInstance
 from ..kernels.batch import BatchLayout, solve_layout
+from ..kernels.online import run_online_layout, vector_policy_config
 from ..offline.dp import solve_offline
 from ..offline.result import OfflineResult
 from ..online.base import OnlineAlgorithm
@@ -200,10 +201,39 @@ def _solve_shard(
 def _run_shard(
     policy_factory: Callable[[], OnlineAlgorithm],
     descs: Sequence[Tuple],
+    kernel: str = "auto",
 ) -> List[Tuple[str, OnlineRunResult]]:
-    """Serve every item in one shard with a fresh policy per item."""
+    """Serve every item in one shard with a fresh policy per item.
+
+    When the policy is vector-kernel eligible (plain
+    ``SpeculativeCaching``) and ``kernel`` allows it, the whole shard is
+    packed into one :class:`BatchLayout` and served with ONE batched
+    online-kernel call — bit-identical to the per-item loop, including
+    output order (``from_columns`` preserves item order).
+    """
+    probe = policy_factory()
+    config = vector_policy_config(probe) if kernel != "event" else None
+    if config is not None:
+        if not descs:
+            return []
+        window_factor, epoch_size, algo_name = config
+        layout = BatchLayout.from_columns(
+            [
+                (name, t, srv, m, cost.mu, cost.lam, origin, start)
+                for name, t, srv, m, cost, origin, start, _mode in descs
+            ]
+        )
+        runs = run_online_layout(
+            layout, window_factor, epoch_size, algorithm_name=algo_name
+        )
+        return [(name, run.to_result()) for name, run in zip(layout.names, runs)]
+    if kernel == "vector":
+        raise ValueError(
+            f"kernel='vector' requires a plain SpeculativeCaching policy, "
+            f"got {type(probe).__name__}; use kernel='event' or 'auto'"
+        )
     out: List[Tuple[str, OnlineRunResult]] = []
     for desc in descs:
         name, inst = _unpack_item(desc)
-        out.append((name, policy_factory().run(inst)))
+        out.append((name, policy_factory().run(inst, kernel=kernel)))
     return out

@@ -352,6 +352,7 @@ def run_online(
     algorithm: "OnlineAlgorithm",
     instance: ProblemInstance,
     fast: bool = True,
+    kernel: str = "auto",
 ) -> OnlineRunResult:
     """Drive ``algorithm`` over ``instance`` and return the run result.
 
@@ -359,13 +360,44 @@ def run_online(
     can be reused across instances; runs are deterministic given the
     algorithm's own RNG seeding.
 
-    ``fast=True`` (default) replays through the array-backed loop of
-    :mod:`repro.kernels.replay` — no per-event dataclass dispatch, same
-    hook-call sequence, bit-identical results (the engine test-suite
-    pins this against a stepwise :class:`ReplayDriver` run).  Pass
-    ``fast=False`` to force the driver path, e.g. when profiling the
-    stepwise machinery itself.
+    ``kernel`` selects the execution path (bit-identical results on all
+    of them, pinned by ``tests/online/test_online_kernels.py``):
+
+    * ``"auto"`` (default): the array-native vector kernel of
+      :mod:`repro.kernels.online` when the policy is exactly
+      :class:`~repro.online.speculative.SpeculativeCaching` (no
+      subclass) and ``fast`` is on; the per-event path otherwise.
+    * ``"event"``: always replay through the policy's own hooks.
+    * ``"vector"``: require the vector kernel; raises ``ValueError``
+      for policies it cannot replicate.
+
+    On the per-event path, ``fast=True`` (default) replays through the
+    array-backed loop of :mod:`repro.kernels.replay` — no per-event
+    dataclass dispatch, same hook-call sequence, bit-identical results
+    (the engine test-suite pins this against a stepwise
+    :class:`ReplayDriver` run).  Pass ``fast=False`` to force the
+    driver path, e.g. when profiling the stepwise machinery itself.
     """
+    from ..kernels.online import ONLINE_KERNELS, run_online_vector, vectorizable
+
+    if kernel not in ONLINE_KERNELS:
+        raise ValueError(
+            f"unknown online kernel {kernel!r}; valid: {ONLINE_KERNELS}"
+        )
+    if kernel == "vector" or (kernel == "auto" and fast and vectorizable(algorithm)):
+        if not vectorizable(algorithm):
+            raise ValueError(
+                f"kernel='vector' requires a plain SpeculativeCaching "
+                f"policy, got {type(algorithm).__name__}; use "
+                f"kernel='event' or 'auto'"
+            )
+        _check_time_order(instance)
+        return run_online_vector(
+            instance,
+            window_factor=algorithm.window_factor,
+            epoch_size=algorithm.epoch_size,
+            algorithm_name=algorithm.name,
+        )
     if fast:
         from ..kernels.replay import replay_fault_free
 

@@ -27,6 +27,7 @@ from .sampling import (
     estimate_offline_cost,
     exact_offline_cost,
     item_hash,
+    online_trace_costs,
     sample_columnar,
     sample_trace,
     sampled_items,
@@ -61,6 +62,7 @@ __all__ = [
     "mine_instance",
     "mine_instance_columnar",
     "mmpp_instance",
+    "online_trace_costs",
     "poisson_zipf_instance",
     "profile_trace",
     "random_instance",

@@ -66,6 +66,7 @@ __all__ = [
     "exact_offline_cost",
     "item_hash",
     "item_hashes",
+    "online_trace_costs",
     "sample_columnar",
     "sample_trace",
     "sampled_items",
@@ -348,35 +349,32 @@ def sample_columnar(
 # ---------------------------------------------------------------------------
 
 
-def _solve_costs_by_id(
+def _trace_entries(
     trace: ColumnarTrace,
     items: Optional[np.ndarray],
     cost: Optional[CostModel],
     num_servers: Optional[int],
     origin: int,
     min_gap: float,
-    kernel: str,
     chunk_rows: int,
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Optimal cost per selected item id: ``(ids, costs)`` id-ascending.
+) -> Tuple[np.ndarray, List[tuple]]:
+    """Per-item batch-layout column entries: ``(ids, entries)`` id-ascending.
 
     Mirrors the mining tail of ``traces._columns_to_instance`` — stable
     sort by time, :func:`_enforce_min_gap` sweep, identical start-time
-    convention — then packs every item into ONE
-    :class:`~repro.kernels.batch.BatchLayout` and sweeps it with the
-    batched kernel, so each per-item cost is bit-identical to
-    ``mine_instance_columnar`` + ``solve_offline`` on the same rows.
+    convention — producing the :meth:`BatchLayout.from_columns` entries
+    both the offline and online trace-cost paths pack, so every per-item
+    result is bit-identical to ``mine_instance_columnar`` plus the
+    per-item solver/policy on the same rows.
     """
-    from ..kernels.batch import BatchLayout, solve_layout
-
     if trace.rows == 0:
-        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        return np.empty(0, dtype=np.int64), []
     if num_servers is None:
         num_servers = _fleet_size(trace, chunk_rows)
     cost = cost if cost is not None else CostModel()
     times, servers, _, ids = _select_rows(trace, items, None, chunk_rows)
     if times.shape[0] == 0:
-        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        return np.empty(0, dtype=np.int64), []
     # Item-major, time-ordered within item; stability keeps equal-time
     # rows in original order, matching the per-item stable sort the
     # miner performs.
@@ -406,6 +404,33 @@ def _solve_costs_by_id(
                 0.0 if start > 0 else start,
             )
         )
+    return solved_ids, entries
+
+
+def _solve_costs_by_id(
+    trace: ColumnarTrace,
+    items: Optional[np.ndarray],
+    cost: Optional[CostModel],
+    num_servers: Optional[int],
+    origin: int,
+    min_gap: float,
+    kernel: str,
+    chunk_rows: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Optimal cost per selected item id: ``(ids, costs)`` id-ascending.
+
+    Packs every selected item (see :func:`_trace_entries`) into ONE
+    :class:`~repro.kernels.batch.BatchLayout` and sweeps it with the
+    batched kernel, so each per-item cost is bit-identical to
+    ``mine_instance_columnar`` + ``solve_offline`` on the same rows.
+    """
+    from ..kernels.batch import BatchLayout, solve_layout
+
+    solved_ids, entries = _trace_entries(
+        trace, items, cost, num_servers, origin, min_gap, chunk_rows
+    )
+    if not entries:
+        return solved_ids, np.empty(0, dtype=np.float64)
     layout = BatchLayout.from_columns(entries)
     results = solve_layout(layout, kernel=_batch_kernel(kernel))
     costs = np.array([res.optimal_cost for res in results], dtype=np.float64)
@@ -442,6 +467,41 @@ def solve_trace_costs(
     return {
         trace.item_table[int(i)]: float(c) for i, c in zip(ids, costs)
     }
+
+
+def online_trace_costs(
+    trace: _Trace,
+    items: Optional[np.ndarray] = None,
+    cost: Optional[CostModel] = None,
+    num_servers: Optional[int] = None,
+    origin: int = 0,
+    min_gap: float = 1e-9,
+    window_factor: float = 1.0,
+    epoch_size: Optional[int] = None,
+    chunk_rows: int = 1 << 20,
+) -> Dict[str, float]:
+    """Per-item SC/TTL(γ) *online* cost straight from the mapped columns.
+
+    The online twin of :func:`solve_trace_costs`: every selected item is
+    packed into ONE :class:`~repro.kernels.batch.BatchLayout` and served
+    with a single batched online-kernel call — no per-item instance
+    mining, no per-event hook dispatch.  Each cost is bit-identical to
+    ``mine_instance_columnar`` + ``SpeculativeCaching(window_factor,
+    epoch_size).run`` on the same rows, so a sampled columnar trace can
+    report empirical online/OPT gaps at trace scale.
+    """
+    from ..kernels.batch import BatchLayout
+    from ..kernels.online import run_online_layout
+
+    trace = _open(trace)
+    _, entries = _trace_entries(
+        trace, items, cost, num_servers, origin, min_gap, chunk_rows
+    )
+    if not entries:
+        return {}
+    layout = BatchLayout.from_columns(entries)
+    runs = run_online_layout(layout, window_factor, epoch_size)
+    return {name: run.cost for name, run in zip(layout.names, runs)}
 
 
 def exact_offline_cost(

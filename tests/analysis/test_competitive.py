@@ -76,3 +76,89 @@ class TestAdversaries:
         worst = max(rows, key=lambda r: r["ratio"])
         assert worst["gap_factor"] * m > 1.0
         assert worst["ratio"] > 1.5
+
+
+class TestOptSolveCounts:
+    """Pin the 'OPT solved once per instance' contract via a counting stub.
+
+    Every harness entry point routes OPT through the single
+    ``_opt_costs`` seam; stubbing it counts both the number of batched
+    calls and the number of instances solved, so a regression back to
+    per-algorithm (or per-γ) re-solving fails loudly here.
+    """
+
+    def _counting_stub(self, monkeypatch):
+        from repro.analysis import competitive
+
+        calls = {"batches": 0, "instances": 0}
+        real = competitive._opt_costs
+
+        def counting(instances):
+            calls["batches"] += 1
+            calls["instances"] += len(instances)
+            return real(instances)
+
+        monkeypatch.setattr(competitive, "_opt_costs", counting)
+        return calls
+
+    def test_ratio_statistics_solves_each_instance_once(self, monkeypatch):
+        calls = self._counting_stub(monkeypatch)
+        insts = [poisson_zipf_instance(25, 4, rng=s) for s in range(6)]
+        ratio_statistics(insts)
+        assert calls == {"batches": 1, "instances": 6}
+
+    def test_ratio_grid_reuses_opt_across_algorithms(self, monkeypatch):
+        from repro.analysis import ratio_grid
+        from repro.online import NeverDelete, SpeculativeCaching
+
+        calls = self._counting_stub(monkeypatch)
+        insts = [poisson_zipf_instance(25, 4, rng=s) for s in range(5)]
+        grid = ratio_grid(
+            insts,
+            {
+                "sc": SpeculativeCaching,
+                "always-transfer": AlwaysTransfer,
+                "never-delete": NeverDelete,
+            },
+        )
+        # Three algorithms over five instances: OPT still solved 5 times.
+        assert calls == {"batches": 1, "instances": 5}
+        assert set(grid) == {"sc", "always-transfer", "never-delete"}
+
+    def test_gamma_sweep_reuses_opt_across_gammas(self, monkeypatch):
+        from repro.analysis import ttl_gamma_sweep
+
+        calls = self._counting_stub(monkeypatch)
+        insts = [poisson_zipf_instance(25, 4, rng=s) for s in range(4)]
+        rows = ttl_gamma_sweep(insts, gammas=[0.5, 1.0, 2.0, 4.0])
+        assert calls == {"batches": 1, "instances": 4}
+        assert [r["gamma"] for r in rows] == [0.5, 1.0, 2.0, 4.0]
+
+    def test_gap_sweep_solves_each_factor_once(self, monkeypatch):
+        calls = self._counting_stub(monkeypatch)
+        adversarial_gap_sweep(m=3, rounds=5, gap_factors=[0.5, 1.0, 1.5])
+        assert calls == {"batches": 1, "instances": 3}
+
+
+class TestKernelIdentity:
+    """The batched harness must reproduce the per-event loop exactly."""
+
+    def test_ratio_statistics_kernels_agree(self):
+        insts = [poisson_zipf_instance(30, 4, rng=s) for s in range(5)]
+        vec = ratio_statistics(insts, kernel="vector")
+        ev = ratio_statistics(insts, kernel="event")
+        assert list(vec.ratios) == list(ev.ratios)
+
+    def test_gamma_sweep_kernels_agree(self):
+        from repro.analysis import ttl_gamma_sweep
+
+        insts = [poisson_zipf_instance(30, 4, rng=s) for s in range(4)]
+        vec = ttl_gamma_sweep(insts, gammas=[0.5, 2.0], epoch_size=3)
+        ev = ttl_gamma_sweep(insts, gammas=[0.5, 2.0], epoch_size=3, kernel="event")
+        for a, b in zip(vec, ev):
+            assert a["ratios"] == b["ratios"]
+
+    def test_vector_kernel_rejects_ineligible_policy(self):
+        insts = [poisson_zipf_instance(20, 3, rng=0)]
+        with pytest.raises(ValueError, match="vector"):
+            ratio_statistics(insts, AlwaysTransfer, kernel="vector")
